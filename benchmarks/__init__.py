@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating every experiment in DESIGN.md (E1-E9)."""

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark prints the rows of the table/figure it regenerates (captured
+with ``pytest benchmarks/ --benchmark-only -s``) in addition to the
+pytest-benchmark timing output, so the EXPERIMENTS.md numbers can be
+refreshed from a single run.
+"""
+
+import pytest
+
+from repro.ontologies import build_unified_ontology
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "benchmark: benchmark harness tests")
+
+
+@pytest.fixture(scope="session")
+def ontology_library():
+    """One shared ontology library for all benchmarks (building is cheap but
+    repeated builds would dominate the timings of small benchmarks)."""
+    return build_unified_ontology(materialize=True)
+
+
+def print_table(title, rows):
+    """Print a list-of-dicts table in a compact aligned form."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    header = " | ".join(f"{key:>18}" for key in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join(f"{str(row.get(key, '')):>18}" for key in keys))

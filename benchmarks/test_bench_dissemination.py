@@ -1,0 +1,72 @@
+"""E7 -- dissemination of the drought vulnerability index (paper §2, §6)."""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.dews.alerts import build_alerts
+from repro.dews.dissemination import DisseminationHub
+from repro.forecasting.fusion import Forecast
+from repro.forecasting.vulnerability import compute_vulnerability
+from repro.workloads.scenario import FREE_STATE_DISTRICTS
+
+
+def _alert_batch(issue_day):
+    probabilities = {
+        "Mangaung": 0.55, "Xhariep": 0.82, "Lejweleputswa": 0.66,
+        "Thabo Mofutsanyana": 0.38, "Fezile Dabi": 0.45,
+    }
+    forecasts = {
+        district: Forecast(issue_day=issue_day, lead_time_days=20.0,
+                           drought_probability=probability, confidence=0.8,
+                           method="fusion", area=district)
+        for district, probability in probabilities.items()
+    }
+    vulnerability = {v.district: v for v in compute_vulnerability(probabilities)}
+    return build_alerts(forecasts, vulnerability)
+
+
+def test_bench_dissemination_throughput(benchmark):
+    """Cost of fanning one alert batch out to every channel."""
+    hub = DisseminationHub(seed=1)
+    alerts = _alert_batch(100.0)
+    benchmark(lambda: hub.disseminate(alerts))
+
+
+def test_bench_dissemination_table(benchmark):
+    """The E7 table: per-channel delivery ratio, latency and reach."""
+    hub = DisseminationHub(seed=3)
+    benchmark(lambda: _alert_batch(0.0))
+    for week in range(30):
+        alerts = [a for a in _alert_batch(float(week * 7)) if a.actionable]
+        hub.disseminate(alerts)
+
+    rows = []
+    for name, stats in hub.statistics().items():
+        rows.append({
+            "channel": name,
+            "attempted": stats.attempted,
+            "delivery_ratio": round(stats.delivery_ratio, 3),
+            "mean_latency_s": round(stats.mean_latency, 1),
+            "recipients": stats.recipients_reached,
+        })
+    print_table("E7: dissemination channels", rows)
+
+    by_name = {row["channel"]: row for row in rows}
+    # every channel delivers the vast majority of actionable alerts
+    for row in rows:
+        assert row["delivery_ratio"] > 0.85
+    # the ordering of latencies follows the channel characteristics
+    assert by_name["semantic_web"]["mean_latency_s"] < by_name["mobile_app"]["mean_latency_s"]
+    assert by_name["mobile_app"]["mean_latency_s"] < by_name["ip_radio"]["mean_latency_s"]
+    # radio reaches the most people, the semantic web endpoint the fewest
+    assert by_name["ip_radio"]["recipients"] > by_name["mobile_app"]["recipients"]
+    assert by_name["semantic_web"]["recipients"] < by_name["smart_billboard"]["recipients"]
+
+
+def test_bench_vulnerability_ranking(benchmark):
+    """The vulnerability index orders districts by exposure x sensitivity."""
+    alerts = {alert.district: alert for alert in benchmark(lambda: _alert_batch(0.0))}
+    # Xhariep combines the highest probability with the most vulnerable profile
+    most_vulnerable = max(alerts.values(), key=lambda a: a.vulnerability)
+    assert most_vulnerable.district == "Xhariep"
+    assert set(alerts) == set(FREE_STATE_DISTRICTS)

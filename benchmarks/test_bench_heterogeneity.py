@@ -1,0 +1,88 @@
+"""E1 -- heterogeneity resolution (paper Fig. 2 / §4.1).
+
+Measures how much of the raw-stream naming / unit heterogeneity the
+semantic mediator eliminates, against a standards-only (fixed schema,
+no alignment) baseline, plus the mediation throughput.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.mediator import Mediator, passthrough_mediator
+from repro.ontologies.alignment import TermAligner
+from repro.sensors.heterogeneity import measure_heterogeneity
+from repro.workloads import DroughtEpisode, build_free_state_scenario
+from repro.streams.scheduler import DAY
+
+
+def _raw_records(days=10, motes=10):
+    scenario = build_free_state_scenario(
+        districts=["Mangaung"], motes_per_district=motes, observers_per_district=6,
+        episodes=[DroughtEpisode(5, 8)], seed=17,
+    )
+    district = scenario.districts[0]
+    records = []
+    for day in range(days):
+        for outcome in district.network.sample_and_deliver(day * DAY + 12 * 3600.0):
+            records.extend(outcome.records)
+        for station in district.stations:
+            records.extend(station.report(day * DAY + 6 * 3600.0))
+        for observer in district.observers:
+            records.extend(observer.report_conditions(day * DAY))
+            records.extend(observer.report_sightings(day * DAY))
+    return records
+
+
+@pytest.fixture(scope="module")
+def raw_records():
+    return _raw_records()
+
+
+def test_bench_mediation_throughput(benchmark, raw_records):
+    """Throughput of full semantic mediation (records/second in the timing)."""
+    mediator = Mediator()
+    benchmark(lambda: mediator.mediate_many(raw_records))
+
+
+def test_bench_heterogeneity_resolution_table(benchmark, raw_records):
+    """The E1 table: raw heterogeneity vs what each pipeline resolves."""
+    raw_report = benchmark(lambda: measure_heterogeneity(raw_records))
+    aligned_report = measure_heterogeneity(raw_records, aligner=TermAligner())
+
+    semantic = Mediator()
+    semantic_outcomes = semantic.mediate_many(raw_records)
+    baseline = passthrough_mediator()
+    baseline_outcomes = baseline.mediate_many(raw_records)
+
+    rows = [
+        {
+            "pipeline": "raw stream",
+            "records": raw_report.total_records,
+            "distinct_terms": raw_report.distinct_terms,
+            "distinct_units": raw_report.distinct_units,
+            "resolution_rate": "-",
+        },
+        {
+            "pipeline": "standards-only",
+            "records": baseline.statistics.records_seen,
+            "distinct_terms": raw_report.distinct_terms,
+            "distinct_units": raw_report.distinct_units,
+            "resolution_rate": round(baseline.statistics.resolution_rate, 3),
+        },
+        {
+            "pipeline": "semantic mediator",
+            "records": semantic.statistics.records_seen,
+            "distinct_terms": len(aligned_report.terms_per_property),
+            "distinct_units": 1,
+            "resolution_rate": round(semantic.statistics.resolution_rate, 3),
+        },
+    ]
+    print_table("E1: heterogeneity resolution", rows)
+
+    resolved = [o for o in semantic_outcomes if o.resolved]
+    assert semantic.statistics.resolution_rate > baseline.statistics.resolution_rate + 0.2
+    assert semantic.statistics.resolution_rate > 0.9
+    # every resolved observation is in canonical units
+    assert all(o.observation.unit in ("degC", "mm", "percent", "m/s", "hPa", "W/m2", "index", "degree", "unknown")
+               for o in resolved)
+    assert len(baseline_outcomes) == len(semantic_outcomes)

@@ -1,0 +1,90 @@
+"""E5 -- reliability of indigenous-knowledge-only forecasts (paper §2).
+
+The paper motivates the middleware with the observation that most farmers
+rely on indigenous knowledge forecasts, which provide "an uncertain level of
+accuracy".  This benchmark quantifies that uncertainty: IK-only forecast
+skill as the elicitation campaign degrades (fewer respondents, more
+disagreement) and as indicator reliability is discounted.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.forecasting.evaluation import evaluate_forecasts
+from repro.forecasting.fusion import IndigenousForecaster
+from repro.ik.elicitation import ElicitationCampaign
+from repro.ik.indicators import IndicatorActivityModel
+from repro.sensors.mobile import MobileObserver
+from repro.streams.scheduler import DAY
+from repro.workloads.climate import ClimateGenerator, DroughtEpisode
+
+
+def _ik_only_skill(knowledge_base, seed=5, days=365):
+    """Simulate observers reporting sightings and score IK-only forecasts."""
+    climate = ClimateGenerator(seed=seed, episodes=[DroughtEpisode(200, 310, 0.85)])
+    activity = IndicatorActivityModel(climate, reference=ClimateGenerator(seed=seed))
+    observers = [
+        MobileObserver(
+            f"farmer-{index}", (-29.1 + 0.01 * index, 26.2), climate,
+            indicator_activity=activity,
+            indicators=list(knowledge_base.indicators)[:6] or ["sifennefene_worms"],
+            seed=seed * 10 + index,
+        )
+        for index in range(8)
+    ]
+    for day in range(0, days, 3):
+        for observer in observers:
+            for record in observer.report_sightings(day * DAY + DAY / 2):
+                knowledge_base.register_sighting(record)
+    forecaster = IndigenousForecaster(knowledge_base)
+    forecasts = forecaster.forecast_series(days, issue_every_days=10, start_day=45)
+    return evaluate_forecasts(forecasts, climate.drought_truth(days), climate.episodes)
+
+
+@pytest.fixture(scope="module")
+def campaign_grid():
+    grid = []
+    for label, respondents, implication_noise in [
+        ("rich elicitation", 40, 0.05),
+        ("typical elicitation", 20, 0.15),
+        ("poor elicitation", 8, 0.30),
+    ]:
+        campaign = ElicitationCampaign(
+            respondents=respondents, implication_noise=implication_noise,
+            recognition_rate=0.7, seed=9,
+        )
+        grid.append((label, campaign.run(), campaign.last_report))
+    return grid
+
+
+def test_bench_ik_elicitation(benchmark):
+    """Cost of running one elicitation campaign."""
+    benchmark(lambda: ElicitationCampaign(respondents=30, seed=1).run())
+
+
+def test_bench_ik_reliability_table(benchmark, campaign_grid):
+    """The E5 table: IK-only skill under degrading elicitation quality."""
+    rows = []
+    skills = {}
+    benchmark.pedantic(lambda: _ik_only_skill(campaign_grid[0][1]), rounds=1, iterations=1)
+    for label, knowledge_base, report in campaign_grid:
+        skill = _ik_only_skill(knowledge_base)
+        skills[label] = skill
+        rows.append({
+            "campaign": label,
+            "indicators": len(knowledge_base),
+            "disagreement": round(report.disagreement_rate, 3),
+            "POD": round(skill.pod, 3),
+            "FAR": round(skill.far, 3),
+            "CSI": round(skill.csi, 3),
+            "Brier": round(skill.brier_score, 3),
+        })
+    print_table("E5: IK-only forecast reliability vs elicitation quality", rows)
+
+    # IK forecasts carry real signal but stay imperfect -- the motivation gap
+    rich = skills["rich elicitation"]
+    assert rich.pod > 0.3
+    assert rich.far > 0.05 or rich.pod < 0.95
+    # poorer elicitation does not improve skill
+    assert skills["poor elicitation"].csi <= rich.csi + 0.1

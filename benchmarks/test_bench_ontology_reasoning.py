@@ -1,0 +1,73 @@
+"""E6 -- ontology library construction, reasoning and query latency (Fig. 1)."""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.annotation import SemanticAnnotator
+from repro.core.mediator import Mediator
+from repro.ontologies import build_unified_ontology
+from repro.semantics.reasoner import Reasoner
+from repro.semantics.sparql.evaluator import query
+from repro.streams.messages import ObservationRecord
+
+
+def test_bench_build_library(benchmark):
+    """Construction time of the full unified ontology."""
+    library = benchmark(lambda: build_unified_ontology(materialize=False))
+    assert library.statistics()["classes"] > 80
+
+
+def test_bench_reasoner_materialisation(benchmark):
+    """Forward-chaining closure over the unified ontology."""
+    def run():
+        library = build_unified_ontology(materialize=False)
+        reasoner = Reasoner(library.graph)
+        return reasoner.materialize(), library
+
+    (trace, library) = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert trace.inferred > 300
+
+
+def test_bench_query_latency(benchmark, ontology_library):
+    """Latency of a typical DEWS query over ontology plus annotations."""
+    graph = ontology_library.graph.copy()
+    annotator = SemanticAnnotator(graph)
+    mediator = Mediator()
+    for index in range(300):
+        outcome = mediator.mediate(ObservationRecord(
+            source_id=f"Mangaung-mote-{index % 10}", source_kind="wsn_mote",
+            property_name="Bodenfeuchte", value=5.0 + index % 30, unit="percent",
+            timestamp=float(index * 3600), location=(-29.1, 26.2),
+        ))
+        annotator.annotate(outcome.observation)
+
+    text = """
+        SELECT ?obs ?v WHERE {
+            ?obs ssn:observedProperty envo:SoilMoisture .
+            ?obs ssn:hasResult ?r .
+            ?r ssn:hasValue ?v .
+            FILTER (?v < 12)
+        }
+    """
+    result = benchmark(lambda: query(graph, text))
+    assert len(result) > 0
+
+
+def test_bench_ontology_statistics_table(benchmark, ontology_library):
+    """The E6 table: size of the ontology library and reasoning closure."""
+    library = benchmark.pedantic(lambda: build_unified_ontology(materialize=False), rounds=1, iterations=1)
+    before = len(library.graph)
+    trace = Reasoner(library.graph).materialize()
+    stats = library.statistics()
+    rows = [
+        {"metric": "component ontologies", "value": stats["components"]},
+        {"metric": "named classes", "value": stats["classes"]},
+        {"metric": "properties", "value": stats["properties"]},
+        {"metric": "individuals", "value": stats["individuals"]},
+        {"metric": "asserted triples", "value": before},
+        {"metric": "inferred triples", "value": trace.inferred},
+        {"metric": "closure iterations", "value": trace.iterations},
+    ]
+    print_table("E6: unified ontology library", rows)
+    assert stats["components"] == 7
+    assert trace.inferred > 300

@@ -1,0 +1,91 @@
+"""E8 -- WSN data gathering: delivery ratio, energy, and the effect of loss
+on downstream data availability (paper §5)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.sensors.network import WirelessSensorNetwork
+from repro.sensors.node import SensorNode
+from repro.sensors.radio import RadioModel
+from repro.streams.scheduler import DAY
+from repro.workloads.climate import ClimateGenerator
+
+
+def _build_network(motes, loss, seed=5, spacing=0.002):
+    climate = ClimateGenerator(seed=seed)
+    radio = RadioModel(reference_loss=loss, seed=seed)
+    network = WirelessSensorNetwork(sink_location=(-29.100, 26.200), radio=radio,
+                                    max_link_range_m=650.0)
+    for index in range(motes):
+        row, col = divmod(index, 4)
+        network.add_node(SensorNode(
+            node_id=f"mote-{index:02d}",
+            location=(-29.100 + spacing * (row + 1), 26.200 + spacing * col),
+            modalities=["air_temperature", "soil_moisture", "rainfall"],
+            environment=climate, seed=seed * 100 + index,
+        ))
+    return network
+
+
+def _run_days(network, days=30, rounds_per_day=2):
+    for day in range(days):
+        for round_index in range(rounds_per_day):
+            network.sample_and_deliver(day * DAY + (round_index + 1) * 6 * 3600.0)
+    return network.statistics
+
+
+def test_bench_wsn_round(benchmark):
+    """Cost of one full sample-and-deliver round across a 16-mote mesh."""
+    network = _build_network(16, loss=0.02)
+    counter = {"round": 0}
+
+    def run():
+        counter["round"] += 1
+        network.sample_and_deliver(counter["round"] * 6 * 3600.0)
+
+    benchmark(run)
+
+
+def test_bench_wsn_delivery_table(benchmark):
+    """The E8 table: delivery ratio and energy as link loss grows."""
+    rows = []
+    ratios = []
+    benchmark.pedantic(lambda: _run_days(_build_network(12, loss=0.05), days=5), rounds=1, iterations=1)
+    for loss in (0.01, 0.05, 0.10, 0.20):
+        network = _build_network(12, loss=loss)
+        stats = _run_days(network, days=20)
+        ratios.append(stats.delivery_ratio)
+        rows.append({
+            "link_loss_at_100m": loss,
+            "batches_sent": stats.batches_sent,
+            "delivery_ratio": round(stats.delivery_ratio, 3),
+            "bytes_on_air": stats.total_bytes_on_air,
+            "mJ_per_record": round(stats.energy_per_delivered_record_mj, 2),
+            "alive_motes": network.alive_count,
+        })
+    print_table("E8: WSN delivery vs link loss", rows)
+
+    # delivery degrades monotonically (allowing small noise) as loss grows
+    assert ratios[0] > 0.9
+    assert ratios[-1] < ratios[0]
+    # energy per delivered record grows as retransmissions and losses mount
+    assert rows[-1]["mJ_per_record"] > rows[0]["mJ_per_record"]
+
+
+def test_bench_wsn_density_table(benchmark):
+    """Connectivity and delivery as the mesh gets sparser (longer hops)."""
+    rows = []
+    benchmark.pedantic(lambda: _build_network(12, loss=0.02).connectivity(), rounds=1, iterations=1)
+    for spacing, label in ((0.002, "dense (~220 m)"), (0.004, "medium (~440 m)"),
+                           (0.0055, "sparse (~610 m)")):
+        network = _build_network(12, loss=0.02, spacing=spacing)
+        stats = _run_days(network, days=10)
+        rows.append({
+            "deployment": label,
+            "connectivity": round(network.connectivity(), 2),
+            "delivery_ratio": round(stats.delivery_ratio, 3),
+            "mean_latency_s": round(stats.total_latency / max(1, stats.batches_sent), 4),
+        })
+    print_table("E8b: WSN delivery vs deployment density", rows)
+    assert rows[0]["delivery_ratio"] >= rows[-1]["delivery_ratio"]

@@ -1,0 +1,59 @@
+"""End-to-end Drought Early Warning System for a Free State district.
+
+Runs the full pipeline of the paper's case study for one simulated year with
+a drought episode embedded in the second half of the rainy season: WSN motes,
+weather stations and mobile observers feed the SMS gateway and cloud store;
+the middleware mediates and annotates; the CEP engine detects deficit
+processes and IK indications; the three forecasters issue probabilities; and
+alerts are disseminated over the IoT output channels.
+
+Run with::
+
+    python examples/free_state_dews.py
+"""
+
+from repro.dews import DewsConfig, DroughtEarlyWarningSystem
+from repro.workloads import DroughtEpisode, build_free_state_scenario
+
+
+def main() -> None:
+    scenario = build_free_state_scenario(
+        districts=["Mangaung"],
+        motes_per_district=8,
+        observers_per_district=10,
+        stations_per_district=1,
+        episodes=[DroughtEpisode(start_day=200.0, end_day=310.0, severity=0.85)],
+        seed=3,
+    )
+    config = DewsConfig(days=365, forecast_every_days=10, forecast_start_day=60, seed=3)
+    print(f"Scenario: {scenario.total_motes} motes, {scenario.total_observers} observers, "
+          f"drought ground truth days 200-310")
+
+    dews = DroughtEarlyWarningSystem(scenario, config)
+    result = dews.run()
+
+    print("\nForecast skill against the embedded drought episode:")
+    for row in result.skill_table():
+        print("  " + ", ".join(f"{key}={value}" for key, value in row.items()))
+
+    print("\nAlerts issued around the onset (days 180-260):")
+    for alert in result.alerts:
+        if 180 <= alert.issue_day <= 260 and alert.actionable:
+            print(f"  day {alert.issue_day:5.0f}  {alert.headline()}")
+
+    print("\nDissemination channel statistics:")
+    for channel, stats in result.dissemination_statistics.items():
+        print(f"  {channel:>16}: {stats.delivered}/{stats.attempted} delivered, "
+              f"mean latency {stats.mean_latency:.0f}s, reach {stats.recipients_reached}")
+
+    wsn = result.wsn_statistics["Mangaung"]
+    gateway = result.gateway_statistics["Mangaung"]
+    mediation = result.middleware_statistics["mediation"]
+    print(f"\nPipeline health: WSN delivery {wsn.delivery_ratio:.0%}, "
+          f"gateway upload {gateway.upload_success_ratio:.0%}, "
+          f"mediation resolution {mediation.resolution_rate:.0%}, "
+          f"{result.derived_event_count} derived events.")
+
+
+if __name__ == "__main__":
+    main()

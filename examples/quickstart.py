@@ -1,0 +1,76 @@
+"""Quickstart: feed heterogeneous observations through the semantic middleware.
+
+Demonstrates the core loop of the paper in ~60 lines: raw records from
+sources that spell the same property three different ways (and in three
+different units) are mediated against the unified ontology, annotated as SSN
+observations, published as canonical events, and an IK-derived CEP rule
+fires on corroborated indicator sightings.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import MiddlewareConfig, SemanticMiddleware
+from repro.streams.messages import ObservationRecord
+from repro.streams.scheduler import DAY
+
+
+def main() -> None:
+    middleware = SemanticMiddleware(config=MiddlewareConfig(broker_latency=0.0))
+
+    # Applications subscribe to *canonical* streams; they never see the raw
+    # vendor spellings.
+    canonical_events = []
+    middleware.subscribe_property("water_level", canonical_events.append)
+    derived_events = []
+    middleware.subscribe_derived("#", derived_events.append)
+
+    # Three gauges reporting the same property: 'Hoehe' (German, cm),
+    # 'Stav' (Czech, m) and 'water level' (English, mm) -- the paper's
+    # naming-heterogeneity example.
+    raw_records = [
+        ObservationRecord("Mangaung-gauge-de", "wsn_mote", "Hoehe", 118.0, "cm",
+                          timestamp=1 * DAY, location=(-29.1, 26.2)),
+        ObservationRecord("Mangaung-gauge-cz", "wsn_mote", "Stav", 1.21, "m",
+                          timestamp=1 * DAY, location=(-29.1, 26.3)),
+        ObservationRecord("Mangaung-gauge-en", "weather_station", "water level", 1190.0, "mm",
+                          timestamp=1 * DAY, location=(-29.2, 26.2)),
+    ]
+    # Community observers reporting sifennefene worm sightings (an
+    # indigenous drought indicator) over a couple of weeks.
+    for day in (2, 4, 6, 9):
+        raw_records.append(ObservationRecord(
+            f"Mangaung-farmer-{day:03d}", "ik_sighting", "sifennefene_worms",
+            0.85, None, timestamp=day * DAY, location=(-29.1, 26.2),
+        ))
+
+    middleware.ingest_records(raw_records)
+
+    print("Canonical water-level events (all in mm, all on one topic):")
+    for event in canonical_events:
+        print(f"  {event.source_id:>22}  {event.value:8.1f} mm  (area {event.area})")
+
+    print("\nCEP-derived events from IK rules:")
+    for event in derived_events:
+        print(f"  {event.explain()}")
+
+    print("\nSPARQL-like query over the annotation graph:")
+    result = middleware.query("""
+        SELECT ?obs ?v WHERE {
+            ?obs ssn:observedProperty envo:WaterLevel .
+            ?obs ssn:hasResult ?r .
+            ?r ssn:hasValue ?v .
+        } ORDER BY DESC(?v)
+    """)
+    for row in result.rows:
+        print(f"  {row['obs']}  value={row['v']}")
+
+    stats = middleware.statistics()
+    print(f"\nMediation: {stats['mediation'].resolved}/{stats['mediation'].records_seen} "
+          f"records resolved ({stats['mediation'].resolution_rate:.0%}); "
+          f"graph now holds {stats['graph_triples']} triples.")
+
+
+if __name__ == "__main__":
+    main()

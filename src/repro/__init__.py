@@ -1,0 +1,27 @@
+"""repro -- semantic middleware for drought early warning.
+
+A full reproduction of *Towards Semantic Integration of Heterogeneous Sensor
+Data with Indigenous Knowledge for Drought Forecasting* (Akanbi & Masinde,
+MIDDLEWARE 2015): an ontology-based semantic middleware that mediates
+heterogeneous sensor streams against a unified ontology, integrates them
+with indigenous-knowledge indicators through a complex-event-processing
+engine, and drives an IoT-based drought early warning system.
+
+Top-level subpackages
+---------------------
+``repro.semantics``    pure-Python RDF / OWL-lite / rules / SPARQL-like substrate
+``repro.ontologies``   the unified ontology library (DOLCE, SSN, environment,
+                       drought, indigenous knowledge, units, alignment)
+``repro.streams``      discrete-event scheduler, pub/sub broker, windows, codecs
+``repro.sensors``      simulated WSN motes, radio, gateway, stations, observers
+``repro.cep``          complex event processing engine and rule DSL
+``repro.ik``           indigenous-knowledge indicators, elicitation, rules
+``repro.forecasting``  drought indices, baseline / IK / fusion forecasters, skill
+``repro.workloads``    synthetic Free State climate and deployment scenarios
+``repro.core``         the three-tier semantic middleware (the paper's contribution)
+``repro.dews``         the end-to-end drought early warning system application
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

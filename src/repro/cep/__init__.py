@@ -1,0 +1,46 @@
+"""Complex Event Processing engine.
+
+The paper uses a detection-oriented CEP engine as the reasoning component
+that "infers patterns leading to drought event based on a set of rules
+derived from indigenous knowledge".  The engine here consumes the
+semantically annotated event stream published by the ontology segment
+layer and evaluates declarative patterns over sliding windows:
+
+* threshold patterns ("soil moisture below 10% for 14 days"),
+* trend patterns ("water level falling over the last 30 days"),
+* absence patterns ("no rainfall event for 21 days"),
+* sequence and conjunction patterns combining simpler ones,
+* IK patterns ("sifennefene sightings reported by >= 3 observers").
+
+Matches become *derived events* that are published back onto the broker and
+feed the drought forecasters.
+"""
+
+from repro.cep.event import DerivedEvent, Event
+from repro.cep.patterns import (
+    AbsencePattern,
+    ConjunctionPattern,
+    CountPattern,
+    Pattern,
+    SequencePattern,
+    ThresholdPattern,
+    TrendPattern,
+)
+from repro.cep.rules import CepRule
+from repro.cep.engine import CepEngine
+from repro.cep.dsl import parse_rule
+
+__all__ = [
+    "Event",
+    "DerivedEvent",
+    "Pattern",
+    "ThresholdPattern",
+    "TrendPattern",
+    "AbsencePattern",
+    "CountPattern",
+    "SequencePattern",
+    "ConjunctionPattern",
+    "CepRule",
+    "CepEngine",
+    "parse_rule",
+]

@@ -1,0 +1,211 @@
+"""A textual rule DSL for the CEP engine.
+
+The paper describes the CEP rules as "a set of syntactic derivation rules
+from indigenous knowledge".  Domain experts (or the elicitation tooling)
+can write rules as text rather than Python; the grammar is deliberately
+small and line-oriented:
+
+.. code-block:: text
+
+    RULE soil_drying
+    WHEN soil_moisture BELOW 12 FRACTION 0.8 WITHIN 14 DAYS
+    EMIT soil_drying_process WEIGHT 1.0 SOURCE sensor
+
+    RULE sifennefene_cluster
+    WHEN COUNT sifennefene_worms AT LEAST 3 DISTINCT WITHIN 21 DAYS
+    EMIT ik_dry_indication WEIGHT 0.8 SOURCE indigenous
+
+    RULE no_rain
+    WHEN ABSENT rainfall ABOVE 1.0 WITHIN 21 DAYS
+    EMIT rainfall_deficit_process SOURCE sensor
+
+    RULE water_dropping
+    WHEN TREND water_level FALLING 5 PER DAY WITHIN 30 DAYS
+    EMIT water_depletion_process
+
+Supported condition forms (one per ``WHEN`` line):
+
+* ``<type> BELOW|ABOVE <threshold> [FRACTION <f>] WITHIN <n> DAYS|HOURS``
+* ``TREND <type> FALLING|RISING <slope> PER DAY WITHIN <n> DAYS``
+* ``COUNT <type> AT LEAST <n> [DISTINCT] [INTENSITY <v>] WITHIN <n> DAYS``
+* ``ABSENT <type> [ABOVE <v>] WITHIN <n> DAYS``
+
+Multiple ``WHEN`` lines in one rule are combined as a conjunction.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.cep.patterns import (
+    AbsencePattern,
+    ConjunctionPattern,
+    CountPattern,
+    Pattern,
+    ThresholdPattern,
+    TrendPattern,
+)
+from repro.cep.rules import CepRule
+from repro.streams.scheduler import DAY, HOUR
+
+
+class RuleSyntaxError(ValueError):
+    """Raised when rule text cannot be parsed."""
+
+
+_WITHIN = re.compile(r"WITHIN\s+(\d+(?:\.\d+)?)\s+(DAYS?|HOURS?)", re.IGNORECASE)
+
+
+def _extract_window(text: str) -> float:
+    match = _WITHIN.search(text)
+    if match is None:
+        raise RuleSyntaxError(f"missing WITHIN clause in condition: {text!r}")
+    amount = float(match.group(1))
+    unit = match.group(2).upper()
+    return amount * (DAY if unit.startswith("DAY") else HOUR)
+
+
+def _parse_condition(text: str) -> (Pattern, float):
+    """Parse one WHEN condition into (pattern, window_seconds)."""
+    window = _extract_window(text)
+    body = _WITHIN.sub("", text).strip()
+
+    trend = re.match(
+        r"TREND\s+(\S+)\s+(FALLING|RISING)\s+(\d+(?:\.\d+)?)\s+PER\s+DAY\s*$",
+        body,
+        re.IGNORECASE,
+    )
+    if trend:
+        return (
+            TrendPattern(
+                trend.group(1).lower(),
+                direction=trend.group(2).lower(),
+                min_slope_per_day=float(trend.group(3)),
+            ),
+            window,
+        )
+
+    count = re.match(
+        r"COUNT\s+(\S+)\s+AT\s+LEAST\s+(\d+)(\s+DISTINCT)?(?:\s+INTENSITY\s+(\d+(?:\.\d+)?))?\s*$",
+        body,
+        re.IGNORECASE,
+    )
+    if count:
+        minimum_intensity = float(count.group(4)) if count.group(4) else None
+        qualifier = None
+        if minimum_intensity is not None:
+            qualifier = lambda event, m=minimum_intensity: event.value >= m
+        return (
+            CountPattern(
+                count.group(1).lower(),
+                minimum=int(count.group(2)),
+                distinct_sources=count.group(3) is not None,
+                qualifier=qualifier,
+            ),
+            window,
+        )
+
+    absent = re.match(
+        r"ABSENT\s+(\S+)(?:\s+ABOVE\s+(\d+(?:\.\d+)?))?\s*$", body, re.IGNORECASE
+    )
+    if absent:
+        threshold = float(absent.group(2)) if absent.group(2) else None
+        qualifier = None
+        if threshold is not None:
+            qualifier = lambda event, t=threshold: event.value > t
+        return (AbsencePattern(absent.group(1).lower(), qualifier=qualifier), window)
+
+    threshold_match = re.match(
+        r"(\S+)\s+(BELOW|ABOVE)\s+(-?\d+(?:\.\d+)?)(?:\s+FRACTION\s+(\d+(?:\.\d+)?))?\s*$",
+        body,
+        re.IGNORECASE,
+    )
+    if threshold_match:
+        fraction = float(threshold_match.group(4)) if threshold_match.group(4) else 0.8
+        return (
+            ThresholdPattern(
+                threshold_match.group(1).lower(),
+                threshold=float(threshold_match.group(3)),
+                comparison=threshold_match.group(2).lower(),
+                min_fraction=fraction,
+            ),
+            window,
+        )
+
+    raise RuleSyntaxError(f"cannot parse condition: {text!r}")
+
+
+def parse_rule(text: str) -> CepRule:
+    """Parse one rule definition block into a :class:`CepRule`."""
+    name: Optional[str] = None
+    conditions: List[str] = []
+    emit_type: Optional[str] = None
+    weight = 1.0
+    source = "sensor"
+    min_score = 0.0
+    area: Optional[str] = None
+
+    for raw_line in text.strip().splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        upper = line.upper()
+        if upper.startswith("RULE "):
+            name = line[5:].strip()
+        elif upper.startswith("WHEN "):
+            conditions.append(line[5:].strip())
+        elif upper.startswith("AND "):
+            conditions.append(line[4:].strip())
+        elif upper.startswith("EMIT "):
+            emit_parts = line[5:].strip()
+            emit_match = re.match(
+                r"(\S+)(?:\s+WEIGHT\s+(\d+(?:\.\d+)?))?(?:\s+SOURCE\s+(\S+))?"
+                r"(?:\s+MINSCORE\s+(\d+(?:\.\d+)?))?(?:\s+AREA\s+(\S+))?\s*$",
+                emit_parts,
+                re.IGNORECASE,
+            )
+            if emit_match is None:
+                raise RuleSyntaxError(f"cannot parse EMIT clause: {emit_parts!r}")
+            emit_type = emit_match.group(1).lower()
+            if emit_match.group(2):
+                weight = float(emit_match.group(2))
+            if emit_match.group(3):
+                source = emit_match.group(3).lower()
+            if emit_match.group(4):
+                min_score = float(emit_match.group(4))
+            if emit_match.group(5):
+                area = emit_match.group(5)
+        else:
+            raise RuleSyntaxError(f"unrecognised rule line: {line!r}")
+
+    if name is None:
+        raise RuleSyntaxError("rule is missing a RULE <name> line")
+    if not conditions:
+        raise RuleSyntaxError(f"rule {name!r} has no WHEN condition")
+    if emit_type is None:
+        raise RuleSyntaxError(f"rule {name!r} has no EMIT clause")
+
+    parsed = [_parse_condition(condition) for condition in conditions]
+    window = max(window for _, window in parsed)
+    if len(parsed) == 1:
+        pattern = parsed[0][0]
+    else:
+        pattern = ConjunctionPattern([p for p, _ in parsed])
+
+    return CepRule(
+        name=name,
+        pattern=pattern,
+        window_seconds=window,
+        derived_event_type=emit_type,
+        min_score=min_score,
+        weight=weight,
+        source=source,
+        area=area,
+    )
+
+
+def parse_rules(text: str) -> List[CepRule]:
+    """Parse a document containing several blank-line separated rules."""
+    blocks = re.split(r"\n\s*\n", text.strip())
+    return [parse_rule(block) for block in blocks if block.strip()]

@@ -1,0 +1,173 @@
+"""The CEP engine.
+
+Routes incoming events to the rules interested in their event type (an
+index avoids evaluating every rule on every event), collects derived events,
+optionally feeds them back in (so higher-level rules can match on derived
+events such as ``soil_drying_process``) and publishes them to a broker topic
+for the DEWS and dissemination layers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.cep.event import DerivedEvent, Event
+from repro.cep.patterns import (
+    AbsencePattern,
+    ConjunctionPattern,
+    CountPattern,
+    Pattern,
+    SequencePattern,
+    ThresholdPattern,
+    TrendPattern,
+)
+from repro.cep.rules import CepRule
+from repro.streams.broker import Broker
+
+DerivedEventListener = Callable[[DerivedEvent], None]
+
+
+def _pattern_event_types(pattern: Pattern) -> Set[str]:
+    """The event types a pattern inspects (for the routing index)."""
+    if isinstance(pattern, (ThresholdPattern, TrendPattern, AbsencePattern, CountPattern)):
+        return {pattern.event_type}
+    if isinstance(pattern, (ConjunctionPattern, SequencePattern)):
+        types: Set[str] = set()
+        for sub_pattern in pattern.patterns:
+            types |= _pattern_event_types(sub_pattern)
+        return types
+    # unknown pattern type: be conservative and route every event to it
+    return set()
+
+
+@dataclass
+class EngineStatistics:
+    """Engine-level counters for the CEP benchmark (E3)."""
+
+    events_processed: int = 0
+    rule_evaluations: int = 0
+    derived_events: int = 0
+
+
+class CepEngine:
+    """A rule-indexed complex event processing engine.
+
+    Parameters
+    ----------
+    broker:
+        Optional broker on which derived events are published (topic
+        ``derived/<event_type>``).
+    feedback:
+        When true (default) derived events are re-injected into the engine
+        so multi-level rules can build on them.
+    max_feedback_depth:
+        Maximum re-injection depth per input event, guarding against rule
+        sets that would loop.
+    """
+
+    def __init__(
+        self,
+        broker: Optional[Broker] = None,
+        feedback: bool = True,
+        max_feedback_depth: int = 4,
+    ):
+        self.broker = broker
+        self.feedback = feedback
+        self.max_feedback_depth = max_feedback_depth
+        self.rules: Dict[str, CepRule] = {}
+        self.statistics = EngineStatistics()
+        self._listeners: List[DerivedEventListener] = []
+        self._index: Dict[str, List[CepRule]] = defaultdict(list)
+        self._catch_all: List[CepRule] = []
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+
+    def add_rule(self, rule: CepRule) -> None:
+        """Register a rule; its pattern's event types are indexed."""
+        if rule.name in self.rules:
+            raise ValueError(f"duplicate rule name: {rule.name!r}")
+        self.rules[rule.name] = rule
+        event_types = _pattern_event_types(rule.pattern)
+        if not event_types:
+            self._catch_all.append(rule)
+        else:
+            for event_type in event_types:
+                self._index[event_type].append(rule)
+
+    def add_rules(self, rules: Iterable[CepRule]) -> None:
+        """Register several rules."""
+        for rule in rules:
+            self.add_rule(rule)
+
+    def remove_rule(self, name: str) -> None:
+        """Unregister a rule by name."""
+        rule = self.rules.pop(name, None)
+        if rule is None:
+            return
+        for rules in self._index.values():
+            if rule in rules:
+                rules.remove(rule)
+        if rule in self._catch_all:
+            self._catch_all.remove(rule)
+
+    def on_derived_event(self, listener: DerivedEventListener) -> None:
+        """Register a callback invoked for every derived event."""
+        self._listeners.append(listener)
+
+    def reset(self) -> None:
+        """Reset every rule's window and the engine counters."""
+        for rule in self.rules.values():
+            rule.reset()
+        self.statistics = EngineStatistics()
+
+    # ------------------------------------------------------------------ #
+    # event processing
+    # ------------------------------------------------------------------ #
+
+    def process(self, event: Event) -> List[DerivedEvent]:
+        """Feed one event through the engine, returning the derived events."""
+        return self._process(event, depth=0)
+
+    def process_many(self, events: Iterable[Event]) -> List[DerivedEvent]:
+        """Feed many events in timestamp order, collecting derived events."""
+        derived: List[DerivedEvent] = []
+        for event in events:
+            derived.extend(self.process(event))
+        return derived
+
+    def _process(self, event: Event, depth: int) -> List[DerivedEvent]:
+        self.statistics.events_processed += 1
+        interested = self._index.get(event.event_type, []) + self._catch_all
+        derived: List[DerivedEvent] = []
+        for rule in interested:
+            self.statistics.rule_evaluations += 1
+            result = rule.offer(event)
+            if result is not None:
+                derived.append(result)
+        for derived_event in derived:
+            self.statistics.derived_events += 1
+            self._emit(derived_event)
+            if self.feedback and depth < self.max_feedback_depth:
+                derived.extend(self._process(derived_event, depth + 1))
+        return derived
+
+    def _emit(self, derived_event: DerivedEvent) -> None:
+        for listener in self._listeners:
+            listener(derived_event)
+        if self.broker is not None:
+            self.broker.publish(
+                f"derived/{derived_event.event_type}",
+                derived_event,
+                timestamp=derived_event.timestamp,
+                headers={"rule": derived_event.rule_name},
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<CepEngine rules={len(self.rules)} processed={self.statistics.events_processed} "
+            f"derived={self.statistics.derived_events}>"
+        )

@@ -1,0 +1,68 @@
+"""Event model for the CEP engine.
+
+Events are the normalised, semantically annotated facts flowing out of the
+ontology segment layer: every event carries the canonical property key (or
+indicator key), the value in canonical units, the source, location and
+simulated timestamp, plus the IRI of its semantic annotation when one
+exists.  Derived events add the name of the rule that produced them and the
+events they were derived from, giving the provenance chain the DEWS exposes
+to decision makers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Event:
+    """A primitive event: one annotated observation in canonical form."""
+
+    event_type: str                 # canonical property key or indicator key
+    value: float
+    timestamp: float
+    source_id: str = "unknown"
+    source_kind: str = "unknown"
+    location: Optional[Tuple[float, float]] = None
+    area: Optional[str] = None      # district / ward identifier
+    annotation_iri: Optional[str] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    event_id: int = field(default_factory=lambda: next(Event._ids))
+
+    _ids = itertools.count(1)
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("event timestamp must be non-negative")
+
+    def age_at(self, now: float) -> float:
+        """Seconds elapsed between this event and ``now``."""
+        return now - self.timestamp
+
+
+@dataclass
+class DerivedEvent(Event):
+    """An event produced by a CEP rule match.
+
+    ``value`` carries the rule's confidence/severity score in ``[0, 1]``
+    unless the rule specifies otherwise.
+    """
+
+    rule_name: str = ""
+    contributing_events: List[Event] = field(default_factory=list)
+
+    @property
+    def provenance(self) -> List[int]:
+        """Event ids of the contributing primitive events."""
+        return [event.event_id for event in self.contributing_events]
+
+    def explain(self) -> str:
+        """One-line human-readable explanation of the derivation."""
+        sources = sorted({event.source_id for event in self.contributing_events})
+        return (
+            f"{self.event_type} (score {self.value:.2f}) derived by rule "
+            f"'{self.rule_name}' from {len(self.contributing_events)} events "
+            f"reported by {', '.join(sources) if sources else 'no sources'}"
+        )

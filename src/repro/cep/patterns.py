@@ -1,0 +1,297 @@
+"""Declarative event patterns.
+
+A pattern is evaluated against the events currently inside its rule's
+sliding window.  Evaluation returns a :class:`PatternMatch` carrying a score
+in ``[0, 1]`` (how strongly the pattern holds) and the contributing events,
+or ``None`` when the pattern does not hold.  Scores let the drought
+forecaster weight partial evidence instead of treating every rule as a hard
+boolean, which is how the fuzzy reliability of IK indicators is carried
+through to the forecast.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.cep.event import Event
+
+
+@dataclass
+class PatternMatch:
+    """The result of a successful pattern evaluation."""
+
+    score: float
+    events: List[Event]
+
+    def __post_init__(self) -> None:
+        self.score = max(0.0, min(1.0, self.score))
+
+
+class Pattern:
+    """Base class for patterns."""
+
+    def evaluate(self, events: Sequence[Event], now: float) -> Optional[PatternMatch]:
+        """Evaluate against the window content; ``None`` when not matched."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable description used in alerts and documentation."""
+        return self.__class__.__name__
+
+
+class ThresholdPattern(Pattern):
+    """Values of one event type persistently above / below a threshold.
+
+    Parameters
+    ----------
+    event_type:
+        Canonical property key to inspect.
+    threshold:
+        The comparison threshold in canonical units.
+    comparison:
+        ``"below"`` or ``"above"``.
+    min_fraction:
+        Minimum fraction of the window's readings that must satisfy the
+        comparison for the pattern to match.
+    min_count:
+        Minimum number of readings required in the window.
+    """
+
+    def __init__(
+        self,
+        event_type: str,
+        threshold: float,
+        comparison: str = "below",
+        min_fraction: float = 0.8,
+        min_count: int = 3,
+    ):
+        if comparison not in ("below", "above"):
+            raise ValueError("comparison must be 'below' or 'above'")
+        self.event_type = event_type
+        self.threshold = threshold
+        self.comparison = comparison
+        self.min_fraction = min_fraction
+        self.min_count = min_count
+
+    def evaluate(self, events: Sequence[Event], now: float) -> Optional[PatternMatch]:
+        relevant = [e for e in events if e.event_type == self.event_type]
+        if len(relevant) < self.min_count:
+            return None
+        if self.comparison == "below":
+            satisfying = [e for e in relevant if e.value < self.threshold]
+        else:
+            satisfying = [e for e in relevant if e.value > self.threshold]
+        if not satisfying:
+            return None
+        fraction = len(satisfying) / len(relevant)
+        if fraction < self.min_fraction:
+            return None
+        # score grows with how far past the threshold the typical reading is
+        values = [e.value for e in satisfying]
+        typical = statistics.median(values)
+        margin = abs(typical - self.threshold)
+        scale = abs(self.threshold) if self.threshold != 0 else 1.0
+        score = min(1.0, fraction * (0.5 + min(0.5, margin / (scale + 1e-9))))
+        return PatternMatch(score=score, events=list(satisfying))
+
+    def describe(self) -> str:
+        return (
+            f"{self.event_type} {self.comparison} {self.threshold} in >= "
+            f"{self.min_fraction:.0%} of readings"
+        )
+
+
+class TrendPattern(Pattern):
+    """A monotone-ish trend (slope) in one event type over the window.
+
+    The slope is estimated by least squares over (timestamp, value) pairs;
+    the pattern matches when the slope has the requested sign and magnitude.
+    """
+
+    def __init__(
+        self,
+        event_type: str,
+        direction: str = "falling",
+        min_slope_per_day: float = 0.0,
+        min_count: int = 5,
+    ):
+        if direction not in ("falling", "rising"):
+            raise ValueError("direction must be 'falling' or 'rising'")
+        self.event_type = event_type
+        self.direction = direction
+        self.min_slope_per_day = abs(min_slope_per_day)
+        self.min_count = min_count
+
+    def evaluate(self, events: Sequence[Event], now: float) -> Optional[PatternMatch]:
+        relevant = sorted(
+            (e for e in events if e.event_type == self.event_type),
+            key=lambda e: e.timestamp,
+        )
+        if len(relevant) < self.min_count:
+            return None
+        day = 86400.0
+        xs = [e.timestamp / day for e in relevant]
+        ys = [e.value for e in relevant]
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        sxx = sum((x - mean_x) ** 2 for x in xs)
+        if sxx == 0:
+            return None
+        slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / sxx
+        if self.direction == "falling" and slope > -self.min_slope_per_day:
+            return None
+        if self.direction == "rising" and slope < self.min_slope_per_day:
+            return None
+        magnitude = abs(slope)
+        reference = self.min_slope_per_day if self.min_slope_per_day > 0 else magnitude or 1.0
+        score = min(1.0, 0.5 + 0.5 * min(1.0, magnitude / (2.0 * reference)))
+        return PatternMatch(score=score, events=relevant)
+
+    def describe(self) -> str:
+        return (
+            f"{self.event_type} {self.direction} by >= "
+            f"{self.min_slope_per_day}/day over the window"
+        )
+
+
+class AbsencePattern(Pattern):
+    """No qualifying event of a type within the window.
+
+    Used for "no significant rainfall for N days".  ``qualifier`` filters
+    which events count (default: any event of the type).
+    """
+
+    def __init__(
+        self,
+        event_type: str,
+        qualifier: Optional[Callable[[Event], bool]] = None,
+        min_window_coverage: float = 0.0,
+    ):
+        self.event_type = event_type
+        self.qualifier = qualifier or (lambda event: True)
+        self.min_window_coverage = min_window_coverage
+
+    def evaluate(self, events: Sequence[Event], now: float) -> Optional[PatternMatch]:
+        qualifying = [
+            e for e in events if e.event_type == self.event_type and self.qualifier(e)
+        ]
+        if qualifying:
+            return None
+        return PatternMatch(score=1.0, events=[])
+
+    def describe(self) -> str:
+        return f"absence of qualifying {self.event_type} events in the window"
+
+
+class CountPattern(Pattern):
+    """At least N qualifying events, optionally from distinct sources.
+
+    This is the workhorse for IK rules: "sifennefene sightings from at least
+    three distinct observers with intensity >= 0.5".
+    """
+
+    def __init__(
+        self,
+        event_type: str,
+        minimum: int,
+        qualifier: Optional[Callable[[Event], bool]] = None,
+        distinct_sources: bool = False,
+    ):
+        if minimum < 1:
+            raise ValueError("minimum must be at least 1")
+        self.event_type = event_type
+        self.minimum = minimum
+        self.qualifier = qualifier or (lambda event: True)
+        self.distinct_sources = distinct_sources
+
+    def evaluate(self, events: Sequence[Event], now: float) -> Optional[PatternMatch]:
+        qualifying = [
+            e for e in events if e.event_type == self.event_type and self.qualifier(e)
+        ]
+        if self.distinct_sources:
+            by_source = {}
+            for event in qualifying:
+                existing = by_source.get(event.source_id)
+                if existing is None or event.value > existing.value:
+                    by_source[event.source_id] = event
+            qualifying = list(by_source.values())
+        if len(qualifying) < self.minimum:
+            return None
+        score = min(1.0, len(qualifying) / (2.0 * self.minimum) + 0.5)
+        return PatternMatch(score=score, events=qualifying)
+
+    def describe(self) -> str:
+        distinct = " from distinct sources" if self.distinct_sources else ""
+        return f">= {self.minimum} {self.event_type} events{distinct}"
+
+
+class ConjunctionPattern(Pattern):
+    """All sub-patterns hold; the score is their weighted mean."""
+
+    def __init__(self, patterns: Sequence[Pattern], weights: Optional[Sequence[float]] = None):
+        if not patterns:
+            raise ValueError("conjunction needs at least one sub-pattern")
+        self.patterns = list(patterns)
+        if weights is None:
+            weights = [1.0] * len(self.patterns)
+        if len(weights) != len(self.patterns):
+            raise ValueError("weights must match the number of patterns")
+        self.weights = list(weights)
+
+    def evaluate(self, events: Sequence[Event], now: float) -> Optional[PatternMatch]:
+        total_weight = sum(self.weights)
+        score = 0.0
+        contributing: List[Event] = []
+        for pattern, weight in zip(self.patterns, self.weights):
+            match = pattern.evaluate(events, now)
+            if match is None:
+                return None
+            score += weight * match.score
+            contributing.extend(match.events)
+        return PatternMatch(score=score / total_weight, events=contributing)
+
+    def describe(self) -> str:
+        return " AND ".join(p.describe() for p in self.patterns)
+
+
+class SequencePattern(Pattern):
+    """Sub-patterns hold in temporal order.
+
+    Each sub-pattern must match, and the median timestamp of each match must
+    not precede the previous one's.  Captures "rainfall deficit, then soil
+    drying, then vegetation stress" style process chains.
+    """
+
+    def __init__(self, patterns: Sequence[Pattern]):
+        if len(patterns) < 2:
+            raise ValueError("a sequence needs at least two sub-patterns")
+        self.patterns = list(patterns)
+
+    @staticmethod
+    def _median_time(events: Sequence[Event]) -> float:
+        if not events:
+            return float("-inf")
+        return statistics.median(e.timestamp for e in events)
+
+    def evaluate(self, events: Sequence[Event], now: float) -> Optional[PatternMatch]:
+        previous_time = float("-inf")
+        scores: List[float] = []
+        contributing: List[Event] = []
+        for pattern in self.patterns:
+            match = pattern.evaluate(events, now)
+            if match is None:
+                return None
+            match_time = self._median_time(match.events)
+            if match.events and match_time < previous_time:
+                return None
+            if match.events:
+                previous_time = match_time
+            scores.append(match.score)
+            contributing.extend(match.events)
+        return PatternMatch(score=sum(scores) / len(scores), events=contributing)
+
+    def describe(self) -> str:
+        return " THEN ".join(p.describe() for p in self.patterns)

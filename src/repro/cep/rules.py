@@ -1,0 +1,159 @@
+"""CEP rules.
+
+A :class:`CepRule` binds a pattern to a sliding window, the derived event it
+emits on a match, and firing policy (cooldown so the same sustained
+condition does not spam derived events, minimum score, area scoping).  Rules
+are either written programmatically, parsed from the textual DSL in
+:mod:`repro.cep.dsl`, or derived from indigenous knowledge by
+:mod:`repro.ik.rules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cep.event import DerivedEvent, Event
+from repro.cep.patterns import Pattern, PatternMatch
+from repro.streams.scheduler import DAY
+from repro.streams.window import SlidingWindow
+
+
+@dataclass
+class RuleStatistics:
+    """Per-rule evaluation counters."""
+
+    evaluations: int = 0
+    matches: int = 0
+    fired: int = 0
+    suppressed_by_cooldown: int = 0
+    suppressed_by_score: int = 0
+
+
+class CepRule:
+    """One detection rule evaluated by the engine.
+
+    Parameters
+    ----------
+    name:
+        Unique rule identifier.
+    pattern:
+        The pattern evaluated over this rule's window.
+    window_seconds:
+        Length of the sliding window of events the rule keeps.
+    derived_event_type:
+        The ``event_type`` of the derived event emitted on a match (e.g.
+        ``"soil_drying_process"`` or ``"drought_precursor"``).
+    min_score:
+        Matches scoring below this are suppressed.
+    cooldown_seconds:
+        Minimum simulated time between consecutive firings.
+    area:
+        When set, only events whose ``area`` equals this value enter the
+        window (per-district rules).
+    weight:
+        Relative weight of this rule's evidence in the fusion forecaster.
+    source:
+        Provenance tag: ``"sensor"``, ``"indigenous"`` or ``"hybrid"``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pattern: Pattern,
+        window_seconds: float,
+        derived_event_type: str,
+        min_score: float = 0.0,
+        cooldown_seconds: float = DAY,
+        area: Optional[str] = None,
+        weight: float = 1.0,
+        source: str = "sensor",
+    ):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.name = name
+        self.pattern = pattern
+        self.window_seconds = window_seconds
+        self.derived_event_type = derived_event_type
+        self.min_score = min_score
+        self.cooldown_seconds = cooldown_seconds
+        self.area = area
+        self.weight = weight
+        self.source = source
+        self.statistics = RuleStatistics()
+        self._window: SlidingWindow[Event] = SlidingWindow(window_seconds)
+        self._last_fired: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # event intake and evaluation
+    # ------------------------------------------------------------------ #
+
+    def accepts(self, event: Event) -> bool:
+        """Whether the event belongs in this rule's window (area scoping)."""
+        if self.area is not None and event.area is not None and event.area != self.area:
+            return False
+        return True
+
+    def offer(self, event: Event) -> Optional[DerivedEvent]:
+        """Insert an event and evaluate the rule at the event's timestamp."""
+        if not self.accepts(event):
+            return None
+        self._window.add(event)
+        return self.evaluate(event.timestamp)
+
+    def evaluate(self, now: float) -> Optional[DerivedEvent]:
+        """Evaluate the pattern over the current window content."""
+        self._window.advance_to(now)
+        self.statistics.evaluations += 1
+        match = self.pattern.evaluate(self._window.items, now)
+        if match is None:
+            return None
+        self.statistics.matches += 1
+        if match.score < self.min_score:
+            self.statistics.suppressed_by_score += 1
+            return None
+        if (
+            self._last_fired is not None
+            and now - self._last_fired < self.cooldown_seconds
+        ):
+            self.statistics.suppressed_by_cooldown += 1
+            return None
+        self._last_fired = now
+        self.statistics.fired += 1
+        return self._make_derived_event(match, now)
+
+    def _make_derived_event(self, match: PatternMatch, now: float) -> DerivedEvent:
+        areas = {e.area for e in match.events if e.area is not None}
+        area = areas.pop() if len(areas) == 1 else self.area
+        return DerivedEvent(
+            event_type=self.derived_event_type,
+            value=match.score,
+            timestamp=now,
+            source_id=f"cep:{self.name}",
+            source_kind="derived",
+            area=area,
+            rule_name=self.name,
+            contributing_events=list(match.events),
+            attributes={"rule_source": self.source, "rule_weight": self.weight},
+        )
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Clear the window and firing history (used between scenario runs)."""
+        self._window.clear()
+        self._last_fired = None
+        self.statistics = RuleStatistics()
+
+    @property
+    def window_size(self) -> int:
+        """Number of events currently inside the rule's window."""
+        return len(self._window)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CepRule {self.name!r} source={self.source} window={self.window_seconds / DAY:.1f}d "
+            f"fired={self.statistics.fired}>"
+        )

@@ -1,0 +1,45 @@
+"""The semantic middleware (the paper's primary contribution).
+
+A software layer "interposed between the application layer and the physical
+layer" whose role is to hide the complexity of the heterogeneous sources,
+eliminate data heterogeneity, represent the data semantically against the
+unified ontology and expose a machine-readable, queryable view to
+applications (paper §4).  It is organised as the three-tier architecture of
+Fig. 3:
+
+``repro.core.interface_layer``
+    *Interface protocol layer* -- liaises with the (simulated) cloud store,
+    downloading semi-processed sensor readings and feeding them upward.
+``repro.core.ontology_layer``
+    *Ontology segment layer* -- the mediator (naming / unit / schema
+    heterogeneity resolution), the semantic annotator (SSN/DOLCE RDF
+    annotation), the reasoner, and the semantic service registry.
+``repro.core.application_layer``
+    *Application abstraction layer* -- the API applications use: subscribe
+    to canonical event streams, run SPARQL-like queries, register CEP
+    rules, look up services.
+``repro.core.middleware``
+    The :class:`~repro.core.middleware.SemanticMiddleware` facade wiring
+    the three layers to a broker, a CEP engine and the ontology library.
+"""
+
+from repro.core.annotation import SemanticAnnotator
+from repro.core.mediator import MediationOutcome, Mediator
+from repro.core.application_layer import ApplicationAbstractionLayer
+from repro.core.interface_layer import InterfaceProtocolLayer
+from repro.core.ontology_layer import OntologySegmentLayer
+from repro.core.middleware import MiddlewareConfig, SemanticMiddleware
+from repro.core.services import SemanticService, ServiceRegistry
+
+__all__ = [
+    "SemanticAnnotator",
+    "Mediator",
+    "MediationOutcome",
+    "OntologySegmentLayer",
+    "ApplicationAbstractionLayer",
+    "InterfaceProtocolLayer",
+    "SemanticMiddleware",
+    "MiddlewareConfig",
+    "SemanticService",
+    "ServiceRegistry",
+]

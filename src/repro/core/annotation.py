@@ -1,0 +1,157 @@
+"""Semantic annotation of canonical observations.
+
+Turns a :class:`~repro.core.mediator.CanonicalObservation` into RDF triples
+following the SSN pattern, aligned to DOLCE: an ``ssn:Observation``
+individual linked to its sensor, observed property, feature of interest,
+result (value + unit) and timestamps; IK sightings become
+``ik:IndicatorSighting`` individuals.  The annotations are what make the
+middleware's data "machine readable ... for easy integration and
+interoperability" -- they land in the middleware's annotation graph, are
+queryable through the application layer and feed the reasoner.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.mediator import CanonicalObservation
+from repro.ontologies.environment import CANONICAL_PROPERTIES
+from repro.ontologies.units import UNIT_DEFINITIONS
+from repro.ontologies.vocabulary import AFRICRID, GEO, IK, SSN
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import RDF, RDFS
+from repro.semantics.rdf.term import IRI, Literal
+from repro.semantics.rdf.triple import Triple
+
+
+@dataclass
+class AnnotationResult:
+    """The IRIs minted while annotating one observation."""
+
+    observation_iri: IRI
+    sensor_iri: IRI
+    property_iri: Optional[IRI]
+    triples_added: int
+
+
+class SemanticAnnotator:
+    """Writes SSN/DOLCE annotations for canonical observations into a graph.
+
+    Parameters
+    ----------
+    graph:
+        The annotation graph (usually the ontology segment layer's graph,
+        shared with the unified ontology so reasoning spans both).
+    knowledge_base:
+        Optional IK knowledge base used to annotate indicator sightings.
+    """
+
+    def __init__(self, graph: Graph, knowledge_base=None):
+        self.graph = graph
+        self.knowledge_base = knowledge_base
+        self._counter = itertools.count(1)
+        self.annotated = 0
+        self.annotated_sightings = 0
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def sensor_iri(self, source_id: str) -> IRI:
+        """The IRI of the (possibly human) sensor with this source id."""
+        return AFRICRID[f"sensor/{source_id}"]
+
+    def feature_iri(self, observation: CanonicalObservation) -> IRI:
+        """The feature-of-interest IRI for an observation."""
+        area = observation.area or "unknown-area"
+        return AFRICRID[f"feature/{area.replace(' ', '_')}"]
+
+    # ------------------------------------------------------------------ #
+    # annotation
+    # ------------------------------------------------------------------ #
+
+    def annotate(self, observation: CanonicalObservation) -> AnnotationResult:
+        """Annotate one canonical observation, returning the minted IRIs."""
+        if observation.is_indicator_sighting:
+            return self._annotate_sighting(observation)
+
+        before = len(self.graph)
+        index = next(self._counter)
+        obs_iri = AFRICRID[f"observation/{index}"]
+        sensor_iri = self.sensor_iri(observation.source_id)
+        result_iri = AFRICRID[f"result/{index}"]
+        property_iri = CANONICAL_PROPERTIES.get(observation.property_key)
+        feature_iri = self.feature_iri(observation)
+
+        graph = self.graph
+        graph.add(Triple(obs_iri, RDF.type, SSN.Observation))
+        graph.add(Triple(obs_iri, SSN.observedBy, sensor_iri))
+        if property_iri is not None:
+            graph.add(Triple(obs_iri, SSN.observedProperty, property_iri))
+        graph.add(Triple(obs_iri, SSN.featureOfInterest, feature_iri))
+        graph.add(Triple(obs_iri, SSN.hasResult, result_iri))
+        graph.add(Triple(obs_iri, SSN.observationResultTime, Literal(observation.timestamp)))
+
+        graph.add(Triple(result_iri, RDF.type, SSN.SensorOutput))
+        graph.add(Triple(result_iri, SSN.hasValue, Literal(float(observation.value))))
+        unit_definition = UNIT_DEFINITIONS.get(observation.unit)
+        if unit_definition is not None:
+            graph.add(Triple(result_iri, SSN.hasUnit, unit_definition.iri))
+
+        sensor_class = (
+            SSN.HumanSensor if observation.source_kind == "mobile_report" else SSN.SensingDevice
+        )
+        graph.add(Triple(sensor_iri, RDF.type, sensor_class))
+        graph.add(Triple(sensor_iri, RDFS.label, Literal(observation.source_id)))
+        if property_iri is not None:
+            graph.add(Triple(sensor_iri, SSN.observes, property_iri))
+        if observation.location is not None:
+            platform_iri = AFRICRID[f"platform/{observation.source_id}"]
+            graph.add(Triple(sensor_iri, SSN.onPlatform, platform_iri))
+            graph.add(Triple(platform_iri, RDF.type, SSN.Platform))
+            graph.add(Triple(platform_iri, GEO.lat, Literal(float(observation.location[0]))))
+            graph.add(Triple(platform_iri, GEO.long, Literal(float(observation.location[1]))))
+
+        # provenance of the mediation step (how the raw term was resolved)
+        graph.add(
+            Triple(obs_iri, AFRICRID.mediatedFromTerm, Literal(observation.original_term))
+        )
+        graph.add(
+            Triple(
+                obs_iri,
+                AFRICRID.alignmentMethod,
+                Literal(observation.alignment_method),
+            )
+        )
+        self.annotated += 1
+        return AnnotationResult(obs_iri, sensor_iri, property_iri, len(self.graph) - before)
+
+    def _annotate_sighting(self, observation: CanonicalObservation) -> AnnotationResult:
+        before = len(self.graph)
+        index = next(self._counter)
+        sighting_iri = AFRICRID[f"sighting/{index}"]
+        observer_iri = AFRICRID[f"observer/{observation.source_id}"]
+        indicator_iri = AFRICRID[f"indicator/{observation.property_key}"]
+
+        graph = self.graph
+        graph.add(Triple(sighting_iri, RDF.type, IK.IndicatorSighting))
+        graph.add(Triple(sighting_iri, IK.sightedIndicator, indicator_iri))
+        graph.add(Triple(sighting_iri, IK.reportedBy, observer_iri))
+        graph.add(Triple(sighting_iri, IK.sightingIntensity, Literal(float(observation.value))))
+        graph.add(Triple(sighting_iri, SSN.observationResultTime, Literal(observation.timestamp)))
+        graph.add(Triple(observer_iri, RDF.type, IK.CommunityObserver))
+        if self.knowledge_base is not None:
+            definition = self.knowledge_base.get(observation.property_key)
+            if definition is not None:
+                graph.add(
+                    Triple(indicator_iri, IK.hasReliability, Literal(definition.reliability))
+                )
+        self.annotated += 1
+        self.annotated_sightings += 1
+        return AnnotationResult(sighting_iri, observer_iri, indicator_iri, len(self.graph) - before)
+
+    def annotate_many(self, observations: List[CanonicalObservation]) -> List[AnnotationResult]:
+        """Annotate a batch of observations."""
+        return [self.annotate(observation) for observation in observations]

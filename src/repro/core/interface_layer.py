@@ -1,0 +1,101 @@
+"""The interface protocol layer.
+
+The bottom tier of the paper's middleware (Fig. 3): "the interface
+protocols liaise with the storage database in the cloud for downloading the
+semi-processed sensory reading".  Concretely this layer polls the simulated
+cloud store for newly uploaded SenML documents, decodes them back into raw
+observation records and hands them to the ontology segment layer (or
+publishes them on the ``raw/...`` broker topics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.streams.broker import Broker
+from repro.streams.messages import ObservationRecord, SenMLCodec
+from repro.streams.scheduler import SimulationScheduler
+
+RecordSink = Callable[[ObservationRecord], None]
+
+
+@dataclass
+class InterfaceLayerStatistics:
+    """Counters for the middleware-layer benchmark (E2)."""
+
+    documents_downloaded: int = 0
+    records_decoded: int = 0
+    decode_failures: int = 0
+    polls: int = 0
+
+
+class InterfaceProtocolLayer:
+    """Downloads semi-processed readings from the cloud store.
+
+    Parameters
+    ----------
+    cloud_store:
+        An object exposing ``fetch_since(cursor) -> (documents, new_cursor)``
+        -- normally :class:`repro.dews.cloud.CloudStore`.
+    sink:
+        Callback receiving each decoded raw record (normally the ontology
+        segment layer's ``process_record``).
+    broker / raw_topic_prefix:
+        When given, every decoded record is also published on
+        ``<prefix>/<source_kind>/<source_id>`` so other subscribers (e.g.
+        archiving, debugging dashboards) see the raw stream.
+    scheduler / poll_interval:
+        When given, the layer polls the store periodically on the simulated
+        clock; otherwise call :meth:`poll` explicitly.
+    """
+
+    def __init__(
+        self,
+        cloud_store,
+        sink: Optional[RecordSink] = None,
+        broker: Optional[Broker] = None,
+        raw_topic_prefix: str = "raw",
+        scheduler: Optional[SimulationScheduler] = None,
+        poll_interval: float = 900.0,
+    ):
+        self.cloud_store = cloud_store
+        self.sink = sink
+        self.broker = broker
+        self.raw_topic_prefix = raw_topic_prefix
+        self.scheduler = scheduler
+        self.statistics = InterfaceLayerStatistics()
+        self._cursor = 0
+        if scheduler is not None:
+            scheduler.schedule_repeating(poll_interval, self.poll)
+
+    def poll(self) -> List[ObservationRecord]:
+        """Fetch and dispatch everything uploaded since the last poll."""
+        self.statistics.polls += 1
+        documents, self._cursor = self.cloud_store.fetch_since(self._cursor)
+        records: List[ObservationRecord] = []
+        for document in documents:
+            self.statistics.documents_downloaded += 1
+            try:
+                decoded = SenMLCodec.decode(document)
+            except (ValueError, KeyError, TypeError):
+                self.statistics.decode_failures += 1
+                continue
+            records.extend(decoded)
+        for record in records:
+            self.statistics.records_decoded += 1
+            self._dispatch(record)
+        return records
+
+    def _dispatch(self, record: ObservationRecord) -> None:
+        if self.broker is not None:
+            topic = f"{self.raw_topic_prefix}/{record.source_kind}/{record.source_id}"
+            self.broker.publish(topic, record, timestamp=record.timestamp)
+        if self.sink is not None:
+            self.sink(record)
+
+    def __repr__(self) -> str:
+        return (
+            f"<InterfaceProtocolLayer decoded={self.statistics.records_decoded} "
+            f"polls={self.statistics.polls}>"
+        )

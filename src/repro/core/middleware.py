@@ -1,0 +1,208 @@
+"""The semantic middleware facade.
+
+:class:`SemanticMiddleware` wires the three layers of Fig. 3 together over a
+shared broker and simulation scheduler and exposes the handful of calls the
+DEWS application and the examples need:
+
+* feed raw records in (directly, or by attaching a cloud store through the
+  interface protocol layer),
+* get canonical and derived events out (broker subscriptions via the
+  application abstraction layer),
+* query the unified ontology and the annotations,
+* register CEP rules (sensor-side process rules and IK-derived rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.cep.engine import CepEngine
+from repro.cep.event import DerivedEvent, Event
+from repro.cep.rules import CepRule
+from repro.core.application_layer import ApplicationAbstractionLayer
+from repro.core.interface_layer import InterfaceProtocolLayer
+from repro.core.mediator import Mediator
+from repro.core.ontology_layer import OntologySegmentLayer
+from repro.ik.knowledge_base import IndigenousKnowledgeBase
+from repro.ik.rules import derive_cep_rules, sensor_process_rules
+from repro.ontologies.library import OntologyLibrary
+from repro.streams.broker import Broker
+from repro.streams.messages import ObservationRecord
+from repro.streams.scheduler import SimulationScheduler
+
+
+@dataclass
+class MiddlewareConfig:
+    """Configuration knobs of the middleware facade."""
+
+    #: Whether to write RDF annotations for every observation.
+    annotate_observations: bool = True
+    #: Whether to install the default sensor-side process-detection rules.
+    install_sensor_rules: bool = True
+    #: Whether to derive and install CEP rules from the IK knowledge base.
+    install_ik_rules: bool = True
+    #: Minimum distinct observers for IK rule corroboration.
+    ik_min_observers: int = 2
+    #: Feed every canonical observation to the CEP engine.  Applications
+    #: processing high-frequency mote streams (the DEWS) usually disable
+    #: this and feed daily per-district aggregates instead via
+    #: :meth:`SemanticMiddleware.inject_event`; IK sightings always reach
+    #: the engine.
+    cep_per_record: bool = True
+    #: Per-hop broker delivery latency in simulated seconds.
+    broker_latency: float = 0.05
+    #: Cloud polling interval of the interface protocol layer.
+    cloud_poll_interval: float = 900.0
+
+
+class SemanticMiddleware:
+    """The assembled three-tier semantic middleware.
+
+    Parameters
+    ----------
+    scheduler:
+        The simulation scheduler shared with the physical layer; a fresh
+        one is created when omitted (fine for purely record-driven use).
+    knowledge_base:
+        The community IK knowledge base used for annotation and rules.
+    library:
+        A pre-built ontology library (building one takes ~100 ms; tests and
+        benchmarks that construct many middleware instances share one).
+    mediator:
+        Custom mediator, e.g. the passthrough mediator for the ablation.
+    config:
+        Behavioural knobs, see :class:`MiddlewareConfig`.
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[SimulationScheduler] = None,
+        knowledge_base: Optional[IndigenousKnowledgeBase] = None,
+        library: Optional[OntologyLibrary] = None,
+        mediator: Optional[Mediator] = None,
+        config: Optional[MiddlewareConfig] = None,
+    ):
+        self.config = config or MiddlewareConfig()
+        self.scheduler = scheduler or SimulationScheduler()
+        self.broker = Broker(
+            scheduler=self.scheduler, delivery_latency=self.config.broker_latency
+        )
+        self.knowledge_base = knowledge_base or IndigenousKnowledgeBase()
+        self.ontology_layer = OntologySegmentLayer(
+            library=library,
+            knowledge_base=self.knowledge_base,
+            mediator=mediator,
+            annotate=self.config.annotate_observations,
+            cep_engine=CepEngine(),
+            cep_per_record=self.config.cep_per_record,
+        )
+        self.application_layer = ApplicationAbstractionLayer(
+            self.ontology_layer, self.broker
+        )
+        self.interface_layer: Optional[InterfaceProtocolLayer] = None
+
+        if self.config.install_sensor_rules:
+            self.ontology_layer.add_cep_rules(sensor_process_rules())
+        if self.config.install_ik_rules:
+            self.ontology_layer.add_cep_rules(
+                derive_cep_rules(
+                    self.knowledge_base, min_observers=self.config.ik_min_observers
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # wiring to the physical layer
+    # ------------------------------------------------------------------ #
+
+    def attach_cloud_store(self, cloud_store) -> InterfaceProtocolLayer:
+        """Attach a cloud store; the interface layer polls it periodically."""
+        self.interface_layer = InterfaceProtocolLayer(
+            cloud_store,
+            sink=self.ingest_record,
+            broker=self.broker,
+            scheduler=self.scheduler,
+            poll_interval=self.config.cloud_poll_interval,
+        )
+        return self.interface_layer
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+
+    def ingest_record(self, record: ObservationRecord) -> Optional[Event]:
+        """Push one raw record through mediation, annotation and the CEP engine."""
+        event = self.ontology_layer.process_record(record)
+        if event is not None:
+            self.application_layer.publish_event(event)
+        return event
+
+    def ingest_records(self, records: Iterable[ObservationRecord]) -> List[Event]:
+        """Push a batch of raw records through the middleware."""
+        events = []
+        for record in records:
+            event = self.ingest_record(record)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def inject_event(self, event: Event) -> List[DerivedEvent]:
+        """Feed an already-canonical event directly to the CEP engine.
+
+        Used by applications that aggregate canonical observations (e.g. to
+        daily per-district means) before pattern detection.
+        """
+        return self.ontology_layer.cep.process(event)
+
+    # ------------------------------------------------------------------ #
+    # the API applications use (delegates to the application layer)
+    # ------------------------------------------------------------------ #
+
+    def subscribe_property(self, property_key: str, handler, area: str = "+"):
+        """Subscribe to canonical events of one property."""
+        return self.application_layer.subscribe_property(property_key, handler, area)
+
+    def subscribe_derived(self, event_type: str, handler, area: str = "+"):
+        """Subscribe to CEP-derived events."""
+        return self.application_layer.subscribe_derived(event_type, handler, area)
+
+    def register_rule(self, rule: CepRule) -> None:
+        """Register an additional CEP rule."""
+        self.application_layer.register_rule(rule)
+
+    def query(self, text: str):
+        """Run a SPARQL-like query over the unified ontology + annotations."""
+        return self.application_layer.query(text)
+
+    def services(self):
+        """The registered semantic services."""
+        return self.application_layer.services()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self):
+        """The shared RDF graph (ontology library + annotations)."""
+        return self.ontology_layer.graph
+
+    def statistics(self) -> dict:
+        """A merged statistics snapshot across the three layers."""
+        stats = {
+            "mediation": self.ontology_layer.mediator.statistics,
+            "ontology_layer": self.ontology_layer.statistics,
+            "application_layer": self.application_layer.statistics,
+            "broker": self.broker.statistics,
+            "cep": self.ontology_layer.cep.statistics,
+            "graph_triples": len(self.graph),
+        }
+        if self.interface_layer is not None:
+            stats["interface_layer"] = self.interface_layer.statistics
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"<SemanticMiddleware rules={len(self.ontology_layer.cep.rules)} "
+            f"graph={len(self.graph)} triples>"
+        )

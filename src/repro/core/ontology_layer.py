@@ -1,0 +1,199 @@
+"""The ontology segment layer.
+
+The middle tier of the paper's architecture (Fig. 3): "contains the
+ontology module, reasoning module, inference engine, and semantic services
+description module".  Concretely it owns
+
+* the unified ontology library and its graph,
+* the mediator (heterogeneity resolution),
+* the semantic annotator (SSN/DOLCE RDF annotation of observations),
+* the reasoner over the combined ontology + annotation graph,
+* the CEP engine as the detection-oriented inference engine, and
+* the semantic service registry.
+
+Raw records come in from the interface protocol layer (or directly from a
+broker topic); canonical events and derived events go out to the
+application abstraction layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.cep.engine import CepEngine
+from repro.cep.event import DerivedEvent, Event
+from repro.cep.rules import CepRule
+from repro.core.annotation import SemanticAnnotator
+from repro.core.mediator import CanonicalObservation, MediationOutcome, Mediator
+from repro.core.services import SemanticService, ServiceRegistry
+from repro.ik.knowledge_base import IndigenousKnowledgeBase
+from repro.ontologies.environment import CANONICAL_PROPERTIES
+from repro.ontologies.library import OntologyLibrary, build_unified_ontology
+from repro.ontologies.vocabulary import DROUGHT
+from repro.semantics.reasoner import Reasoner
+from repro.semantics.sparql.evaluator import QueryResult, query
+from repro.streams.messages import ObservationRecord
+
+
+@dataclass
+class OntologyLayerStatistics:
+    """Counters reported by the layer (feeds the E1/E2 benchmarks)."""
+
+    records_in: int = 0
+    observations_out: int = 0
+    sightings_out: int = 0
+    derived_events: int = 0
+    annotation_triples: int = 0
+
+
+class OntologySegmentLayer:
+    """Mediation, annotation, reasoning and inference over one shared graph.
+
+    Parameters
+    ----------
+    library:
+        The ontology library; built (and materialised) on demand if omitted.
+    knowledge_base:
+        The community IK knowledge base; defaults to the reference
+        catalogue.  Its indicators are materialised into the graph.
+    mediator:
+        Custom mediator (the ablation benchmark passes the passthrough one).
+    annotate:
+        Whether to write RDF annotations for every observation.  The
+        annotation graph grows linearly with traffic; experiments that only
+        need canonical events can disable it.
+    cep_engine:
+        Custom CEP engine; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        library: Optional[OntologyLibrary] = None,
+        knowledge_base: Optional[IndigenousKnowledgeBase] = None,
+        mediator: Optional[Mediator] = None,
+        annotate: bool = True,
+        cep_engine: Optional[CepEngine] = None,
+        cep_per_record: bool = True,
+    ):
+        self.library = library or build_unified_ontology(materialize=True)
+        self.graph = self.library.graph
+        self.knowledge_base = knowledge_base or IndigenousKnowledgeBase()
+        self.knowledge_base.materialize(self.graph)
+        self.mediator = mediator or Mediator()
+        self.annotate_observations = annotate
+        self.cep_per_record = cep_per_record
+        self.annotator = SemanticAnnotator(self.graph, knowledge_base=self.knowledge_base)
+        self.reasoner = Reasoner(self.graph)
+        self.cep = cep_engine or CepEngine()
+        self.services = ServiceRegistry(self.graph)
+        self.statistics = OntologyLayerStatistics()
+        self._register_default_services()
+
+    def _register_default_services(self) -> None:
+        self.services.register(
+            SemanticService(
+                name="canonical-observations",
+                topic="canonical/#",
+                description="Mediated observations in the unified vocabulary",
+                provides=list(CANONICAL_PROPERTIES.values()),
+            )
+        )
+        self.services.register(
+            SemanticService(
+                name="derived-events",
+                topic="derived/#",
+                description="CEP-derived environmental process and IK indication events",
+                provides=[DROUGHT.DroughtEvent],
+            )
+        )
+        self.services.register(
+            SemanticService(
+                name="ontology-query",
+                topic="query/ontology",
+                description="SPARQL-like query answering over the unified ontology and annotations",
+                provides=[],
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # rule management (inference engine configuration)
+    # ------------------------------------------------------------------ #
+
+    def add_cep_rules(self, rules: Iterable[CepRule]) -> None:
+        """Register CEP rules (sensor-side or IK-derived)."""
+        self.cep.add_rules(rules)
+
+    # ------------------------------------------------------------------ #
+    # the processing path
+    # ------------------------------------------------------------------ #
+
+    def process_record(self, record: ObservationRecord) -> Optional[Event]:
+        """Mediate, annotate and route one raw record.
+
+        Returns the canonical :class:`~repro.cep.event.Event` fed to the CEP
+        engine, or ``None`` when mediation failed.
+        """
+        self.statistics.records_in += 1
+        outcome: MediationOutcome = self.mediator.mediate(record)
+        if not outcome.resolved:
+            return None
+        observation = outcome.observation
+
+        if self.annotate_observations:
+            annotation = self.annotator.annotate(observation)
+            self.statistics.annotation_triples += annotation.triples_added
+            annotation_iri = annotation.observation_iri.value
+        else:
+            annotation_iri = None
+
+        if observation.is_indicator_sighting:
+            self.statistics.sightings_out += 1
+            self.knowledge_base.register_sighting(record)
+        else:
+            self.statistics.observations_out += 1
+
+        event = Event(
+            event_type=observation.property_key,
+            value=observation.value,
+            timestamp=observation.timestamp,
+            source_id=observation.source_id,
+            source_kind=observation.source_kind,
+            location=observation.location,
+            area=observation.area,
+            annotation_iri=annotation_iri,
+            attributes={"alignment_method": observation.alignment_method},
+        )
+        # IK sightings are sparse and always reach the inference engine;
+        # dense sensor streams only do when per-record CEP feeding is on.
+        if self.cep_per_record or observation.is_indicator_sighting:
+            derived = self.cep.process(event)
+            self.statistics.derived_events += len(derived)
+        return event
+
+    def process_records(self, records: Iterable[ObservationRecord]) -> List[Event]:
+        """Process a batch of raw records, returning the canonical events."""
+        events = []
+        for record in records:
+            event = self.process_record(record)
+            if event is not None:
+                events.append(event)
+        return events
+
+    # ------------------------------------------------------------------ #
+    # reasoning and querying
+    # ------------------------------------------------------------------ #
+
+    def materialize_inferences(self):
+        """Run the OWL/RDFS reasoner over ontology + annotations."""
+        return self.reasoner.materialize()
+
+    def query(self, text: str) -> QueryResult:
+        """Run a SPARQL-like query over the shared graph."""
+        return query(self.graph, text)
+
+    def __repr__(self) -> str:
+        return (
+            f"<OntologySegmentLayer graph={len(self.graph)} triples, "
+            f"rules={len(self.cep.rules)}, services={len(self.services)}>"
+        )

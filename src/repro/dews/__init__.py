@@ -1,0 +1,44 @@
+"""The Drought Early Warning System (DEWS) application.
+
+The end-to-end IoT application of the paper's case study, built on the
+public API of the semantic middleware:
+
+``repro.dews.cloud``
+    The simulated cloud storage the SMS gateway uploads to and the
+    interface protocol layer downloads from.
+``repro.dews.alerts``
+    Alert levels and alert construction from forecasts and vulnerability.
+``repro.dews.dissemination``
+    Output channels (smart billboards, mobile app push, IP radio bulletins,
+    a semantic-web endpoint) with delivery and latency accounting.
+``repro.dews.system``
+    :class:`~repro.dews.system.DroughtEarlyWarningSystem`: wires the
+    deployment scenario, the middleware, the forecasters and the channels
+    together and runs the whole pipeline over simulated time.
+"""
+
+from repro.dews.alerts import DroughtAlert, alert_level_name, build_alerts
+from repro.dews.cloud import CloudStore
+from repro.dews.dissemination import (
+    DisseminationHub,
+    IpRadioChannel,
+    MobileAppChannel,
+    SemanticWebChannel,
+    SmartBillboardChannel,
+)
+from repro.dews.system import DewsConfig, DewsRunResult, DroughtEarlyWarningSystem
+
+__all__ = [
+    "CloudStore",
+    "DroughtAlert",
+    "build_alerts",
+    "alert_level_name",
+    "DisseminationHub",
+    "SmartBillboardChannel",
+    "MobileAppChannel",
+    "IpRadioChannel",
+    "SemanticWebChannel",
+    "DroughtEarlyWarningSystem",
+    "DewsConfig",
+    "DewsRunResult",
+]

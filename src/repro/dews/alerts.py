@@ -1,0 +1,115 @@
+"""Drought alerts.
+
+Turns fused forecasts and district vulnerability indices into the
+actionable artefacts the DEWS disseminates: an alert per district per issue
+day, with a level (Normal / Watch / Warning / Emergency), the probability
+and vulnerability behind it, and a short human-readable advisory that the
+output channels render in their own formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.forecasting.fusion import Forecast
+from repro.forecasting.vulnerability import VulnerabilityIndex
+from repro.ontologies.drought import ALERT_LEVELS, alert_level_for_probability
+from repro.ontologies.vocabulary import DROUGHT
+from repro.semantics.rdf.term import IRI
+
+#: Advisory text per alert level, rendered by the channels.
+_ADVISORIES: Dict[str, str] = {
+    "Normal": "Conditions near normal. Routine seasonal planning applies.",
+    "Watch": (
+        "Early signs of drying conditions. Review fodder reserves and water "
+        "points; conserve soil moisture where possible."
+    ),
+    "Warning": (
+        "Drought conditions developing. Reduce stocking rates, prioritise "
+        "drought-tolerant crops and secure water supplies."
+    ),
+    "Emergency": (
+        "Severe drought expected. Activate drought relief plans, destock "
+        "early and ration water. Contact extension services for support."
+    ),
+}
+
+
+def alert_level_name(level_iri: IRI) -> str:
+    """The plain name ('Watch', ...) of an alert-level individual IRI."""
+    local = level_iri.local_name
+    return local[len("Level"):] if local.startswith("Level") else local
+
+
+@dataclass
+class DroughtAlert:
+    """One alert issued for one district."""
+
+    district: str
+    issue_day: float
+    level: str
+    drought_probability: float
+    vulnerability: float
+    lead_time_days: float
+    advisory: str
+    evidence: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank of the level (0 = Normal ... 3 = Emergency)."""
+        return ALERT_LEVELS.index(self.level) if self.level in ALERT_LEVELS else 0
+
+    @property
+    def actionable(self) -> bool:
+        """Whether the alert calls for action (Watch or above)."""
+        return self.rank >= 1
+
+    def headline(self) -> str:
+        """One-line headline used by the narrow channels (billboard, radio)."""
+        return (
+            f"[{self.level.upper()}] {self.district}: drought probability "
+            f"{self.drought_probability:.0%}, vulnerability {self.vulnerability:.2f}"
+        )
+
+
+def build_alerts(
+    forecasts_by_district: Mapping[str, Forecast],
+    vulnerability_by_district: Mapping[str, VulnerabilityIndex],
+    escalate_high_vulnerability: bool = True,
+) -> List[DroughtAlert]:
+    """Combine forecasts and vulnerability into per-district alerts.
+
+    With ``escalate_high_vulnerability`` a district whose vulnerability
+    category is ``high`` or ``extreme`` is bumped one alert level: the same
+    forecast probability warrants earlier action where coping capacity is
+    low, which is exactly the argument for computing a vulnerability index
+    rather than broadcasting raw probabilities.
+    """
+    alerts: List[DroughtAlert] = []
+    for district, forecast in sorted(forecasts_by_district.items()):
+        level_iri = alert_level_for_probability(forecast.drought_probability)
+        level = alert_level_name(level_iri)
+        vulnerability = vulnerability_by_district.get(district)
+        vulnerability_score = vulnerability.score if vulnerability else 0.0
+        if (
+            escalate_high_vulnerability
+            and vulnerability is not None
+            and vulnerability.category in ("high", "extreme")
+            and level in ALERT_LEVELS
+        ):
+            index = min(len(ALERT_LEVELS) - 1, ALERT_LEVELS.index(level) + 1)
+            level = ALERT_LEVELS[index]
+        alerts.append(
+            DroughtAlert(
+                district=district,
+                issue_day=forecast.issue_day,
+                level=level,
+                drought_probability=forecast.drought_probability,
+                vulnerability=vulnerability_score,
+                lead_time_days=forecast.lead_time_days,
+                advisory=_ADVISORIES[level],
+                evidence=dict(forecast.evidence),
+            )
+        )
+    return alerts

@@ -1,0 +1,85 @@
+"""Simulated cloud storage.
+
+The paper's pipeline uploads semi-processed sensor readings to "storage
+database in the cloud"; the interface protocol layer later downloads them.
+The store keeps uploaded SenML documents in arrival order, supports
+cursor-based incremental fetching (so the middleware only sees new data per
+poll), and models availability: an unavailable store rejects uploads, which
+the gateway then retries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class CloudStoreStatistics:
+    """Counters for the dissemination / end-to-end benchmarks."""
+
+    documents_stored: int = 0
+    documents_served: int = 0
+    rejected_uploads: int = 0
+    fetches: int = 0
+
+
+class CloudStore:
+    """An append-only document store with cursor-based fetching.
+
+    Parameters
+    ----------
+    availability:
+        Probability that an upload attempt succeeds (cloud-side or backhaul
+        outages).  Fetches are assumed to always succeed (the middleware
+        polls from a well-connected site).
+    seed:
+        RNG seed for reproducible outage behaviour.
+    """
+
+    def __init__(self, availability: float = 1.0, seed: int = 0):
+        if not 0.0 < availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+        self.availability = availability
+        self._documents: List[Tuple[str, float]] = []
+        self._rng = random.Random(seed)
+        self.statistics = CloudStoreStatistics()
+
+    # ------------------------------------------------------------------ #
+    # upload side (SMS gateway)
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, document: str, timestamp: float) -> bool:
+        """Store one uploaded document; returns whether it was accepted."""
+        if self._rng.random() > self.availability:
+            self.statistics.rejected_uploads += 1
+            return False
+        self._documents.append((document, timestamp))
+        self.statistics.documents_stored += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # download side (interface protocol layer)
+    # ------------------------------------------------------------------ #
+
+    def fetch_since(self, cursor: int) -> Tuple[List[str], int]:
+        """Documents stored since ``cursor``; returns (documents, new cursor)."""
+        self.statistics.fetches += 1
+        documents = [document for document, _ in self._documents[cursor:]]
+        self.statistics.documents_served += len(documents)
+        return documents, len(self._documents)
+
+    def fetch_window(self, start_time: float, end_time: float) -> List[str]:
+        """Documents whose upload timestamp falls within ``[start, end)``."""
+        return [
+            document
+            for document, timestamp in self._documents
+            if start_time <= timestamp < end_time
+        ]
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __repr__(self) -> str:
+        return f"<CloudStore documents={len(self._documents)} availability={self.availability}>"

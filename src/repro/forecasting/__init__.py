@@ -1,0 +1,48 @@
+"""Drought forecasting layer.
+
+Three forecasters are compared by the accuracy experiments (E4, E9):
+
+* :class:`~repro.forecasting.statistical.StatisticalForecaster` -- the
+  paper's characterisation of current practice: "most drought
+  predicting/forecasting system is based on statistical model using data
+  from weather stations and WSNs data only".  It thresholds drought indices
+  (SPI, soil-moisture anomaly) computed from the sensor streams.
+* :class:`~repro.forecasting.fusion.IndigenousForecaster` -- forecasts from
+  IK indicator sightings only, quantifying the "uncertain level of
+  accuracy" of pure IKF that motivates the paper.
+* :class:`~repro.forecasting.fusion.FusionForecaster` -- the paper's
+  proposal: semantically integrated sensor evidence (CEP-derived process
+  events) combined with IK-derived indications.
+
+Skill metrics live in :mod:`repro.forecasting.evaluation`, drought indices
+in :mod:`repro.forecasting.indices`, and the district-level drought
+vulnerability index in :mod:`repro.forecasting.vulnerability`.
+"""
+
+from repro.forecasting.indices import (
+    deciles_index,
+    effective_drought_index,
+    percent_of_normal,
+    soil_moisture_anomaly,
+    standardized_precipitation_index,
+)
+from repro.forecasting.statistical import StatisticalForecaster
+from repro.forecasting.fusion import Forecast, FusionForecaster, IndigenousForecaster
+from repro.forecasting.evaluation import ForecastSkill, evaluate_forecasts
+from repro.forecasting.vulnerability import VulnerabilityIndex, compute_vulnerability
+
+__all__ = [
+    "standardized_precipitation_index",
+    "effective_drought_index",
+    "percent_of_normal",
+    "deciles_index",
+    "soil_moisture_anomaly",
+    "StatisticalForecaster",
+    "IndigenousForecaster",
+    "FusionForecaster",
+    "Forecast",
+    "ForecastSkill",
+    "evaluate_forecasts",
+    "VulnerabilityIndex",
+    "compute_vulnerability",
+]

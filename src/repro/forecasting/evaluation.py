@@ -1,0 +1,170 @@
+"""Forecast skill evaluation.
+
+Scores a sequence of :class:`~repro.forecasting.fusion.Forecast` objects
+against the ground-truth drought mask of the synthetic climate, using the
+categorical and probabilistic metrics standard in the early-warning
+literature:
+
+* POD (probability of detection / hit rate)
+* FAR (false alarm ratio)
+* CSI (critical success index / threat score)
+* accuracy and frequency bias
+* Brier score of the probabilistic forecasts
+* mean warning lead time: how many days before the episode onset the first
+  sustained drought call was issued (the quantity the paper cares most
+  about -- "establish accurate drought development patterns as early as
+  possible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.forecasting.fusion import Forecast
+from repro.workloads.climate import DroughtEpisode
+
+
+@dataclass
+class ForecastSkill:
+    """Skill scores for one forecaster on one scenario."""
+
+    method: str
+    hits: int
+    misses: int
+    false_alarms: int
+    correct_negatives: int
+    brier_score: float
+    mean_lead_time_days: float
+    forecasts_evaluated: int
+
+    @property
+    def pod(self) -> float:
+        """Probability of detection (hit rate)."""
+        denominator = self.hits + self.misses
+        return self.hits / denominator if denominator else 0.0
+
+    @property
+    def far(self) -> float:
+        """False alarm ratio."""
+        denominator = self.hits + self.false_alarms
+        return self.false_alarms / denominator if denominator else 0.0
+
+    @property
+    def csi(self) -> float:
+        """Critical success index (threat score)."""
+        denominator = self.hits + self.misses + self.false_alarms
+        return self.hits / denominator if denominator else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of forecasts that were correct."""
+        total = self.hits + self.misses + self.false_alarms + self.correct_negatives
+        return (self.hits + self.correct_negatives) / total if total else 0.0
+
+    @property
+    def bias(self) -> float:
+        """Frequency bias (forecast yes / observed yes)."""
+        observed = self.hits + self.misses
+        forecast = self.hits + self.false_alarms
+        return forecast / observed if observed else 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        """The metrics as a flat dict for benchmark tables."""
+        return {
+            "method": self.method,
+            "POD": round(self.pod, 3),
+            "FAR": round(self.far, 3),
+            "CSI": round(self.csi, 3),
+            "accuracy": round(self.accuracy, 3),
+            "bias": round(self.bias, 3),
+            "brier": round(self.brier_score, 3),
+            "lead_time_days": round(self.mean_lead_time_days, 1),
+            "n_forecasts": self.forecasts_evaluated,
+        }
+
+
+def _truth_in_window(
+    drought_mask: np.ndarray, target_day: float, tolerance_days: float
+) -> Optional[bool]:
+    """Whether drought holds around ``target_day`` (None when out of range)."""
+    start = int(max(0, target_day - tolerance_days))
+    end = int(min(len(drought_mask), target_day + tolerance_days + 1))
+    if start >= len(drought_mask) or end <= start:
+        return None
+    return bool(drought_mask[start:end].any())
+
+
+def _episode_lead_times(
+    forecasts: Sequence[Forecast],
+    episodes: Sequence[DroughtEpisode],
+    threshold: float,
+) -> List[float]:
+    """Warning lead time per episode: onset day minus first preceding alarm."""
+    lead_times: List[float] = []
+    for episode in episodes:
+        alarms = [
+            f for f in forecasts
+            if f.predicts_drought(threshold)
+            and f.issue_day <= episode.start_day
+            and f.issue_day >= episode.start_day - 120.0
+        ]
+        if not alarms:
+            continue
+        earliest = min(alarms, key=lambda f: f.issue_day)
+        lead_times.append(episode.start_day - earliest.issue_day)
+    return lead_times
+
+
+def evaluate_forecasts(
+    forecasts: Sequence[Forecast],
+    drought_mask: Sequence[bool],
+    episodes: Sequence[DroughtEpisode] = (),
+    threshold: float = 0.5,
+    tolerance_days: float = 7.0,
+) -> ForecastSkill:
+    """Score forecasts against the ground-truth daily drought mask.
+
+    Each forecast is compared with the truth around its *target day*
+    (issue day + lead time), within ``tolerance_days``.
+    """
+    mask = np.asarray(drought_mask, dtype=bool)
+    hits = misses = false_alarms = correct_negatives = 0
+    brier_terms: List[float] = []
+    evaluated = 0
+    method = forecasts[0].method if forecasts else "none"
+
+    for forecast in forecasts:
+        truth = _truth_in_window(mask, forecast.target_day, tolerance_days)
+        if truth is None:
+            continue
+        evaluated += 1
+        predicted = forecast.predicts_drought(threshold)
+        brier_terms.append((forecast.drought_probability - (1.0 if truth else 0.0)) ** 2)
+        if predicted and truth:
+            hits += 1
+        elif predicted and not truth:
+            false_alarms += 1
+        elif not predicted and truth:
+            misses += 1
+        else:
+            correct_negatives += 1
+
+    lead_times = _episode_lead_times(forecasts, episodes, threshold)
+    return ForecastSkill(
+        method=method,
+        hits=hits,
+        misses=misses,
+        false_alarms=false_alarms,
+        correct_negatives=correct_negatives,
+        brier_score=float(np.mean(brier_terms)) if brier_terms else 1.0,
+        mean_lead_time_days=float(np.mean(lead_times)) if lead_times else 0.0,
+        forecasts_evaluated=evaluated,
+    )
+
+
+def skill_comparison_table(skills: Sequence[ForecastSkill]) -> List[Dict[str, float]]:
+    """Rows (one per forecaster) for the E4 benchmark output."""
+    return [skill.as_row() for skill in skills]

@@ -1,0 +1,307 @@
+"""Forecast objects, the IK-only forecaster and the fusion forecaster.
+
+The fusion forecaster is the payoff of the paper's architecture: CEP-derived
+process events (from semantically integrated sensor streams) and IK-derived
+indications are combined into a single drought probability per area and
+issue day.  Sensor-side evidence establishes that deficit *processes* are
+under way; IK evidence extends the lead time (indicators typically precede
+instrumental signals) and corroborates or contradicts the sensor picture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cep.event import DerivedEvent
+from repro.ik.knowledge_base import IndigenousKnowledgeBase
+from repro.ik.rules import CONTRA_EVIDENCE_WEIGHTS, DROUGHT_EVIDENCE_WEIGHTS
+from repro.streams.scheduler import DAY
+
+
+@dataclass
+class Forecast:
+    """One issued drought forecast.
+
+    ``drought_probability`` is the probability that drought conditions hold
+    in the target window (``issue_day + lead_time_days`` onwards);
+    ``confidence`` reflects how much evidence supported the forecast.
+    """
+
+    issue_day: float
+    lead_time_days: float
+    drought_probability: float
+    confidence: float
+    method: str
+    area: str = "unknown"
+    evidence: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def target_day(self) -> float:
+        """The day the forecast is about."""
+        return self.issue_day + self.lead_time_days
+
+    def predicts_drought(self, threshold: float = 0.5) -> bool:
+        """Whether the forecast calls a drought at the given threshold."""
+        return self.drought_probability >= threshold
+
+
+def _decayed_weight(event_age_days: float, half_life_days: float) -> float:
+    """Exponential decay of evidence weight with age."""
+    return 0.5 ** (event_age_days / max(1e-9, half_life_days))
+
+
+class IndigenousForecaster:
+    """Forecasts from IK indicator sightings only.
+
+    Aggregates the knowledge base's sighting evidence over a trailing
+    window; the net drier-vs-wetter evidence maps to a drought probability.
+    Used stand-alone to quantify IK-only reliability (experiment E5) and as
+    the IK arm of the fusion forecaster.
+    """
+
+    def __init__(
+        self,
+        knowledge_base: IndigenousKnowledgeBase,
+        window_days: float = 45.0,
+        sensitivity: float = 2.2,
+        net_midpoint: float = 0.28,
+    ):
+        self.knowledge_base = knowledge_base
+        self.window_days = window_days
+        self.sensitivity = sensitivity
+        self.net_midpoint = net_midpoint
+
+    def drought_probability_at(self, day: float) -> Dict[str, float]:
+        """Aggregate IK evidence in the trailing window ending at ``day``."""
+        start = (day - self.window_days) * DAY
+        end = day * DAY
+        aggregate = self.knowledge_base.aggregate(start, end)
+        net = aggregate.get("net_drier", 0.0)
+        probability = 1.0 / (
+            1.0 + math.exp(-self.sensitivity * 2.0 * (net - self.net_midpoint))
+        )
+        return {
+            "probability": probability,
+            "net_drier": net,
+            "drier": aggregate.get("drier", 0.0),
+            "wetter": aggregate.get("wetter", 0.0),
+        }
+
+    def forecast_series(
+        self,
+        days: int,
+        area: str = "unknown",
+        issue_every_days: int = 10,
+        start_day: int = 30,
+    ) -> List[Forecast]:
+        """Issue IK-only forecasts along the scenario timeline."""
+        lead = self.knowledge_base.mean_lead_time("drier") or 30.0
+        forecasts: List[Forecast] = []
+        for day in range(start_day, days, issue_every_days):
+            summary = self.drought_probability_at(float(day))
+            evidence_mass = summary["drier"] + summary["wetter"]
+            confidence = min(1.0, 0.25 + 0.75 * evidence_mass)
+            forecasts.append(
+                Forecast(
+                    issue_day=float(day),
+                    lead_time_days=lead,
+                    drought_probability=summary["probability"],
+                    confidence=confidence,
+                    method="indigenous",
+                    area=area,
+                    evidence={
+                        "net_drier": summary["net_drier"],
+                        "drier": summary["drier"],
+                        "wetter": summary["wetter"],
+                    },
+                )
+            )
+        return forecasts
+
+
+class FusionForecaster:
+    """The paper's integrated forecaster: CEP process events + IK evidence.
+
+    Parameters
+    ----------
+    knowledge_base:
+        The community knowledge base (for IK evidence and lead times).
+    evidence_half_life_days:
+        Age at which a derived event's contribution halves.
+    evidence_weights / contra_weights:
+        Per-derived-event-type weights; default to the IK module's tables.
+    sensitivity:
+        Steepness of the logistic mapping from net evidence to probability.
+    """
+
+    def __init__(
+        self,
+        knowledge_base: IndigenousKnowledgeBase,
+        evidence_half_life_days: float = 21.0,
+        evidence_weights: Optional[Dict[str, float]] = None,
+        contra_weights: Optional[Dict[str, float]] = None,
+        sensitivity: float = 1.2,
+        evidence_midpoint: float = 2.4,
+    ):
+        self.knowledge_base = knowledge_base
+        self.evidence_half_life_days = evidence_half_life_days
+        self.evidence_weights = dict(evidence_weights or DROUGHT_EVIDENCE_WEIGHTS)
+        self.contra_weights = dict(contra_weights or CONTRA_EVIDENCE_WEIGHTS)
+        self.sensitivity = sensitivity
+        self.evidence_midpoint = evidence_midpoint
+        self._events: List[DerivedEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # evidence intake
+    # ------------------------------------------------------------------ #
+
+    def observe(self, event: DerivedEvent) -> None:
+        """Register a derived event from the CEP engine."""
+        self._events.append(event)
+
+    def observe_many(self, events: Iterable[DerivedEvent]) -> None:
+        """Register several derived events."""
+        for event in events:
+            self.observe(event)
+
+    def clear(self) -> None:
+        """Forget all registered evidence (between scenario runs)."""
+        self._events.clear()
+
+    # ------------------------------------------------------------------ #
+    # forecasting
+    # ------------------------------------------------------------------ #
+
+    #: Fraction of the IK evidence trusted when nothing corroborates it;
+    #: rises to 1.0 with corroboration from either (a) sensor-side deficit
+    #: processes or (b) diversity of the IK signal itself (several distinct
+    #: indicators reported independently).
+    uncorroborated_ik_trust: float = 0.35
+    corroboration_scale: float = 1.5
+    #: Number of distinct drought-implying IK indicator rules that counts as
+    #: a fully corroborated community signal.
+    ik_diversity_scale: int = 4
+
+    def _evidence_at(self, day: float, area: Optional[str]) -> Dict[str, float]:
+        """Decayed, weighted evidence per derived-event type at ``day``.
+
+        Sensor-derived and IK-derived support are kept separate so the
+        probability mapping can require corroboration: IK indications alone
+        are partially trusted (they provide the early lead), but their full
+        weight is only granted once instrumental deficit processes start
+        confirming them -- this is the concrete payoff of *integrating* the
+        two knowledge sources rather than using either alone.
+        """
+        now = day * DAY
+        # evidence is capped per rule: the strongest (most recent) firing of
+        # each rule counts, so a rule re-firing every cooldown period does
+        # not accumulate unbounded weight
+        support_by_rule: Dict[str, float] = {}
+        contra_by_rule: Dict[str, float] = {}
+        rule_is_ik: Dict[str, bool] = {}
+        per_type: Dict[str, float] = {}
+        for event in self._events:
+            if event.timestamp > now:
+                continue
+            if area is not None and event.area is not None and event.area != area:
+                continue
+            age_days = (now - event.timestamp) / DAY
+            if age_days > 4 * self.evidence_half_life_days:
+                continue
+            decay = _decayed_weight(age_days, self.evidence_half_life_days)
+            rule_weight = float(event.attributes.get("rule_weight", 1.0))
+            rule_name = getattr(event, "rule_name", None) or event.source_id
+            contribution = event.value * decay * rule_weight
+            if event.event_type in self.evidence_weights:
+                weighted = contribution * self.evidence_weights[event.event_type]
+                support_by_rule[rule_name] = max(
+                    support_by_rule.get(rule_name, 0.0), weighted
+                )
+                rule_is_ik[rule_name] = event.event_type.startswith("ik_")
+                per_type[event.event_type] = max(
+                    per_type.get(event.event_type, 0.0), weighted
+                )
+            elif event.event_type in self.contra_weights:
+                weighted = contribution * self.contra_weights[event.event_type]
+                contra_by_rule[rule_name] = max(
+                    contra_by_rule.get(rule_name, 0.0), weighted
+                )
+        sensor_support = sum(
+            value for rule, value in support_by_rule.items() if not rule_is_ik.get(rule)
+        )
+        ik_support = sum(
+            value for rule, value in support_by_rule.items() if rule_is_ik.get(rule)
+        )
+        ik_dry_rules = {rule for rule, is_ik in rule_is_ik.items() if is_ik}
+        per_type["sensor_support"] = sensor_support
+        per_type["ik_support"] = ik_support
+        per_type["ik_distinct_indicators"] = float(len(ik_dry_rules))
+        per_type["supporting"] = sensor_support + ik_support
+        per_type["contradicting"] = sum(contra_by_rule.values())
+        return per_type
+
+    def drought_probability_at(self, day: float, area: Optional[str] = None) -> float:
+        """The fused drought probability at ``day`` for ``area``.
+
+        IK evidence is corroborated either by sensor-side deficit processes
+        or by its own diversity (many distinct indicators reported
+        independently); uncorroborated IK -- the single spurious sign a whole
+        community can latch onto -- is discounted.
+        """
+        evidence = self._evidence_at(day, area)
+        sensor_corroboration = min(
+            1.0, evidence["sensor_support"] / self.corroboration_scale
+        )
+        diversity_corroboration = min(
+            1.0, evidence["ik_distinct_indicators"] / float(self.ik_diversity_scale)
+        )
+        # sensor corroboration is what unlocks full trust in the IK signal;
+        # IK diversity alone raises trust only half-way (a whole community
+        # can still latch onto a spurious season of several signs at once)
+        corroboration = max(sensor_corroboration, 0.5 * diversity_corroboration)
+        ik_trust = (
+            self.uncorroborated_ik_trust
+            + (1.0 - self.uncorroborated_ik_trust) * corroboration
+        )
+        net = (
+            evidence["sensor_support"]
+            + ik_trust * evidence["ik_support"]
+            - evidence["contradicting"]
+        )
+        return 1.0 / (
+            1.0 + math.exp(-self.sensitivity * (net - self.evidence_midpoint))
+        )
+
+    def forecast_series(
+        self,
+        days: int,
+        area: str = "unknown",
+        issue_every_days: int = 10,
+        start_day: int = 30,
+        lead_time_days: Optional[float] = None,
+    ) -> List[Forecast]:
+        """Issue integrated forecasts along the scenario timeline."""
+        if lead_time_days is None:
+            # IK indicators lead the instrumental signal; the fusion
+            # forecast inherits part of that lead.
+            lead_time_days = max(10.0, 0.5 * self.knowledge_base.mean_lead_time("drier"))
+        forecasts: List[Forecast] = []
+        for day in range(start_day, days, issue_every_days):
+            evidence = self._evidence_at(float(day), area)
+            probability = self.drought_probability_at(float(day), area)
+            evidence_mass = evidence["supporting"] + evidence["contradicting"]
+            confidence = min(1.0, 0.3 + 0.2 * evidence_mass)
+            forecasts.append(
+                Forecast(
+                    issue_day=float(day),
+                    lead_time_days=lead_time_days,
+                    drought_probability=probability,
+                    confidence=confidence,
+                    method="fusion",
+                    area=area,
+                    evidence={k: round(v, 4) for k, v in evidence.items()},
+                )
+            )
+        return forecasts

@@ -1,0 +1,241 @@
+"""Drought indices.
+
+Scalar summaries of moisture conditions computed from daily series, used by
+the statistical baseline forecaster and reported by the DEWS:
+
+* **SPI** -- Standardized Precipitation Index: rainfall accumulated over a
+  window, transformed through a fitted gamma distribution to a standard
+  normal deviate (McKee et al., 1993).  Negative SPI means drier than the
+  reference climatology.
+* **Percent of normal** and **deciles** -- simpler operational indices.
+* **EDI-style effective precipitation** -- exponentially-decayed accumulation
+  giving more weight to recent rain.
+* **Soil-moisture anomaly** -- standardised anomaly of a soil moisture
+  series against its own climatology.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+
+def _rolling_sum(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing rolling sum; positions with fewer than ``window`` samples are NaN."""
+    values = np.asarray(values, dtype=float)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    cumulative = np.cumsum(np.insert(values, 0, 0.0))
+    sums = np.full(values.shape, np.nan)
+    if len(values) >= window:
+        sums[window - 1:] = cumulative[window:] - cumulative[:-window]
+    return sums
+
+
+def _spi_transform(accumulated: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Transform accumulations to SPI deviates against a reference sample."""
+    spi = np.full(accumulated.shape, np.nan)
+    valid_reference = reference[~np.isnan(reference)]
+    defined = ~np.isnan(accumulated)
+    if valid_reference.size < 5 or not defined.any():
+        return spi
+    # Gamma distributions are undefined at zero; handle zero accumulations
+    # with the mixed distribution H(x) = q + (1 - q) G(x).
+    zero_fraction = float(np.mean(valid_reference <= 0.0))
+    positive = valid_reference[valid_reference > 0.0]
+    acc_defined = accumulated[defined]
+    if positive.size < 5 or float(np.std(positive)) == 0.0:
+        # degenerate climatology: fall back to a plain standardised anomaly
+        mean = float(np.mean(valid_reference))
+        std = float(np.std(valid_reference)) or 1.0
+        spi[defined] = (acc_defined - mean) / std
+        return spi
+    shape, _, scale = stats.gamma.fit(positive, floc=0.0)
+    gamma_cdf = stats.gamma.cdf(np.clip(acc_defined, 1e-9, None), shape, loc=0.0, scale=scale)
+    probabilities = zero_fraction + (1.0 - zero_fraction) * gamma_cdf
+    probabilities = np.clip(probabilities, 1e-4, 1.0 - 1e-4)
+    spi[defined] = stats.norm.ppf(probabilities)
+    return spi
+
+
+def standardized_precipitation_index(
+    rainfall: Sequence[float],
+    window_days: int = 30,
+    reference: Optional[Sequence[float]] = None,
+    seasonal_bins: int = 12,
+) -> np.ndarray:
+    """SPI of a daily rainfall series.
+
+    Parameters
+    ----------
+    rainfall:
+        Daily rainfall depths (mm).
+    window_days:
+        Accumulation window (30 for SPI-1, 90 for SPI-3, ...).
+    reference:
+        Optional reference climatology series (daily rainfall, ideally
+        several drought-free years).  Defaults to the input series itself.
+    seasonal_bins:
+        Number of calendar bins the climatology is fitted in.  Proper SPI is
+        seasonally relative (a dry winter month is not a drought); both the
+        target and the reference series are assumed to start on the same
+        calendar day, and days are binned modulo 365.  Use ``1`` to disable
+        seasonal fitting.
+
+    Returns
+    -------
+    numpy.ndarray
+        SPI value per day; the first ``window_days - 1`` entries are NaN.
+    """
+    rainfall = np.asarray(rainfall, dtype=float)
+    accumulated = _rolling_sum(rainfall, window_days)
+    reference_acc = (
+        _rolling_sum(np.asarray(reference, dtype=float), window_days)
+        if reference is not None
+        else accumulated
+    )
+    if reference_acc[~np.isnan(reference_acc)].size < 10:
+        raise ValueError("not enough data to fit the SPI climatology")
+
+    if seasonal_bins <= 1:
+        return _spi_transform(accumulated, reference_acc)
+
+    spi = np.full(accumulated.shape, np.nan)
+    target_bins = (np.arange(len(accumulated)) % 365) * seasonal_bins // 365
+    reference_bins = (np.arange(len(reference_acc)) % 365) * seasonal_bins // 365
+    for bin_index in range(seasonal_bins):
+        target_mask = target_bins == bin_index
+        if not target_mask.any():
+            continue
+        reference_sample = reference_acc[reference_bins == bin_index]
+        reference_sample = reference_sample[~np.isnan(reference_sample)]
+        if reference_sample.size < 5:
+            reference_sample = reference_acc[~np.isnan(reference_acc)]
+        spi[target_mask] = _spi_transform(accumulated[target_mask], reference_sample)
+    return spi
+
+
+def percent_of_normal(
+    rainfall: Sequence[float], window_days: int = 30, reference: Optional[Sequence[float]] = None
+) -> np.ndarray:
+    """Accumulated rainfall as a percentage of the climatological normal."""
+    rainfall = np.asarray(rainfall, dtype=float)
+    accumulated = _rolling_sum(rainfall, window_days)
+    reference_acc = (
+        _rolling_sum(np.asarray(reference, dtype=float), window_days)
+        if reference is not None
+        else accumulated
+    )
+    normal = float(np.nanmean(reference_acc))
+    if normal <= 0:
+        return np.full(accumulated.shape, np.nan)
+    return 100.0 * accumulated / normal
+
+
+def deciles_index(
+    rainfall: Sequence[float], window_days: int = 30, reference: Optional[Sequence[float]] = None
+) -> np.ndarray:
+    """Decile rank (1-10) of the accumulated rainfall against climatology."""
+    rainfall = np.asarray(rainfall, dtype=float)
+    accumulated = _rolling_sum(rainfall, window_days)
+    reference_acc = (
+        _rolling_sum(np.asarray(reference, dtype=float), window_days)
+        if reference is not None
+        else accumulated
+    )
+    valid = reference_acc[~np.isnan(reference_acc)]
+    edges = np.percentile(valid, np.arange(10, 100, 10))
+    deciles = np.full(accumulated.shape, np.nan)
+    defined = ~np.isnan(accumulated)
+    deciles[defined] = 1 + np.searchsorted(edges, accumulated[defined])
+    return deciles
+
+
+def effective_drought_index(rainfall: Sequence[float], memory_days: int = 365) -> np.ndarray:
+    """EDI-style effective precipitation anomaly.
+
+    Effective precipitation gives geometrically decaying weight to earlier
+    days; its standardised anomaly behaves like the EDI of Byun & Wilhite.
+    """
+    rainfall = np.asarray(rainfall, dtype=float)
+    weights = 1.0 / np.arange(1, memory_days + 1)
+    effective = np.full(rainfall.shape, np.nan)
+    for index in range(len(rainfall)):
+        start = max(0, index - memory_days + 1)
+        window = rainfall[start: index + 1][::-1]
+        effective[index] = float(np.sum(window * weights[: len(window)]))
+    mean = float(np.nanmean(effective))
+    std = float(np.nanstd(effective))
+    if std == 0:
+        return np.zeros_like(effective)
+    return (effective - mean) / std
+
+
+def _trailing_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Causal trailing mean: position ``i`` averages ``values[i-window+1 : i+1]``.
+
+    Early positions average over however many samples exist, so there is no
+    zero-padding bias at either end (forecasts read the *last* element).
+    """
+    values = np.asarray(values, dtype=float)
+    cumulative = np.cumsum(np.insert(np.nan_to_num(values, nan=0.0), 0, 0.0))
+    counts = np.cumsum(np.insert((~np.isnan(values)).astype(float), 0, 0.0))
+    result = np.empty(values.shape)
+    for index in range(len(values)):
+        start = max(0, index - window + 1)
+        total = cumulative[index + 1] - cumulative[start]
+        count = counts[index + 1] - counts[start]
+        result[index] = total / count if count > 0 else np.nan
+    return result
+
+
+def soil_moisture_anomaly(
+    soil_moisture: Sequence[float],
+    window_days: int = 14,
+    reference: Optional[Sequence[float]] = None,
+    seasonal_bins: int = 12,
+) -> np.ndarray:
+    """Standardised (seasonally relative) anomaly of a soil-moisture series.
+
+    ``reference`` provides the climatology; without it the series is its own
+    reference.  As with SPI, both series are assumed to start on the same
+    calendar day and are binned modulo 365 into ``seasonal_bins`` bins.
+    Smoothing is a causal trailing mean so the most recent value -- the one
+    an operational forecast reads -- is not biased by edge padding.
+    """
+    soil = np.asarray(soil_moisture, dtype=float)
+    if soil.size == 0:
+        return soil
+    smoothed = _trailing_mean(soil, window_days)
+    reference_series = (
+        _trailing_mean(np.asarray(reference, dtype=float), window_days)
+        if reference is not None
+        else smoothed
+    )
+    anomaly = np.full(smoothed.shape, np.nan)
+    bins = max(1, seasonal_bins)
+    target_bins = (np.arange(len(smoothed)) % 365) * bins // 365
+    reference_bins = (np.arange(len(reference_series)) % 365) * bins // 365
+    for bin_index in range(bins):
+        mask = target_bins == bin_index
+        if not mask.any():
+            continue
+        sample = reference_series[reference_bins == bin_index]
+        sample = sample[~np.isnan(sample)]
+        if sample.size < 3:
+            sample = reference_series[~np.isnan(reference_series)]
+        mean = float(np.mean(sample))
+        std = float(np.std(sample))
+        anomaly[mask] = 0.0 if std == 0 else (smoothed[mask] - mean) / std
+    return anomaly
+
+
+def vegetation_condition_index(ndvi: Sequence[float]) -> np.ndarray:
+    """VCI: NDVI scaled between its historical minimum and maximum (0-100)."""
+    values = np.asarray(ndvi, dtype=float)
+    low, high = float(np.min(values)), float(np.max(values))
+    if high - low <= 0:
+        return np.full(values.shape, 50.0)
+    return 100.0 * (values - low) / (high - low)

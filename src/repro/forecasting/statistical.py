@@ -1,0 +1,116 @@
+"""The statistical sensors-only baseline forecaster.
+
+Represents the status quo the paper contrasts with: drought forecasts
+driven purely by statistical indices over station / WSN data, with no
+semantic integration and no indigenous knowledge.  The forecaster computes
+SPI and soil-moisture anomaly from the (possibly gappy) daily series that
+reached the cloud, combines them into a drought probability through a
+logistic link, and issues a forecast per evaluation day.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.forecasting.fusion import Forecast
+from repro.forecasting.indices import soil_moisture_anomaly, standardized_precipitation_index
+
+
+@dataclass
+class StatisticalForecasterConfig:
+    """Tunable parameters of the baseline (defaults follow common practice)."""
+
+    spi_window_days: int = 30
+    spi_weight: float = 1.2
+    soil_weight: float = 0.8
+    bias: float = -0.2
+    #: SPI value at which drought probability reaches 0.5 when soil anomaly is 0.
+    spi_midpoint: float = -0.8
+    soil_midpoint: float = -0.7
+
+
+class StatisticalForecaster:
+    """Sensors-only drought forecaster (the paper's baseline).
+
+    The forecaster is *stateless across days*: each call to
+    :meth:`forecast_series` maps index values to probabilities.  Missing
+    observations (NaNs in the input series) propagate as lower-confidence
+    forecasts, which is how sensor outages hurt the baseline in E8.
+    """
+
+    def __init__(self, config: Optional[StatisticalForecasterConfig] = None):
+        self.config = config or StatisticalForecasterConfig()
+
+    def drought_probability(self, spi: float, soil_anomaly: float) -> float:
+        """Combine index values into a drought probability."""
+        config = self.config
+        score = config.bias
+        if not math.isnan(spi):
+            score += config.spi_weight * (config.spi_midpoint - spi)
+        if not math.isnan(soil_anomaly):
+            score += config.soil_weight * (config.soil_midpoint - soil_anomaly)
+        return 1.0 / (1.0 + math.exp(-score))
+
+    def forecast_series(
+        self,
+        rainfall: Sequence[float],
+        soil_moisture: Optional[Sequence[float]] = None,
+        area: str = "unknown",
+        issue_every_days: int = 10,
+        lead_time_days: float = 10.0,
+        reference_rainfall: Optional[Sequence[float]] = None,
+        reference_soil_moisture: Optional[Sequence[float]] = None,
+    ) -> List[Forecast]:
+        """Issue forecasts along a daily series.
+
+        Parameters
+        ----------
+        rainfall / soil_moisture:
+            Daily series as observed by the sensing system (may contain
+            NaNs for days with no delivered observations).
+        issue_every_days:
+            A forecast is issued every this-many days (operational cadence).
+        lead_time_days:
+            The lead time attached to each forecast: the forecast at day
+            ``d`` predicts conditions around day ``d + lead_time_days``.
+        reference_rainfall / reference_soil_moisture:
+            Optional multi-year climatology series (drought-free) against
+            which the indices are standardised; operational SPI uses a
+            30-year normal, so benchmarks pass a long synthetic normal here.
+        """
+        rainfall = np.asarray(rainfall, dtype=float)
+        spi = standardized_precipitation_index(
+            np.nan_to_num(rainfall, nan=0.0),
+            self.config.spi_window_days,
+            reference=reference_rainfall,
+        )
+        if soil_moisture is not None:
+            soil_series = np.asarray(soil_moisture, dtype=float)
+            filled = np.where(
+                np.isnan(soil_series), np.nanmean(soil_series), soil_series
+            )
+            soil_anom = soil_moisture_anomaly(filled, reference=reference_soil_moisture)
+        else:
+            soil_anom = np.full(rainfall.shape, np.nan)
+
+        forecasts: List[Forecast] = []
+        for day in range(self.config.spi_window_days, len(rainfall), issue_every_days):
+            probability = self.drought_probability(float(spi[day]), float(soil_anom[day]))
+            missing_fraction = float(np.mean(np.isnan(rainfall[max(0, day - 30): day + 1])))
+            confidence = max(0.1, 1.0 - missing_fraction)
+            forecasts.append(
+                Forecast(
+                    issue_day=float(day),
+                    lead_time_days=lead_time_days,
+                    drought_probability=probability,
+                    confidence=confidence,
+                    method="statistical",
+                    area=area,
+                    evidence={"spi": float(spi[day]), "soil_anomaly": float(soil_anom[day])},
+                )
+            )
+        return forecasts

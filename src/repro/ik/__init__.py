@@ -1,0 +1,45 @@
+"""Indigenous knowledge (IK) layer.
+
+The paper's central integration target: drought-forecasting knowledge held
+by local communities (worm abundance, tree phenology, animal behaviour, sky
+signs), gathered "through the use of questionnaire, workshop and interactive
+sessions" and turned into the rule set the CEP engine reasons with.
+
+``repro.ik.indicators``
+    The catalogue of indicator definitions (what each indicator is, what it
+    implies, its community-assigned reliability and lead time) and the
+    activity model tying indicator visibility to the simulated environment.
+``repro.ik.knowledge_base``
+    The IK knowledge base: indicator definitions plus elicited forecast
+    rules, materialisable into the unified ontology.
+``repro.ik.elicitation``
+    Simulates the questionnaire / workshop process that produces a noisy,
+    community-specific knowledge base from the reference catalogue.
+``repro.ik.fuzzy``
+    Fuzzy membership machinery for combining graded indicator evidence.
+``repro.ik.rules``
+    Derives CEP rules from the knowledge base ("set of syntactic derivation
+    rules from indigenous knowledge").
+"""
+
+from repro.ik.indicators import (
+    INDICATOR_CATALOGUE,
+    IndicatorActivityModel,
+    IndicatorDefinition,
+)
+from repro.ik.knowledge_base import IndigenousKnowledgeBase
+from repro.ik.elicitation import ElicitationCampaign
+from repro.ik.fuzzy import FuzzyVariable, TriangularMembership, aggregate_evidence
+from repro.ik.rules import derive_cep_rules
+
+__all__ = [
+    "IndicatorDefinition",
+    "INDICATOR_CATALOGUE",
+    "IndicatorActivityModel",
+    "IndigenousKnowledgeBase",
+    "ElicitationCampaign",
+    "FuzzyVariable",
+    "TriangularMembership",
+    "aggregate_evidence",
+    "derive_cep_rules",
+]

@@ -1,0 +1,146 @@
+"""Fuzzy evidence combination for indigenous knowledge.
+
+IK indicators are graded ("many worms", "a few worms") and individually
+unreliable; communities combine several before committing to a forecast.
+The ITIKI line of work the paper builds on uses fuzzy membership for exactly
+this.  This module provides triangular/trapezoidal membership functions, a
+small fuzzy-variable abstraction and the evidence aggregation used by the
+IK-only forecaster and the fusion forecaster:
+
+* each indicator sighting contributes ``intensity x reliability`` evidence
+  towards the condition it implies,
+* evidence for the same condition combines with a noisy-OR (independent
+  sources), and
+* opposing conditions ("drier" vs "wetter") are resolved by subtracting the
+  weaker from the stronger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TriangularMembership:
+    """A triangular fuzzy membership function (left, peak, right)."""
+
+    left: float
+    peak: float
+    right: float
+
+    def __post_init__(self) -> None:
+        if not self.left <= self.peak <= self.right:
+            raise ValueError("membership requires left <= peak <= right")
+
+    def membership(self, value: float) -> float:
+        """Degree of membership of ``value`` in ``[0, 1]``."""
+        if value <= self.left or value >= self.right:
+            # the degenerate single-point case is fully inside
+            if self.left == self.peak == self.right and value == self.peak:
+                return 1.0
+            return 0.0
+        if value == self.peak:
+            return 1.0
+        if value < self.peak:
+            return (value - self.left) / (self.peak - self.left)
+        return (self.right - value) / (self.right - self.peak)
+
+
+@dataclass(frozen=True)
+class TrapezoidalMembership:
+    """A trapezoidal membership function (left, left_top, right_top, right)."""
+
+    left: float
+    left_top: float
+    right_top: float
+    right: float
+
+    def __post_init__(self) -> None:
+        if not self.left <= self.left_top <= self.right_top <= self.right:
+            raise ValueError("membership bounds must be ordered")
+
+    def membership(self, value: float) -> float:
+        """Degree of membership of ``value`` in ``[0, 1]``."""
+        if value < self.left or value > self.right:
+            return 0.0
+        if self.left_top <= value <= self.right_top:
+            return 1.0
+        if value < self.left_top:
+            if self.left_top == self.left:
+                return 1.0
+            return (value - self.left) / (self.left_top - self.left)
+        if self.right == self.right_top:
+            return 1.0
+        return (self.right - value) / (self.right - self.right_top)
+
+
+class FuzzyVariable:
+    """A linguistic variable with named fuzzy terms.
+
+    Example: sighting intensity with terms ``few`` / ``some`` / ``many``.
+    """
+
+    def __init__(self, name: str, terms: Mapping[str, object]):
+        if not terms:
+            raise ValueError("a fuzzy variable needs at least one term")
+        self.name = name
+        self._terms = dict(terms)
+
+    @property
+    def terms(self) -> List[str]:
+        """The linguistic term names."""
+        return list(self._terms)
+
+    def fuzzify(self, value: float) -> Dict[str, float]:
+        """Membership of ``value`` in every term."""
+        return {
+            term: function.membership(value) for term, function in self._terms.items()
+        }
+
+    def best_term(self, value: float) -> str:
+        """The term with maximum membership for ``value``."""
+        memberships = self.fuzzify(value)
+        return max(memberships, key=memberships.get)
+
+
+#: Default linguistic scale for sighting intensity reports.
+SIGHTING_INTENSITY = FuzzyVariable(
+    "sighting_intensity",
+    {
+        "few": TriangularMembership(0.0, 0.0, 0.45),
+        "some": TriangularMembership(0.25, 0.5, 0.75),
+        "many": TriangularMembership(0.55, 1.0, 1.0),
+    },
+)
+
+
+def noisy_or(probabilities: Iterable[float]) -> float:
+    """Combine independent evidence values with a noisy-OR."""
+    result = 1.0
+    for probability in probabilities:
+        probability = max(0.0, min(1.0, probability))
+        result *= 1.0 - probability
+    return 1.0 - result
+
+
+def aggregate_evidence(
+    evidence: Sequence[Tuple[str, float]],
+) -> Dict[str, float]:
+    """Aggregate (condition, strength) evidence pairs.
+
+    Returns a dict with the noisy-OR combined strength per condition plus a
+    ``net_drier`` key: combined drier evidence minus combined wetter
+    evidence, clipped to ``[-1, 1]``.  Positive ``net_drier`` supports a
+    drought-leaning forecast.
+    """
+    by_condition: Dict[str, List[float]] = {}
+    for condition, strength in evidence:
+        by_condition.setdefault(condition, []).append(strength)
+    combined = {
+        condition: noisy_or(strengths) for condition, strengths in by_condition.items()
+    }
+    drier = combined.get("drier", 0.0)
+    wetter = combined.get("wetter", 0.0)
+    combined["net_drier"] = max(-1.0, min(1.0, drier - wetter))
+    return combined

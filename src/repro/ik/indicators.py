@@ -1,0 +1,379 @@
+"""Indigenous drought indicators.
+
+The catalogue below encodes the indicators the paper and its cited IK
+studies (Masinde & Bagula's ITIKI bridge, Mugabe et al.'s Zambia/Zimbabwe
+study) describe: biological indicators such as *sifennefene* worm abundance
+and *mutiga* / *umtiza* tree phenology, animal behaviour, and
+meteorological / astronomical signs read by elders.  Each indicator carries
+the condition it implies (drier or wetter season ahead), a community-
+assigned reliability, a typical lead time and the environmental driver that
+(in the simulation) controls when the indicator actually shows.
+
+The *activity model* closes the loop for experiments: given the ground-truth
+environment it computes the probability that an indicator is observable at
+a time and place, so simulated community observers report sightings whose
+statistics follow the drought ground truth -- imperfectly, at the
+reliability the catalogue assigns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sensors.modality import EnvironmentModel
+from repro.streams.scheduler import DAY
+
+
+@dataclass(frozen=True)
+class IndicatorDefinition:
+    """One indigenous indicator and its elicited interpretation.
+
+    Attributes
+    ----------
+    key:
+        Machine key, e.g. ``"sifennefene_worms"``.
+    label:
+        Human-readable name as communities describe it.
+    category:
+        Ontology category: ``plant``, ``animal``, ``insect``,
+        ``meteorological``, ``astronomical`` or ``hydrological``.
+    implies:
+        ``"drier"`` or ``"wetter"`` -- the seasonal condition the indicator
+        points to when observed.
+    reliability:
+        Community-assigned probability in ``[0, 1]`` that the implication
+        holds when the indicator is sighted.
+    lead_time_days:
+        Typical number of days between sighting and the implied condition.
+    driver:
+        The canonical environmental property whose anomaly controls the
+        indicator's visibility in the simulation.
+    driver_direction:
+        ``-1`` when the indicator shows under *negative* anomalies of the
+        driver (dry conditions), ``+1`` for positive anomalies.
+    baseline_activity:
+        Probability of a (false-positive) sighting under neutral conditions.
+    """
+
+    key: str
+    label: str
+    category: str
+    implies: str
+    reliability: float
+    lead_time_days: float
+    driver: str
+    driver_direction: int
+    baseline_activity: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.implies not in ("drier", "wetter"):
+            raise ValueError("implies must be 'drier' or 'wetter'")
+        if not 0.0 <= self.reliability <= 1.0:
+            raise ValueError("reliability must be within [0, 1]")
+
+
+#: Reference indicator catalogue for the Free State scenario.
+INDICATOR_CATALOGUE: Dict[str, IndicatorDefinition] = {
+    definition.key: definition
+    for definition in [
+        IndicatorDefinition(
+            key="sifennefene_worms",
+            label="Abundance of sifennefene worms",
+            category="insect",
+            implies="drier",
+            reliability=0.72,
+            lead_time_days=45.0,
+            driver="soil_moisture",
+            driver_direction=-1,
+        ),
+        IndicatorDefinition(
+            key="mutiga_tree_flowering",
+            label="Heavy flowering of the mutiga tree",
+            category="plant",
+            implies="drier",
+            reliability=0.68,
+            lead_time_days=60.0,
+            driver="rainfall",
+            driver_direction=-1,
+        ),
+        IndicatorDefinition(
+            key="umtiza_leaf_shedding",
+            label="Early leaf shedding of umtiza trees",
+            category="plant",
+            implies="drier",
+            reliability=0.64,
+            lead_time_days=50.0,
+            driver="soil_moisture",
+            driver_direction=-1,
+        ),
+        IndicatorDefinition(
+            key="aloe_profuse_bloom",
+            label="Profuse blooming of aloes",
+            category="plant",
+            implies="drier",
+            reliability=0.60,
+            lead_time_days=40.0,
+            driver="rainfall",
+            driver_direction=-1,
+        ),
+        IndicatorDefinition(
+            key="stork_early_departure",
+            label="Early departure of storks and swallows",
+            category="animal",
+            implies="drier",
+            reliability=0.58,
+            lead_time_days=35.0,
+            driver="air_temperature",
+            driver_direction=1,
+        ),
+        IndicatorDefinition(
+            key="ants_moving_high",
+            label="Ants moving nests to higher ground",
+            category="insect",
+            implies="wetter",
+            reliability=0.62,
+            lead_time_days=20.0,
+            driver="rainfall",
+            driver_direction=1,
+        ),
+        IndicatorDefinition(
+            key="frogs_calling",
+            label="Night-long frog choruses near pans",
+            category="animal",
+            implies="wetter",
+            reliability=0.66,
+            lead_time_days=15.0,
+            driver="rainfall",
+            driver_direction=1,
+        ),
+        IndicatorDefinition(
+            key="haze_over_maluti",
+            label="Persistent dry haze over the Maluti mountains",
+            category="meteorological",
+            implies="drier",
+            reliability=0.55,
+            lead_time_days=30.0,
+            driver="relative_humidity",
+            driver_direction=-1,
+        ),
+        IndicatorDefinition(
+            key="moon_halo",
+            label="Halo around the moon",
+            category="astronomical",
+            implies="wetter",
+            reliability=0.45,
+            lead_time_days=10.0,
+            driver="relative_humidity",
+            driver_direction=1,
+        ),
+        IndicatorDefinition(
+            key="whirlwinds_frequent",
+            label="Frequent dust whirlwinds at midday",
+            category="meteorological",
+            implies="drier",
+            reliability=0.57,
+            lead_time_days=25.0,
+            driver="soil_moisture",
+            driver_direction=-1,
+        ),
+        IndicatorDefinition(
+            key="springs_receding",
+            label="Mountain springs receding early in the season",
+            category="hydrological",
+            implies="drier",
+            reliability=0.74,
+            lead_time_days=55.0,
+            driver="water_level",
+            driver_direction=-1,
+        ),
+        IndicatorDefinition(
+            key="cattle_restless",
+            label="Cattle restless and grazing at night",
+            category="animal",
+            implies="drier",
+            reliability=0.52,
+            lead_time_days=20.0,
+            driver="air_temperature",
+            driver_direction=1,
+        ),
+    ]
+}
+
+#: Typical climatological normals used to convert absolute driver values
+#: into anomalies for the activity model.
+_DRIVER_NORMALS: Dict[str, Tuple[float, float]] = {
+    # property -> (normal value, anomaly scale)
+    "soil_moisture": (22.0, 8.0),
+    "rainfall": (1.8, 1.5),
+    "air_temperature": (24.0, 4.0),
+    "relative_humidity": (55.0, 15.0),
+    "water_level": (2500.0, 800.0),
+    "vegetation_index": (0.45, 0.15),
+}
+
+
+class IndicatorActivityModel:
+    """Probability that an indicator is observable, given the environment.
+
+    The probability is a logistic function of the driver property's anomaly
+    in the indicator's preferred direction, scaled so that under strongly
+    anomalous conditions the sighting probability approaches
+    ``reliability`` and under neutral/opposite conditions it approaches the
+    ``baseline_activity`` (false sightings still happen -- IK forecasts have
+    "an uncertain level of accuracy", which experiment E5 quantifies).
+
+    ``reference`` supplies the *seasonal normal* the anomaly is taken
+    against -- communities read their indicators relative to what is usual
+    for the time of year, so a dry July (ordinary winter) does not trigger
+    the dry-season indicators while a dry January (failed rains) does.
+    Without a reference the fixed climatological normals in
+    :data:`_DRIVER_NORMALS` are used.
+    """
+
+    #: Trailing window (days) and sample count over which the driver is
+    #: averaged.  Indicators respond to the recent spell, not to a single
+    #: day's weather (a lone shower does not silence the drought signs).
+    smoothing_days: float = 21.0
+    smoothing_samples: int = 7
+    #: Years of the reference climate used to build the seasonal normal.
+    climatology_years: int = 5
+    #: Anomaly (in driver scales) at which activity reaches half of its span.
+    activation_offset: float = 1.2
+
+    def __init__(
+        self,
+        environment: EnvironmentModel,
+        catalogue: Optional[Dict[str, IndicatorDefinition]] = None,
+        sharpness: float = 2.0,
+        reference: Optional[EnvironmentModel] = None,
+    ):
+        self.environment = environment
+        self.catalogue = dict(catalogue or INDICATOR_CATALOGUE)
+        self.sharpness = sharpness
+        self.reference = reference
+        # seasonal normals are cached per (driver, spatial cell): weather is
+        # spatially variable, so each observer's anomaly must be taken
+        # against the normal of their own location
+        self._seasonal_normals: Dict[tuple, List[float]] = {}
+
+    def _smoothed_value(self, model: EnvironmentModel, driver: str, location, timestamp: float) -> float:
+        step = self.smoothing_days * DAY / self.smoothing_samples
+        earliest = max(0.0, timestamp - self.smoothing_days * DAY)
+        samples = []
+        t = timestamp
+        while t >= earliest and len(samples) < self.smoothing_samples:
+            samples.append(model.true_value(driver, location, t))
+            t -= step
+        return sum(samples) / len(samples)
+
+    def _seasonal_normal(self, driver: str, location, timestamp: float) -> float:
+        """Day-of-year climatological normal of the driver from the reference.
+
+        Built lazily, once per driver, by averaging the reference climate
+        over several years at a representative location -- comparing against
+        an expected seasonal value rather than against another single noisy
+        realisation.
+        """
+        cell = (round(location[0] * 5), round(location[1] * 5))
+        cache_key = (driver, cell)
+        normals = self._seasonal_normals.get(cache_key)
+        if normals is None:
+            years = self.climatology_years
+            daily = [
+                self.reference.true_value(driver, location, d * DAY + DAY / 2)
+                for d in range(365 * years)
+            ]
+            normals = []
+            for doy in range(365):
+                values = [daily[doy + 365 * year] for year in range(years)]
+                normals.append(sum(values) / len(values))
+            # smooth over +/- 7 days
+            smoothed = []
+            for doy in range(365):
+                window = [normals[(doy + offset) % 365] for offset in range(-7, 8)]
+                smoothed.append(sum(window) / len(window))
+            normals = smoothed
+            self._seasonal_normals[cache_key] = normals
+        doy = int(timestamp / DAY) % 365
+        return normals[doy]
+
+    def anomaly(self, definition: IndicatorDefinition, location, timestamp: float) -> float:
+        """Signed, scaled anomaly of the indicator's driver property.
+
+        The driver is averaged over the trailing ``smoothing_days`` so the
+        anomaly reflects the recent spell rather than one day's weather, and
+        is taken relative to the seasonal normal when a reference climate is
+        available.
+        """
+        normal, scale = _DRIVER_NORMALS.get(definition.driver, (0.0, 1.0))
+        if self.reference is not None:
+            normal = self._seasonal_normal(definition.driver, location, timestamp)
+        value = self._smoothed_value(self.environment, definition.driver, location, timestamp)
+        return (value - normal) / scale
+
+    def _faithfulness(self, indicator_key: str, location, season_index: int) -> str:
+        """Whether the indicator tracks conditions this season at this place.
+
+        Deterministic per (indicator, season, cell).  With probability
+        ``reliability`` the indicator is *faithful* (its visibility follows
+        the driver anomaly); the remaining seasons split evenly between
+        *silent* (it fails to show even under anomalous conditions) and
+        *spurious* (it shows regardless).  These season-level failures are
+        shared by every observer in the area -- which is exactly why IK-only
+        forecasts carry the "uncertain level of accuracy" the paper
+        describes: the whole community reads the same misleading sign.
+        """
+        definition = self.catalogue[indicator_key]
+        cell = (round(location[0] * 5), round(location[1] * 5))
+        key = f"faith:{indicator_key}:{season_index}:{cell}".encode()
+        import hashlib
+
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        draw = int.from_bytes(digest, "big") / float(2**64)
+        if draw < definition.reliability:
+            return "faithful"
+        if draw < definition.reliability + (1.0 - definition.reliability) / 2.0:
+            return "silent"
+        return "spurious"
+
+    def activity(self, indicator_key: str, location, timestamp: float) -> float:
+        """Sighting probability for the indicator at ``location`` / ``timestamp``.
+
+        The paper's premise (and the IK literature it cites) is that the
+        indicators carry *predictive* signal: the worms, trees and springs
+        respond to cues that precede the instrumental drought signal.  The
+        simulation grants each indicator that anticipation by evaluating its
+        driver anomaly part of its stated lead time into the future.  The
+        indicator's ``reliability`` controls season-level faithfulness (see
+        :meth:`_faithfulness`), which is what makes IK-only forecasting
+        genuinely uncertain rather than merely noisy.
+        """
+        definition = self.catalogue.get(indicator_key)
+        if definition is None:
+            return 0.0
+        anticipation = definition.lead_time_days * DAY
+        target_time = timestamp + anticipation
+        season_index = int(target_time / (182.5 * DAY))
+        mode = self._faithfulness(indicator_key, location, season_index)
+        span = definition.reliability - definition.baseline_activity
+        if mode == "silent":
+            return definition.baseline_activity
+        if mode == "spurious":
+            return definition.baseline_activity + 0.75 * span
+        anomaly = self.anomaly(definition, location, target_time)
+        aligned = anomaly * definition.driver_direction
+        logistic = 1.0 / (
+            1.0 + math.exp(-self.sharpness * (aligned - self.activation_offset))
+        )
+        return definition.baseline_activity + span * logistic
+
+    def __call__(self, indicator_key: str, location, timestamp: float) -> float:
+        return self.activity(indicator_key, location, timestamp)
+
+
+def indicators_implying(condition: str, catalogue: Optional[Dict[str, IndicatorDefinition]] = None) -> List[IndicatorDefinition]:
+    """All catalogue indicators implying ``condition`` ('drier' or 'wetter')."""
+    source = catalogue or INDICATOR_CATALOGUE
+    return [d for d in source.values() if d.implies == condition]

@@ -1,0 +1,212 @@
+"""The indigenous knowledge base.
+
+Holds the indicator definitions a community actually uses (which may be a
+noisy subset of the reference catalogue -- see
+:mod:`repro.ik.elicitation`), answers evidence queries over indicator
+sightings, and materialises the knowledge into the unified ontology as
+individuals of the IK ontology classes so that it can be queried and
+reasoned over alongside the sensor observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ik.fuzzy import aggregate_evidence
+from repro.ik.indicators import INDICATOR_CATALOGUE, IndicatorDefinition
+from repro.ontologies.vocabulary import AFRICRID, IK
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import RDF, RDFS
+from repro.semantics.rdf.term import IRI, Literal
+from repro.semantics.rdf.triple import Triple
+from repro.streams.messages import ObservationRecord
+
+_CATEGORY_CLASSES = {
+    "plant": IK.PlantIndicator,
+    "animal": IK.AnimalIndicator,
+    "insect": IK.InsectIndicator,
+    "meteorological": IK.MeteorologicalIndicator,
+    "astronomical": IK.AstronomicalIndicator,
+    "hydrological": IK.HydrologicalIndicator,
+}
+
+_CONDITION_INDIVIDUALS = {
+    "drier": IK.DrierCondition,
+    "wetter": IK.WetterCondition,
+}
+
+
+@dataclass
+class SightingEvidence:
+    """One piece of IK evidence extracted from a sighting record."""
+
+    indicator_key: str
+    condition: str
+    strength: float
+    observer: str
+    timestamp: float
+
+
+class IndigenousKnowledgeBase:
+    """A community's indigenous drought-forecasting knowledge.
+
+    Parameters
+    ----------
+    indicators:
+        The indicator definitions this community recognises.  Defaults to
+        the full reference catalogue.
+    community:
+        Name recorded as the provenance of elicited rules.
+    """
+
+    def __init__(
+        self,
+        indicators: Optional[Dict[str, IndicatorDefinition]] = None,
+        community: str = "free-state-reference",
+    ):
+        self.indicators: Dict[str, IndicatorDefinition] = dict(
+            indicators if indicators is not None else INDICATOR_CATALOGUE
+        )
+        self.community = community
+        self.sightings: List[SightingEvidence] = []
+
+    # ------------------------------------------------------------------ #
+    # knowledge access
+    # ------------------------------------------------------------------ #
+
+    def get(self, indicator_key: str) -> Optional[IndicatorDefinition]:
+        """The definition for an indicator key, or ``None`` if unknown."""
+        return self.indicators.get(indicator_key)
+
+    def known_keys(self) -> List[str]:
+        """The indicator keys this knowledge base recognises."""
+        return sorted(self.indicators)
+
+    def indicators_implying(self, condition: str) -> List[IndicatorDefinition]:
+        """Indicators implying ``condition`` ('drier' or 'wetter')."""
+        return [d for d in self.indicators.values() if d.implies == condition]
+
+    def mean_lead_time(self, condition: str = "drier") -> float:
+        """Mean lead time (days) of the indicators implying ``condition``."""
+        relevant = self.indicators_implying(condition)
+        if not relevant:
+            return 0.0
+        return sum(d.lead_time_days for d in relevant) / len(relevant)
+
+    # ------------------------------------------------------------------ #
+    # evidence handling
+    # ------------------------------------------------------------------ #
+
+    def register_sighting(self, record: ObservationRecord) -> Optional[SightingEvidence]:
+        """Convert an ``ik_sighting`` observation record into evidence.
+
+        Records naming unknown indicators are ignored (returns ``None``) --
+        the community simply does not read that sign.
+        """
+        definition = self.indicators.get(record.property_name)
+        if definition is None:
+            return None
+        evidence = SightingEvidence(
+            indicator_key=definition.key,
+            condition=definition.implies,
+            strength=max(0.0, min(1.0, record.value)) * definition.reliability,
+            observer=record.source_id,
+            timestamp=record.timestamp,
+        )
+        self.sightings.append(evidence)
+        return evidence
+
+    def evidence_between(self, start: float, end: float) -> List[SightingEvidence]:
+        """Evidence whose timestamp falls within ``[start, end)``."""
+        return [e for e in self.sightings if start <= e.timestamp < end]
+
+    def aggregate(
+        self, start: float, end: float, corroboration_observers: int = 3
+    ) -> Dict[str, float]:
+        """Aggregate evidence in a window into condition strengths.
+
+        Per indicator, the strongest report sets the evidence strength and a
+        corroboration factor (distinct observers / ``corroboration_observers``,
+        capped at 1) discounts indicators only one or two people claim to
+        have seen.  Indicator-level evidence then combines with a noisy-OR
+        per implied condition -- many observers repeating the *same* sign do
+        not count more than the sign itself, but independent signs do.
+        """
+        per_indicator: Dict[str, Dict[str, object]] = {}
+        for evidence in self.evidence_between(start, end):
+            entry = per_indicator.setdefault(
+                evidence.indicator_key,
+                {"condition": evidence.condition, "strength": 0.0, "observers": set()},
+            )
+            entry["strength"] = max(entry["strength"], evidence.strength)
+            entry["observers"].add(evidence.observer)
+        pairs = []
+        for entry in per_indicator.values():
+            corroboration = min(
+                1.0, len(entry["observers"]) / float(corroboration_observers)
+            )
+            pairs.append((entry["condition"], entry["strength"] * corroboration))
+        return aggregate_evidence(pairs)
+
+    def clear_sightings(self) -> None:
+        """Forget all registered sightings (between scenario runs)."""
+        self.sightings.clear()
+
+    # ------------------------------------------------------------------ #
+    # ontology materialisation
+    # ------------------------------------------------------------------ #
+
+    def materialize(self, graph: Graph) -> int:
+        """Write the knowledge base into ``graph`` as IK-ontology individuals.
+
+        Returns the number of triples added.
+        """
+        before = len(graph)
+        for definition in self.indicators.values():
+            indicator_iri = AFRICRID[f"indicator/{definition.key}"]
+            category_class = _CATEGORY_CLASSES.get(
+                definition.category, IK.IndigenousIndicator
+            )
+            graph.add(Triple(indicator_iri, RDF.type, category_class))
+            graph.add(Triple(indicator_iri, RDFS.label, Literal(definition.label)))
+            graph.add(
+                Triple(indicator_iri, IK.implies, _CONDITION_INDIVIDUALS[definition.implies])
+            )
+            graph.add(
+                Triple(indicator_iri, IK.hasReliability, Literal(definition.reliability))
+            )
+            graph.add(
+                Triple(indicator_iri, IK.hasLeadTimeDays, Literal(definition.lead_time_days))
+            )
+            rule_iri = AFRICRID[f"ikrule/{definition.key}"]
+            graph.add(Triple(rule_iri, RDF.type, IK.IndigenousForecastRule))
+            graph.add(Triple(rule_iri, IK.derivedFromIndicator, indicator_iri))
+            graph.add(Triple(rule_iri, IK.elicitedFromCommunity, Literal(self.community)))
+        return len(graph) - before
+
+    def materialize_sighting(self, graph: Graph, record: ObservationRecord) -> Optional[IRI]:
+        """Write one sighting as an ``IndicatorSighting`` individual."""
+        definition = self.indicators.get(record.property_name)
+        if definition is None:
+            return None
+        sighting_iri = AFRICRID[
+            f"sighting/{record.source_id}/{int(record.timestamp)}/{definition.key}"
+        ]
+        indicator_iri = AFRICRID[f"indicator/{definition.key}"]
+        observer_iri = AFRICRID[f"observer/{record.source_id}"]
+        graph.add(Triple(sighting_iri, RDF.type, IK.IndicatorSighting))
+        graph.add(Triple(sighting_iri, IK.sightedIndicator, indicator_iri))
+        graph.add(Triple(sighting_iri, IK.reportedBy, observer_iri))
+        graph.add(Triple(sighting_iri, IK.sightingIntensity, Literal(float(record.value))))
+        graph.add(Triple(observer_iri, RDF.type, IK.CommunityObserver))
+        return sighting_iri
+
+    def __len__(self) -> int:
+        return len(self.indicators)
+
+    def __repr__(self) -> str:
+        return (
+            f"<IndigenousKnowledgeBase community={self.community!r} "
+            f"indicators={len(self.indicators)} sightings={len(self.sightings)}>"
+        )

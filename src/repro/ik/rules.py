@@ -1,0 +1,173 @@
+"""Deriving CEP rules from indigenous knowledge.
+
+This is the concrete mechanism behind the paper's sentence "the CEP engine
+infer patterns leading to drought event based on the set of rules derived
+from the IK of the local people on drought": for every indicator in the
+community knowledge base that implies drier conditions a
+:class:`~repro.cep.rules.CepRule` is generated that watches the sighting
+stream for corroborated reports (several distinct observers within the
+indicator's lead-time window) and emits an ``ik_dry_indication`` derived
+event weighted by the indicator's elicited reliability.  Wetter-condition
+indicators produce ``ik_wet_indication`` events that argue against a
+drought forecast.
+
+A second set of *sensor-side* rules (thresholds and trends on the canonical
+properties) is also provided so the engine can detect the environmental
+processes of the paper's process ontology; the fusion forecaster consumes
+both streams of derived events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.cep.patterns import CountPattern, ThresholdPattern, TrendPattern
+from repro.cep.rules import CepRule
+from repro.ik.knowledge_base import IndigenousKnowledgeBase
+from repro.streams.scheduler import DAY
+
+
+def derive_cep_rules(
+    knowledge_base: IndigenousKnowledgeBase,
+    min_observers: int = 3,
+    min_intensity: float = 0.4,
+    area: Optional[str] = None,
+) -> List[CepRule]:
+    """Generate one CEP rule per indicator in the knowledge base.
+
+    Parameters
+    ----------
+    knowledge_base:
+        The community knowledge base produced by elicitation.
+    min_observers:
+        Number of distinct observers that must corroborate a sighting
+        before the rule fires.
+    min_intensity:
+        Minimum sighting intensity for a report to count.
+    area:
+        Optional area scoping applied to every generated rule.
+    """
+    rules: List[CepRule] = []
+    for definition in knowledge_base.indicators.values():
+        derived_type = (
+            "ik_dry_indication" if definition.implies == "drier" else "ik_wet_indication"
+        )
+        window = max(7.0, definition.lead_time_days) * DAY
+        pattern = CountPattern(
+            event_type=definition.key,
+            minimum=min_observers,
+            distinct_sources=True,
+            qualifier=lambda event, threshold=min_intensity: event.value >= threshold,
+        )
+        rules.append(
+            CepRule(
+                name=f"ik_{definition.key}",
+                pattern=pattern,
+                window_seconds=window,
+                derived_event_type=derived_type,
+                min_score=0.0,
+                cooldown_seconds=7 * DAY,
+                area=area,
+                weight=definition.reliability,
+                source="indigenous",
+            )
+        )
+    return rules
+
+
+def sensor_process_rules(area: Optional[str] = None) -> List[CepRule]:
+    """The sensor-side process-detection rules of the environmental ontology.
+
+    Each rule detects one of the ENVO processes that culminate in the
+    drought onset event (soil drying, rainfall deficit, heat accumulation,
+    water depletion, vegetation decline).  The rules watch *anomaly* event
+    streams (``<property>_anomaly`` -- standardised departures from the
+    seasonal climatology, produced by the DEWS aggregation stage or any
+    application) rather than raw values, so an ordinary dry winter does not
+    register as a drought precursor.
+    """
+    rules = [
+        CepRule(
+            name="soil_drying_process",
+            pattern=ThresholdPattern(
+                "soil_moisture_anomaly", threshold=-1.0, comparison="below",
+                min_fraction=0.75, min_count=5,
+            ),
+            window_seconds=14 * DAY,
+            derived_event_type="soil_drying_process",
+            cooldown_seconds=7 * DAY,
+            area=area,
+            weight=1.0,
+            source="sensor",
+        ),
+        CepRule(
+            name="rainfall_deficit_process",
+            pattern=ThresholdPattern(
+                "rainfall_anomaly", threshold=-0.6, comparison="below",
+                min_fraction=0.8, min_count=10,
+            ),
+            window_seconds=30 * DAY,
+            derived_event_type="rainfall_deficit_process",
+            cooldown_seconds=10 * DAY,
+            area=area,
+            weight=1.1,
+            source="sensor",
+        ),
+        CepRule(
+            name="heat_accumulation_process",
+            pattern=ThresholdPattern(
+                "air_temperature_anomaly", threshold=1.0, comparison="above",
+                min_fraction=0.6, min_count=5,
+            ),
+            window_seconds=14 * DAY,
+            derived_event_type="heat_accumulation_process",
+            cooldown_seconds=7 * DAY,
+            area=area,
+            weight=0.8,
+            source="sensor",
+        ),
+        CepRule(
+            name="water_depletion_process",
+            pattern=ThresholdPattern(
+                "water_level_anomaly", threshold=-1.0, comparison="below",
+                min_fraction=0.75, min_count=6,
+            ),
+            window_seconds=30 * DAY,
+            derived_event_type="water_depletion_process",
+            cooldown_seconds=10 * DAY,
+            area=area,
+            weight=0.9,
+            source="sensor",
+        ),
+        CepRule(
+            name="vegetation_decline_process",
+            pattern=ThresholdPattern(
+                "vegetation_index_anomaly", threshold=-1.0, comparison="below",
+                min_fraction=0.7, min_count=5,
+            ),
+            window_seconds=30 * DAY,
+            derived_event_type="vegetation_decline_process",
+            cooldown_seconds=10 * DAY,
+            area=area,
+            weight=0.7,
+            source="sensor",
+        ),
+    ]
+    return rules
+
+
+#: Derived event types that argue for a drought forecast, with the default
+#: evidence weight the fusion forecaster assigns to each.
+DROUGHT_EVIDENCE_WEIGHTS: Dict[str, float] = {
+    "soil_drying_process": 1.0,
+    "rainfall_deficit_process": 1.1,
+    "heat_accumulation_process": 0.7,
+    "water_depletion_process": 0.9,
+    "vegetation_decline_process": 0.8,
+    "ik_dry_indication": 0.9,
+}
+
+#: Derived event types that argue against a drought forecast.
+CONTRA_EVIDENCE_WEIGHTS: Dict[str, float] = {
+    "ik_wet_indication": 0.8,
+}

@@ -1,0 +1,60 @@
+"""The ontology library (paper Fig. 1).
+
+The paper proposes a *unified ontology* assembled from an upper-level
+foundational ontology (DOLCE) extended with domain ontologies for sensing,
+environmental processes, the drought domain and indigenous knowledge, plus
+alignment and measurement-unit vocabularies:
+
+``repro.ontologies.vocabulary``
+    All namespace objects and canonical IRIs used across the system.
+``repro.ontologies.dolce``
+    DOLCE-inspired upper ontology: endurants, perdurants, qualities.
+``repro.ontologies.ssn``
+    SSN/SOSA-style sensor ontology: Sensor, Observation, ObservableProperty,
+    FeatureOfInterest, Platform, Deployment.
+``repro.ontologies.environment``
+    Environmental process ontology: Object / State / Process / Event and the
+    participation relations the paper argues are needed to track the
+    "what / where / when" of phenomena.
+``repro.ontologies.drought``
+    Drought domain ontology: drought types, severity classes, precursors,
+    indices and the drought vulnerability index.
+``repro.ontologies.indigenous``
+    Indigenous-knowledge ontology: indicator classes (biological,
+    meteorological, astronomical), sightings and implied conditions.
+``repro.ontologies.units``
+    QUDT-like measurement units with conversion factors.
+``repro.ontologies.alignment``
+    Multilingual / cross-community term alignment used to resolve naming
+    heterogeneity (e.g. "Hoehe" / "Stav" / "water level").
+``repro.ontologies.library``
+    Builds the unified ontology by importing all of the above into one
+    graph, mirroring the paper's ontology library figure.
+"""
+
+from repro.ontologies.vocabulary import (
+    AFRICRID,
+    DOLCE,
+    DROUGHT,
+    ENVO,
+    GEO,
+    IK,
+    QUDT,
+    SSN,
+    UNIT,
+)
+from repro.ontologies.library import OntologyLibrary, build_unified_ontology
+
+__all__ = [
+    "DOLCE",
+    "SSN",
+    "ENVO",
+    "DROUGHT",
+    "IK",
+    "AFRICRID",
+    "GEO",
+    "QUDT",
+    "UNIT",
+    "OntologyLibrary",
+    "build_unified_ontology",
+]

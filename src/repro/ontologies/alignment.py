@@ -1,0 +1,264 @@
+"""Term alignment: resolving naming heterogeneity.
+
+The paper's running example of naming heterogeneity is that the water-level
+property is called "Hoehe" by a German-built gauge and "Stav" by a Czech
+one.  Different vendors, standards (SensorML, WaterML, O&M) and information
+communities use different field names, languages, spellings and
+abbreviations for the same observable property.
+
+This module maintains the alignment table between *source terms* (as they
+appear in raw data streams) and the *canonical properties* of the unified
+ontology, and materialises the alignment as ``owl:equivalentClass`` /
+``skos``-style label triples so the reasoner can use it.  Matching combines
+exact lookup, normalisation (case, punctuation, underscores), a synonym
+dictionary covering multiple languages and vendor schemas, and a
+similarity-based fallback for unseen spellings.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+import unicodedata
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ontologies.environment import CANONICAL_PROPERTIES
+from repro.ontologies.vocabulary import ENVO
+from repro.semantics.owl.ontology import Ontology
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import OWL, RDFS, Namespace
+from repro.semantics.rdf.term import IRI, Literal
+from repro.semantics.rdf.triple import Triple
+
+#: Namespace under which unknown source terms are minted before alignment.
+SOURCE_TERMS = Namespace("http://africrid.example.org/sourceterm/")
+
+
+#: Synonym table: canonical property key -> source spellings seen in the
+#: wild (multiple languages, vendor schema field names, standard tags).
+SYNONYMS: Dict[str, List[str]] = {
+    "air_temperature": [
+        "temperature", "temp", "air temp", "tair", "t_air", "airtemperature",
+        "ambient temperature", "lufttemperatur", "temperatur", "teplota",
+        "temperatura", "dry bulb temperature", "ta", "temp_c", "temp_f", "tc",
+    ],
+    "soil_moisture": [
+        "soil moisture", "soilmoist", "soil_moist", "sm", "vwc",
+        "volumetric water content", "bodenfeuchte", "vlhkost pudy",
+        "humedad del suelo", "soil_water", "soil water content", "theta_v",
+        "moisture",
+    ],
+    "soil_temperature": [
+        "soil temperature", "tsoil", "t_soil", "bodentemperatur",
+        "teplota pudy", "ground temperature", "soil temp",
+    ],
+    "rainfall": [
+        "rain", "precipitation", "precip", "rain_mm", "rainfall amount",
+        "niederschlag", "srazky", "pluie", "precipitacion", "rain gauge",
+        "rain_accumulated", "ppt", "prcp", "pluvio", "rain today",
+    ],
+    "relative_humidity": [
+        "humidity", "rh", "relhum", "rel humidity", "luftfeuchtigkeit",
+        "vlhkost", "humedad", "relative humidity", "hum",
+    ],
+    "wind_speed": [
+        "wind", "windspeed", "wind velocity", "ws", "windgeschwindigkeit",
+        "rychlost vetru", "viento", "wind_speed_ms", "ff", "ane", "anemometer",
+    ],
+    "wind_direction": [
+        "wind direction", "wd", "winddir", "windrichtung", "smer vetru", "dd",
+    ],
+    "solar_radiation": [
+        "radiation", "solar", "srad", "global radiation", "globalstrahlung",
+        "solar irradiance", "shortwave radiation", "rs", "rad",
+    ],
+    "barometric_pressure": [
+        "pressure", "air pressure", "baro", "luftdruck", "tlak",
+        "atmospheric pressure", "slp", "station pressure", "pres",
+    ],
+    "water_level": [
+        "water level", "level", "stage", "hoehe", "höhe", "stav",
+        "wasserstand", "river level", "gauge height", "waterlevel",
+        "niveau d'eau", "nivel de agua",
+    ],
+    "evapotranspiration": [
+        "et", "eto", "evapotranspiration", "reference et", "pet",
+        "potential evapotranspiration", "verdunstung",
+    ],
+    "vegetation_index": [
+        "ndvi", "vegetation index", "evi", "greenness", "vci",
+        "vegetationsindex", "vegetation condition",
+    ],
+}
+
+
+def normalise_term(term: str) -> str:
+    """Normalise a raw source term for dictionary lookup.
+
+    Lower-cases, strips accents, removes punctuation and collapses
+    separators, so that ``"Soil_Moisture(%)"`` and ``"soil moisture"`` meet.
+    """
+    text = unicodedata.normalize("NFKD", term)
+    text = "".join(ch for ch in text if not unicodedata.combining(ch))
+    text = text.lower()
+    text = re.sub(r"\(.*?\)", " ", text)
+    text = re.sub(r"[^a-z0-9]+", " ", text)
+    return " ".join(text.split())
+
+
+@dataclass
+class AlignmentResult:
+    """Outcome of aligning one source term."""
+
+    source_term: str
+    canonical_key: Optional[str]
+    canonical_iri: Optional[IRI]
+    method: str                    # "exact" | "synonym" | "fuzzy" | "unresolved"
+    confidence: float
+
+    @property
+    def resolved(self) -> bool:
+        """Whether the term was mapped to a canonical property."""
+        return self.canonical_iri is not None
+
+
+@dataclass
+class AlignmentStatistics:
+    """Aggregate counters kept by a :class:`TermAligner`."""
+
+    total: int = 0
+    exact: int = 0
+    synonym: int = 0
+    fuzzy: int = 0
+    unresolved: int = 0
+
+    @property
+    def resolution_rate(self) -> float:
+        """Fraction of lookups that found a canonical property."""
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.unresolved / self.total
+
+    def record(self, result: AlignmentResult) -> None:
+        """Update the counters with one alignment outcome."""
+        self.total += 1
+        if result.method == "exact":
+            self.exact += 1
+        elif result.method == "synonym":
+            self.synonym += 1
+        elif result.method == "fuzzy":
+            self.fuzzy += 1
+        else:
+            self.unresolved += 1
+
+
+class TermAligner:
+    """Maps heterogeneous source terms to canonical observable properties.
+
+    Parameters
+    ----------
+    fuzzy_threshold:
+        Minimum :mod:`difflib` similarity ratio for the fuzzy fallback.
+        Set to 1.0 to disable fuzzy matching (used by the mediation
+        ablation benchmark).
+    extra_synonyms:
+        Additional ``canonical_key -> [spellings]`` entries, e.g. learned
+        during deployment or elicited alongside IK.
+    """
+
+    def __init__(
+        self,
+        fuzzy_threshold: float = 0.84,
+        extra_synonyms: Optional[Dict[str, Iterable[str]]] = None,
+    ):
+        self.fuzzy_threshold = fuzzy_threshold
+        self.statistics = AlignmentStatistics()
+        self._lookup: Dict[str, str] = {}
+        for key in CANONICAL_PROPERTIES:
+            self._lookup[normalise_term(key)] = key
+            self._lookup[normalise_term(key.replace("_", " "))] = key
+        for key, spellings in SYNONYMS.items():
+            for spelling in spellings:
+                self._lookup.setdefault(normalise_term(spelling), key)
+        if extra_synonyms:
+            for key, spellings in extra_synonyms.items():
+                if key not in CANONICAL_PROPERTIES:
+                    raise KeyError(f"unknown canonical property: {key!r}")
+                for spelling in spellings:
+                    self._lookup[normalise_term(spelling)] = key
+
+    def add_synonym(self, canonical_key: str, spelling: str) -> None:
+        """Register a new source spelling for a canonical property."""
+        if canonical_key not in CANONICAL_PROPERTIES:
+            raise KeyError(f"unknown canonical property: {canonical_key!r}")
+        self._lookup[normalise_term(spelling)] = canonical_key
+
+    def align(self, source_term: str) -> AlignmentResult:
+        """Resolve one source term, recording statistics."""
+        result = self._align(source_term)
+        self.statistics.record(result)
+        return result
+
+    def _align(self, source_term: str) -> AlignmentResult:
+        normalised = normalise_term(source_term)
+        if not normalised:
+            return AlignmentResult(source_term, None, None, "unresolved", 0.0)
+        # exact canonical key
+        if normalised in (normalise_term(k) for k in CANONICAL_PROPERTIES):
+            key = self._lookup[normalised]
+            return AlignmentResult(source_term, key, CANONICAL_PROPERTIES[key], "exact", 1.0)
+        # synonym dictionary
+        key = self._lookup.get(normalised)
+        if key is not None:
+            return AlignmentResult(source_term, key, CANONICAL_PROPERTIES[key], "synonym", 0.95)
+        # fuzzy fallback
+        if self.fuzzy_threshold < 1.0:
+            candidates = difflib.get_close_matches(
+                normalised, list(self._lookup), n=1, cutoff=self.fuzzy_threshold
+            )
+            if candidates:
+                matched = candidates[0]
+                key = self._lookup[matched]
+                ratio = difflib.SequenceMatcher(None, normalised, matched).ratio()
+                return AlignmentResult(
+                    source_term, key, CANONICAL_PROPERTIES[key], "fuzzy", ratio
+                )
+        return AlignmentResult(source_term, None, None, "unresolved", 0.0)
+
+    def materialize_alignment(self, graph: Graph, source_terms: Iterable[str]) -> int:
+        """Write alignment axioms for ``source_terms`` into ``graph``.
+
+        Each resolved term is minted as a class in the source-term namespace,
+        declared ``owl:equivalentClass`` to its canonical property and given
+        an ``rdfs:label`` carrying the original spelling.  Returns the number
+        of resolved terms.
+        """
+        graph.namespaces.bind("srcterm", SOURCE_TERMS)
+        resolved = 0
+        for term in source_terms:
+            result = self.align(term)
+            if not result.resolved:
+                continue
+            local = re.sub(r"[^A-Za-z0-9]+", "_", term).strip("_") or "term"
+            source_iri = SOURCE_TERMS[local]
+            graph.add(Triple(source_iri, OWL.equivalentClass, result.canonical_iri))
+            graph.add(Triple(source_iri, RDFS.label, Literal(term)))
+            resolved += 1
+        return resolved
+
+
+def build_alignment_ontology(graph: Optional[Graph] = None) -> Ontology:
+    """Materialise the full synonym table as an alignment ontology.
+
+    Every known spelling becomes an ``rdfs:label`` (with a best-effort
+    language tag of ``und``) on the canonical property class, so the
+    alignment is visible to SPARQL queries and external tools.
+    """
+    ontology = Ontology(IRI("http://africrid.example.org/ontology/alignment"), graph=graph)
+    ontology.graph.namespaces.bind("envo", ENVO)
+    for key, spellings in SYNONYMS.items():
+        canonical = CANONICAL_PROPERTIES[key]
+        for spelling in spellings:
+            ontology.graph.add(Triple(canonical, RDFS.label, Literal(spelling, lang="und")))
+    return ontology

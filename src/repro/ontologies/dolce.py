@@ -1,0 +1,254 @@
+"""DOLCE-inspired upper ontology.
+
+The paper (§4) proposes DOLCE (Descriptive Ontology for Linguistic and
+Cognitive Engineering, WonderWeb deliverable D17) as the upper-level
+foundational ontology, with domain entities classified into *endurants*
+(wholly present at any time: physical objects such as a sensor node, a
+river, a mutiga tree), *perdurants* (entities that happen in time: states,
+processes, events such as a rainfall deficit process or a drought event) and
+*qualities* (entities that inhere in other entities: soil moisture,
+temperature, rainfall amount), plus abstract *regions* in which quality
+values are located (quale).
+
+This module builds a faithful, compact subset of the DOLCE-Lite taxonomy:
+the branches the middleware actually classifies into, with the participation
+and inherence relations between them.
+"""
+
+from __future__ import annotations
+
+from repro.ontologies.vocabulary import DOLCE
+from repro.semantics.owl.ontology import Ontology
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import XSD
+from repro.semantics.rdf.term import IRI
+
+
+def build_dolce_ontology(graph: Graph = None) -> Ontology:
+    """Construct the DOLCE upper ontology.
+
+    Returns an :class:`~repro.semantics.owl.ontology.Ontology` whose graph
+    contains the taxonomy and core relations.  Pass an existing graph to
+    materialise into the shared unified-ontology graph.
+    """
+    ontology = Ontology(IRI("http://www.loa-cnr.it/ontologies/DOLCE-Lite"), graph=graph)
+    ontology.graph.namespaces.bind("dolce", DOLCE)
+
+    # ------------------------------------------------------------------ #
+    # top level
+    # ------------------------------------------------------------------ #
+    particular = ontology.declare_class(
+        DOLCE.Particular,
+        label="particular",
+        comment="Any entity that cannot be instantiated (the DOLCE root).",
+    )
+
+    endurant = ontology.declare_class(
+        DOLCE.Endurant,
+        label="endurant",
+        comment="Entity wholly present at any time it is present (continuant).",
+        parents=[particular],
+    )
+    perdurant = ontology.declare_class(
+        DOLCE.Perdurant,
+        label="perdurant",
+        comment="Entity that happens in time and accumulates temporal parts (occurrent).",
+        parents=[particular],
+    )
+    quality = ontology.declare_class(
+        DOLCE.Quality,
+        label="quality",
+        comment="Entity that inheres in another entity, e.g. the soil moisture of a field.",
+        parents=[particular],
+    )
+    abstract = ontology.declare_class(
+        DOLCE.Abstract,
+        label="abstract",
+        comment="Entity outside space-time, e.g. a region of quality values.",
+        parents=[particular],
+    )
+
+    # ------------------------------------------------------------------ #
+    # endurant branch
+    # ------------------------------------------------------------------ #
+    physical_endurant = ontology.declare_class(
+        DOLCE.PhysicalEndurant, label="physical endurant", parents=[endurant]
+    )
+    non_physical_endurant = ontology.declare_class(
+        DOLCE.NonPhysicalEndurant, label="non-physical endurant", parents=[endurant]
+    )
+    ontology.declare_class(
+        DOLCE.PhysicalObject,
+        label="physical object",
+        comment="Unified material endurants: sensor nodes, plants, animals, rivers.",
+        parents=[physical_endurant],
+    )
+    ontology.declare_class(
+        DOLCE.AmountOfMatter,
+        label="amount of matter",
+        comment="Unstructured matter such as a volume of water or soil.",
+        parents=[physical_endurant],
+    )
+    ontology.declare_class(
+        DOLCE.Feature,
+        label="feature",
+        comment="Dependent places/parts such as a catchment or field boundary.",
+        parents=[physical_endurant],
+    )
+    ontology.declare_class(
+        DOLCE.SocialObject,
+        label="social object",
+        comment="Non-physical endurants created by communities, e.g. an indigenous forecast.",
+        parents=[non_physical_endurant],
+    )
+    ontology.declare_class(
+        DOLCE.InformationObject,
+        label="information object",
+        comment="Encoded content such as an observation record or a forecast bulletin.",
+        parents=[non_physical_endurant],
+    )
+
+    # ------------------------------------------------------------------ #
+    # perdurant branch
+    # ------------------------------------------------------------------ #
+    stative = ontology.declare_class(
+        DOLCE.Stative, label="stative", parents=[perdurant]
+    )
+    eventive = ontology.declare_class(
+        DOLCE.Event, label="event", parents=[perdurant],
+        comment="Perdurants that are not homeomeric; culminations and achievements.",
+    )
+    ontology.declare_class(
+        DOLCE.State,
+        label="state",
+        comment="Homeomeric stative perdurant, e.g. 'the soil is dry'.",
+        parents=[stative],
+    )
+    ontology.declare_class(
+        DOLCE.Process,
+        label="process",
+        comment="Stative perdurant with internal change, e.g. progressive soil drying.",
+        parents=[stative],
+    )
+    ontology.declare_class(
+        DOLCE.Achievement,
+        label="achievement",
+        comment="Instantaneous event, e.g. a threshold crossing.",
+        parents=[eventive],
+    )
+    ontology.declare_class(
+        DOLCE.Accomplishment,
+        label="accomplishment",
+        comment="Extended event with a culmination, e.g. a drought episode.",
+        parents=[eventive],
+    )
+
+    # ------------------------------------------------------------------ #
+    # quality branch
+    # ------------------------------------------------------------------ #
+    ontology.declare_class(
+        DOLCE.PhysicalQuality,
+        label="physical quality",
+        comment="Qualities of physical endurants: temperature, moisture, height.",
+        parents=[quality],
+    )
+    ontology.declare_class(
+        DOLCE.TemporalQuality,
+        label="temporal quality",
+        comment="Qualities of perdurants: duration, onset time.",
+        parents=[quality],
+    )
+    ontology.declare_class(
+        DOLCE.AbstractQuality,
+        label="abstract quality",
+        comment="Qualities of non-physical endurants, e.g. forecast confidence.",
+        parents=[quality],
+    )
+
+    # ------------------------------------------------------------------ #
+    # abstract branch
+    # ------------------------------------------------------------------ #
+    region = ontology.declare_class(
+        DOLCE.Region, label="region", parents=[abstract],
+        comment="Value space in which a quale is located.",
+    )
+    ontology.declare_class(
+        DOLCE.PhysicalRegion, label="physical region", parents=[region]
+    )
+    ontology.declare_class(
+        DOLCE.TemporalRegion, label="temporal region", parents=[region]
+    )
+    ontology.declare_class(
+        DOLCE.SpaceRegion, label="space region", parents=[region]
+    )
+
+    # ------------------------------------------------------------------ #
+    # core relations
+    # ------------------------------------------------------------------ #
+    ontology.declare_object_property(
+        DOLCE.participantIn,
+        label="participant in",
+        domain=endurant,
+        range=perdurant,
+    )
+    ontology.declare_object_property(
+        DOLCE.hasParticipant,
+        label="has participant",
+        domain=perdurant,
+        range=endurant,
+    ).inverse_of(DOLCE.participantIn)
+    ontology.declare_object_property(
+        DOLCE.hasQuality,
+        label="has quality",
+        domain=particular,
+        range=quality,
+    )
+    ontology.declare_object_property(
+        DOLCE.inheresIn,
+        label="inheres in",
+        domain=quality,
+        range=particular,
+    ).inverse_of(DOLCE.hasQuality)
+    ontology.declare_object_property(
+        DOLCE.hasQuale,
+        label="has quale",
+        domain=quality,
+        range=region,
+    )
+    ontology.declare_object_property(
+        DOLCE.partOf,
+        label="part of",
+        domain=particular,
+        range=particular,
+    ).make_transitive()
+    ontology.declare_object_property(
+        DOLCE.constituentOf,
+        label="constituent of",
+        domain=particular,
+        range=particular,
+    )
+    ontology.declare_object_property(
+        DOLCE.precedes,
+        label="precedes",
+        domain=perdurant,
+        range=perdurant,
+    ).make_transitive()
+    ontology.declare_datatype_property(
+        DOLCE.hasQualityValue,
+        label="has quality value",
+        domain=quality,
+        range=XSD.double,
+    )
+
+    return ontology
+
+
+#: Convenient aliases used by the classification helpers in the middleware.
+ENDURANT = DOLCE.Endurant
+PERDURANT = DOLCE.Perdurant
+QUALITY = DOLCE.Quality
+EVENT = DOLCE.Event
+PROCESS = DOLCE.Process
+STATE = DOLCE.State
+PHYSICAL_OBJECT = DOLCE.PhysicalObject
+PHYSICAL_QUALITY = DOLCE.PhysicalQuality

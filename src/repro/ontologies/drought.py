@@ -1,0 +1,235 @@
+"""Drought domain ontology.
+
+Extends the environmental process ontology with the drought-specific
+concepts the DEWS needs: drought types (meteorological, agricultural,
+hydrological, socio-economic), severity classes aligned to the standardised
+precipitation index (SPI) bands, precursor processes, forecast and alert
+artefacts, and the drought vulnerability index the paper says is
+disseminated to end users.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ontologies.vocabulary import DOLCE, DROUGHT, ENVO
+from repro.semantics.owl.ontology import Ontology
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import XSD
+from repro.semantics.rdf.term import IRI
+
+
+#: SPI thresholds for the severity classes (McKee et al. convention).
+#: Each entry is (class IRI local name, upper SPI bound exclusive).
+SPI_SEVERITY_BANDS: List[Tuple[str, float]] = [
+    ("ExtremeDrought", -2.0),
+    ("SevereDrought", -1.5),
+    ("ModerateDrought", -1.0),
+    ("MildDrought", -0.5),
+]
+
+#: Alert levels used by the DEWS, ordered from least to most urgent.
+ALERT_LEVELS: List[str] = ["Normal", "Watch", "Warning", "Emergency"]
+
+
+def build_drought_ontology(graph: Optional[Graph] = None) -> Ontology:
+    """Construct the drought domain ontology (aligned to ENVO / DOLCE)."""
+    ontology = Ontology(IRI("http://africrid.example.org/ontology/drought"), graph=graph)
+    ontology.graph.namespaces.bind("drought", DROUGHT)
+
+    # ------------------------------------------------------------------ #
+    # drought event taxonomy
+    # ------------------------------------------------------------------ #
+    drought_event = ontology.declare_class(
+        DROUGHT.DroughtEvent,
+        label="drought event",
+        comment="A prolonged moisture deficit event affecting a region.",
+        parents=[ENVO.DroughtOnsetEvent],
+    )
+    for name, comment in [
+        ("MeteorologicalDrought", "Precipitation deficit relative to climatology."),
+        ("AgriculturalDrought", "Soil moisture deficit affecting crops and forage."),
+        ("HydrologicalDrought", "Deficit in surface / ground water storage."),
+        ("SocioEconomicDrought", "Water shortage affecting supply of economic goods."),
+    ]:
+        ontology.declare_class(
+            DROUGHT[name], label=name, comment=comment, parents=[drought_event]
+        )
+
+    # ------------------------------------------------------------------ #
+    # severity classes
+    # ------------------------------------------------------------------ #
+    severity = ontology.declare_class(
+        DROUGHT.DroughtSeverity,
+        label="drought severity",
+        comment="Severity bands aligned to SPI thresholds.",
+        parents=[DOLCE.Region],
+    )
+    previous_bound = None
+    for name, bound in SPI_SEVERITY_BANDS:
+        cls = ontology.declare_class(
+            DROUGHT[name],
+            label=name,
+            comment=f"SPI below {bound}"
+            + (f" and at or above {previous_bound}" if previous_bound is not None else ""),
+            parents=[severity],
+        )
+        ontology.assert_fact(cls.iri, DROUGHT.hasUpperSpiBound, bound)
+        previous_bound = bound
+    ontology.declare_class(
+        DROUGHT.NoDrought,
+        label="no drought",
+        comment="SPI at or above -0.5.",
+        parents=[severity],
+    )
+
+    # ------------------------------------------------------------------ #
+    # indices, forecasts, alerts
+    # ------------------------------------------------------------------ #
+    index = ontology.declare_class(
+        DROUGHT.DroughtIndex,
+        label="drought index",
+        comment="A computed scalar summarising moisture conditions.",
+        parents=[DOLCE.InformationObject],
+    )
+    for name, comment in [
+        ("StandardizedPrecipitationIndex", "SPI over a configurable accumulation window."),
+        ("EffectiveDroughtIndex", "EDI-style daily accumulation index."),
+        ("PercentOfNormalIndex", "Precipitation as percent of climatological normal."),
+        ("DecileIndex", "Rainfall decile rank against climatology."),
+        ("SoilMoistureAnomalyIndex", "Standardised soil moisture anomaly."),
+        ("VegetationConditionIndex", "Scaled vegetation index anomaly."),
+    ]:
+        ontology.declare_class(DROUGHT[name], label=name, comment=comment, parents=[index])
+
+    vulnerability = ontology.declare_class(
+        DROUGHT.DroughtVulnerabilityIndex,
+        label="drought vulnerability index",
+        comment=(
+            "Composite exposure x sensitivity x adaptive-capacity score per "
+            "district, the artefact the DEWS disseminates."
+        ),
+        parents=[index],
+    )
+    forecast = ontology.declare_class(
+        DROUGHT.DroughtForecast,
+        label="drought forecast",
+        comment="A forward-looking statement about drought likelihood for an area.",
+        parents=[DOLCE.InformationObject],
+    )
+    ontology.declare_class(
+        DROUGHT.IndigenousForecast,
+        label="indigenous forecast",
+        comment="Forecast derived from indigenous-knowledge indicators only.",
+        parents=[forecast],
+    )
+    ontology.declare_class(
+        DROUGHT.StatisticalForecast,
+        label="statistical forecast",
+        comment="Forecast derived from sensor data and statistical indices only.",
+        parents=[forecast],
+    )
+    ontology.declare_class(
+        DROUGHT.IntegratedForecast,
+        label="integrated forecast",
+        comment="Forecast fusing semantically integrated sensor data with IK.",
+        parents=[forecast],
+    )
+    alert = ontology.declare_class(
+        DROUGHT.DroughtAlert,
+        label="drought alert",
+        comment="An actionable warning disseminated through output channels.",
+        parents=[DOLCE.InformationObject],
+    )
+    alert_level = ontology.declare_class(
+        DROUGHT.AlertLevel,
+        label="alert level",
+        parents=[DOLCE.Region],
+    )
+    for idx, name in enumerate(ALERT_LEVELS):
+        level = ontology.declare_individual(
+            DROUGHT[f"Level{name}"], types=[alert_level], label=name
+        )
+        ontology.assert_fact(level, DROUGHT.hasRank, idx)
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    ontology.declare_object_property(
+        DROUGHT.hasSeverity,
+        label="has severity",
+        domain=drought_event,
+        range=severity,
+    )
+    ontology.declare_object_property(
+        DROUGHT.affectsArea,
+        label="affects area",
+        domain=drought_event,
+        range=ENVO.LandParcel,
+    )
+    ontology.declare_object_property(
+        DROUGHT.derivedFromIndex,
+        label="derived from index",
+        domain=forecast,
+        range=index,
+    )
+    ontology.declare_object_property(
+        DROUGHT.hasAlertLevel,
+        label="has alert level",
+        domain=alert,
+        range=alert_level,
+    )
+    ontology.declare_object_property(
+        DROUGHT.forecastsEvent,
+        label="forecasts event",
+        domain=forecast,
+        range=drought_event,
+    )
+    ontology.declare_datatype_property(
+        DROUGHT.hasIndexValue, label="has index value", domain=index, range=XSD.double
+    )
+    ontology.declare_datatype_property(
+        DROUGHT.hasUpperSpiBound,
+        label="has upper SPI bound",
+        domain=severity,
+        range=XSD.double,
+    )
+    ontology.declare_datatype_property(
+        DROUGHT.hasProbability,
+        label="has probability",
+        domain=forecast,
+        range=XSD.double,
+    )
+    ontology.declare_datatype_property(
+        DROUGHT.hasLeadTimeDays,
+        label="has lead time (days)",
+        domain=forecast,
+        range=XSD.double,
+    )
+    ontology.declare_datatype_property(
+        DROUGHT.hasRank, label="has rank", domain=alert_level, range=XSD.integer
+    )
+
+    return ontology
+
+
+def severity_class_for_spi(spi: float) -> IRI:
+    """Map an SPI value to the drought severity class IRI.
+
+    Follows the McKee et al. bands recorded in :data:`SPI_SEVERITY_BANDS`.
+    """
+    for name, bound in SPI_SEVERITY_BANDS:
+        if spi < bound:
+            return DROUGHT[name]
+    return DROUGHT.NoDrought
+
+
+def alert_level_for_probability(probability: float) -> IRI:
+    """Map a drought probability to the DEWS alert level individual."""
+    if probability >= 0.8:
+        return DROUGHT.LevelEmergency
+    if probability >= 0.6:
+        return DROUGHT.LevelWarning
+    if probability >= 0.35:
+        return DROUGHT.LevelWatch
+    return DROUGHT.LevelNormal

@@ -1,0 +1,217 @@
+"""Environmental process ontology.
+
+The paper argues (§1, §2) that representing dynamic environmental phenomena
+requires modelling the *process* that leads to the *event*: a soil-drying
+process, sustained rainfall deficit and heat stress culminate in a drought
+event.  This module provides the Object / State / Process / Event backbone
+(specialising the DOLCE perdurant branch) together with the observable
+environmental properties the Free State deployment measures and the
+causal / participation relations that let the reasoner and the CEP engine
+track "what, where, when".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ontologies.vocabulary import DOLCE, ENVO, SSN
+from repro.semantics.owl.ontology import Ontology, OntologyClass
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import XSD
+from repro.semantics.rdf.term import IRI
+
+
+#: Canonical observable properties (the unified vocabulary the mediator
+#: normalises heterogeneous source terms into).
+CANONICAL_PROPERTIES: Dict[str, IRI] = {
+    "air_temperature": ENVO.AirTemperature,
+    "soil_moisture": ENVO.SoilMoisture,
+    "soil_temperature": ENVO.SoilTemperature,
+    "rainfall": ENVO.Rainfall,
+    "relative_humidity": ENVO.RelativeHumidity,
+    "wind_speed": ENVO.WindSpeed,
+    "wind_direction": ENVO.WindDirection,
+    "solar_radiation": ENVO.SolarRadiation,
+    "barometric_pressure": ENVO.BarometricPressure,
+    "water_level": ENVO.WaterLevel,
+    "evapotranspiration": ENVO.Evapotranspiration,
+    "vegetation_index": ENVO.VegetationIndex,
+}
+
+
+def build_environment_ontology(graph: Optional[Graph] = None) -> Ontology:
+    """Construct the environmental process ontology (aligned to DOLCE/SSN)."""
+    ontology = Ontology(IRI("http://africrid.example.org/ontology/environment"), graph=graph)
+    ontology.graph.namespaces.bind("envo", ENVO)
+
+    # ------------------------------------------------------------------ #
+    # objects (endurants)
+    # ------------------------------------------------------------------ #
+    env_object = ontology.declare_class(
+        ENVO.EnvironmentalObject,
+        label="environmental object",
+        comment="Physical endurants participating in environmental processes.",
+        parents=[DOLCE.PhysicalObject, SSN.FeatureOfInterest],
+    )
+    for name, comment in [
+        ("LandParcel", "A field, farm or grazing area under observation."),
+        ("Catchment", "A hydrological catchment / river basin."),
+        ("WaterBody", "River, dam or borehole."),
+        ("SoilBody", "The soil column of a land parcel."),
+        ("VegetationCover", "Crops, grass or indigenous trees on a parcel."),
+        ("Atmosphere", "The local atmospheric column."),
+        ("LivestockHerd", "Animals whose condition responds to forage and water."),
+    ]:
+        ontology.declare_class(ENVO[name], label=name, comment=comment, parents=[env_object])
+
+    # ------------------------------------------------------------------ #
+    # states
+    # ------------------------------------------------------------------ #
+    env_state = ontology.declare_class(
+        ENVO.EnvironmentalState,
+        label="environmental state",
+        comment="A homeomeric condition of an environmental object over an interval.",
+        parents=[DOLCE.State],
+    )
+    for name, comment in [
+        ("DrySoilState", "Soil moisture below the wilting-point band."),
+        ("WetSoilState", "Soil moisture in or above the field-capacity band."),
+        ("HeatStressState", "Sustained above-normal temperature."),
+        ("LowWaterLevelState", "Water body level below seasonal norm."),
+        ("VegetationStressState", "Vegetation index below seasonal norm."),
+        ("NormalConditionState", "No anomalous condition detected."),
+    ]:
+        ontology.declare_class(ENVO[name], label=name, comment=comment, parents=[env_state])
+
+    # ------------------------------------------------------------------ #
+    # processes
+    # ------------------------------------------------------------------ #
+    env_process = ontology.declare_class(
+        ENVO.EnvironmentalProcess,
+        label="environmental process",
+        comment="A cumulative perdurant with internal change leading towards events.",
+        parents=[DOLCE.Process],
+    )
+    for name, comment in [
+        ("SoilDryingProcess", "Progressive decline of soil moisture."),
+        ("RainfallDeficitProcess", "Accumulating shortfall of precipitation vs. climatology."),
+        ("HeatAccumulationProcess", "Accumulating degree-days above threshold."),
+        ("WaterDepletionProcess", "Declining water level in a water body."),
+        ("VegetationDeclineProcess", "Progressive loss of vegetation vigour."),
+        ("RechargeProcess", "Recovery of soil moisture / water level after rains."),
+    ]:
+        ontology.declare_class(ENVO[name], label=name, comment=comment, parents=[env_process])
+
+    # ------------------------------------------------------------------ #
+    # events
+    # ------------------------------------------------------------------ #
+    env_event = ontology.declare_class(
+        ENVO.EnvironmentalEvent,
+        label="environmental event",
+        comment="A culminating occurrence inferred from processes and states.",
+        parents=[DOLCE.Accomplishment],
+    )
+    for name, comment in [
+        ("DroughtOnsetEvent", "The culmination of deficit processes into drought conditions."),
+        ("DroughtRecoveryEvent", "Return to normal conditions after a drought."),
+        ("HeatWaveEvent", "Short intense heat episode."),
+        ("FloodEvent", "Excess precipitation event (contrast class)."),
+        ("FrostEvent", "Sub-zero temperature event."),
+    ]:
+        ontology.declare_class(ENVO[name], label=name, comment=comment, parents=[env_event])
+
+    # ------------------------------------------------------------------ #
+    # observable properties (qualities)
+    # ------------------------------------------------------------------ #
+    env_property = ontology.declare_class(
+        ENVO.EnvironmentalProperty,
+        label="environmental property",
+        comment="Canonical observable properties of environmental objects.",
+        parents=[SSN.ObservableProperty, DOLCE.PhysicalQuality],
+    )
+    for key, iri in CANONICAL_PROPERTIES.items():
+        ontology.declare_class(
+            iri,
+            label=key.replace("_", " "),
+            comment=f"Canonical property '{key}' in the unified vocabulary.",
+            parents=[env_property],
+        )
+
+    # ------------------------------------------------------------------ #
+    # relations
+    # ------------------------------------------------------------------ #
+    ontology.declare_object_property(
+        ENVO.affectsObject,
+        label="affects object",
+        domain=env_process,
+        range=env_object,
+    ).subproperty_of(DOLCE.hasParticipant)
+    ontology.declare_object_property(
+        ENVO.manifestsState,
+        label="manifests state",
+        domain=env_process,
+        range=env_state,
+    )
+    ontology.declare_object_property(
+        ENVO.culminatesIn,
+        label="culminates in",
+        domain=env_process,
+        range=env_event,
+    )
+    ontology.declare_object_property(
+        ENVO.precededBy,
+        label="preceded by",
+        domain=env_event,
+        range=env_process,
+    ).inverse_of(ENVO.culminatesIn)
+    ontology.declare_object_property(
+        ENVO.indicatedBy,
+        label="indicated by",
+        domain=env_process,
+        range=SSN.ObservableProperty,
+    )
+    ontology.declare_object_property(
+        ENVO.occursAt,
+        label="occurs at",
+        domain=DOLCE.Perdurant,
+        range=env_object,
+    )
+    ontology.declare_datatype_property(
+        ENVO.hasOnsetTime, label="has onset time", domain=env_event, range=XSD.double
+    )
+    ontology.declare_datatype_property(
+        ENVO.hasSeverityScore,
+        label="has severity score",
+        domain=env_event,
+        range=XSD.double,
+    )
+
+    # Causal structure connecting processes to the drought onset event:
+    # which processes indicate which canonical properties.
+    indicated_by = ENVO.indicatedBy
+    ontology.assert_fact(ENVO.SoilDryingProcess, indicated_by, ENVO.SoilMoisture)
+    ontology.assert_fact(ENVO.RainfallDeficitProcess, indicated_by, ENVO.Rainfall)
+    ontology.assert_fact(ENVO.HeatAccumulationProcess, indicated_by, ENVO.AirTemperature)
+    ontology.assert_fact(ENVO.WaterDepletionProcess, indicated_by, ENVO.WaterLevel)
+    ontology.assert_fact(ENVO.VegetationDeclineProcess, indicated_by, ENVO.VegetationIndex)
+    culminates = ENVO.culminatesIn
+    for process in (
+        ENVO.SoilDryingProcess,
+        ENVO.RainfallDeficitProcess,
+        ENVO.HeatAccumulationProcess,
+        ENVO.WaterDepletionProcess,
+        ENVO.VegetationDeclineProcess,
+    ):
+        ontology.assert_fact(process, culminates, ENVO.DroughtOnsetEvent)
+    ontology.assert_fact(ENVO.RechargeProcess, culminates, ENVO.DroughtRecoveryEvent)
+
+    return ontology
+
+
+def canonical_property(key: str) -> IRI:
+    """The canonical property IRI for a normalised property key.
+
+    Raises ``KeyError`` for unknown keys; the mediator catches this and
+    reports an unresolved term instead of silently passing raw data through.
+    """
+    return CANONICAL_PROPERTIES[key]

@@ -1,0 +1,158 @@
+"""Indigenous knowledge ontology.
+
+Encodes the structure of the indigenous drought-forecasting knowledge the
+paper wants to integrate with sensor data: *indicators* (biological,
+meteorological, astronomical and behavioural signs recognised by local
+communities), *sightings* of those indicators reported by observers, and the
+*implied conditions* (drier / wetter season ahead) each indicator carries,
+with a community-assigned reliability.
+
+The specific indicator individuals (sifennefene worms, mutiga tree
+flowering, etc.) are created by :mod:`repro.ik.indicators`; this module
+supplies the classes and relations they instantiate so the knowledge is
+representable in the unified ontology and can be queried and reasoned over
+alongside the sensor observations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ontologies.vocabulary import DOLCE, DROUGHT, ENVO, IK, SSN
+from repro.semantics.owl.ontology import Ontology
+from repro.semantics.owl.restrictions import SomeValuesFrom
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import XSD
+from repro.semantics.rdf.term import IRI
+
+
+def build_indigenous_ontology(graph: Optional[Graph] = None) -> Ontology:
+    """Construct the indigenous-knowledge ontology (aligned to DOLCE/SSN)."""
+    ontology = Ontology(IRI("http://africrid.example.org/ontology/indigenous"), graph=graph)
+    ontology.graph.namespaces.bind("ik", IK)
+
+    # ------------------------------------------------------------------ #
+    # indicator taxonomy
+    # ------------------------------------------------------------------ #
+    indicator = ontology.declare_class(
+        IK.IndigenousIndicator,
+        label="indigenous indicator",
+        comment=(
+            "A sign recognised by a local community as carrying information "
+            "about coming seasonal conditions."
+        ),
+        parents=[DOLCE.SocialObject],
+    )
+    for name, comment in [
+        ("BiologicalIndicator", "Plant or animal behaviour, e.g. sifennefene worm abundance."),
+        ("PlantIndicator", "Plant phenology, e.g. mutiga tree flowering or shedding."),
+        ("AnimalIndicator", "Animal behaviour, e.g. bird migration, frog calls."),
+        ("InsectIndicator", "Insect behaviour, e.g. armyworm or termite activity."),
+        ("MeteorologicalIndicator", "Sky, wind, cloud or haze patterns read by elders."),
+        ("AstronomicalIndicator", "Moon halo, star visibility and similar signs."),
+        ("HydrologicalIndicator", "Spring flow, riverbed state and similar signs."),
+    ]:
+        ontology.declare_class(IK[name], label=name, comment=comment, parents=[indicator])
+    # refine the biological sub-hierarchy
+    ontology.classes[IK.PlantIndicator].subclass_of(IK.BiologicalIndicator)
+    ontology.classes[IK.AnimalIndicator].subclass_of(IK.BiologicalIndicator)
+    ontology.classes[IK.InsectIndicator].subclass_of(IK.AnimalIndicator)
+
+    # ------------------------------------------------------------------ #
+    # sightings and implied conditions
+    # ------------------------------------------------------------------ #
+    sighting = ontology.declare_class(
+        IK.IndicatorSighting,
+        label="indicator sighting",
+        comment=(
+            "A dated report that an indicator was observed, made by a "
+            "community observer (a human sensor in SSN terms)."
+        ),
+        parents=[SSN.Observation],
+    )
+    sighting.add_restriction(SomeValuesFrom(IK.sightedIndicator, IK.IndigenousIndicator))
+
+    implied = ontology.declare_class(
+        IK.ImpliedCondition,
+        label="implied condition",
+        comment="The seasonal condition a sighting points to (drier / wetter / normal).",
+        parents=[DOLCE.Region],
+    )
+    for name in ("DrierCondition", "WetterCondition", "NormalCondition"):
+        ontology.declare_individual(IK[name], types=[implied], label=name)
+
+    observer = ontology.declare_class(
+        IK.CommunityObserver,
+        label="community observer",
+        comment="A farmer or elder reporting indicator sightings.",
+        parents=[SSN.HumanSensor],
+    )
+    forecast_rule = ontology.declare_class(
+        IK.IndigenousForecastRule,
+        label="indigenous forecast rule",
+        comment=(
+            "A codified rule derived from elicitation: indicator state implies "
+            "condition with a community-assigned reliability."
+        ),
+        parents=[DOLCE.InformationObject],
+    )
+
+    # ------------------------------------------------------------------ #
+    # relations
+    # ------------------------------------------------------------------ #
+    ontology.declare_object_property(
+        IK.sightedIndicator,
+        label="sighted indicator",
+        domain=sighting,
+        range=indicator,
+    )
+    ontology.declare_object_property(
+        IK.reportedBy, label="reported by", domain=sighting, range=observer
+    ).subproperty_of(SSN.observedBy)
+    ontology.declare_object_property(
+        IK.implies, label="implies", domain=indicator, range=implied
+    )
+    ontology.declare_object_property(
+        IK.indicatesProcess,
+        label="indicates process",
+        domain=indicator,
+        range=ENVO.EnvironmentalProcess,
+    )
+    ontology.declare_object_property(
+        IK.derivedFromIndicator,
+        label="derived from indicator",
+        domain=forecast_rule,
+        range=indicator,
+    )
+    ontology.declare_object_property(
+        IK.supportsForecast,
+        label="supports forecast",
+        domain=sighting,
+        range=DROUGHT.IndigenousForecast,
+    )
+    ontology.declare_datatype_property(
+        IK.hasReliability,
+        label="has reliability",
+        domain=indicator,
+        range=XSD.double,
+    )
+    ontology.declare_datatype_property(
+        IK.hasLeadTimeDays,
+        label="has lead time (days)",
+        domain=indicator,
+        range=XSD.double,
+    )
+    ontology.declare_datatype_property(
+        IK.sightingIntensity,
+        label="sighting intensity",
+        domain=sighting,
+        range=XSD.double,
+    )
+    ontology.declare_datatype_property(
+        IK.elicitedFromCommunity,
+        label="elicited from community",
+        domain=forecast_rule,
+        range=XSD.string,
+    )
+
+    return ontology

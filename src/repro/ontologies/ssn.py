@@ -1,0 +1,200 @@
+"""SSN/SOSA-style semantic sensor network ontology.
+
+The middleware annotates raw sensor readings as *observations*: who observed
+(Sensor, on a Platform, in a Deployment), what was observed (an
+ObservableProperty of a FeatureOfInterest), the result (value + unit) and
+when.  The class names follow the W3C SSN / SOSA pattern the paper's
+semantic-sensor-web references build on, and the classes are aligned to the
+DOLCE upper ontology: sensors and platforms are physical endurants,
+observations are information objects about events, observable properties are
+qualities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ontologies.vocabulary import DOLCE, GEO, QUDT, SSN
+from repro.semantics.owl.ontology import Ontology
+from repro.semantics.owl.restrictions import SomeValuesFrom
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import XSD
+from repro.semantics.rdf.term import IRI
+
+
+def build_ssn_ontology(graph: Optional[Graph] = None) -> Ontology:
+    """Construct the sensor ontology, aligned to DOLCE.
+
+    The DOLCE classes referenced here must already be present in ``graph``
+    when a shared graph is used (the ontology library builds DOLCE first);
+    when used stand-alone the alignment triples simply reference the DOLCE
+    IRIs without their definitions, which is harmless.
+    """
+    ontology = Ontology(IRI("http://purl.oclc.org/NET/ssnx/ssn"), graph=graph)
+    ontology.graph.namespaces.bind("ssn", SSN)
+    ontology.graph.namespaces.bind("geo", GEO)
+
+    # ------------------------------------------------------------------ #
+    # classes
+    # ------------------------------------------------------------------ #
+    system = ontology.declare_class(
+        SSN.System,
+        label="system",
+        comment="A unit of abstraction for pieces of sensing infrastructure.",
+        parents=[DOLCE.PhysicalObject],
+    )
+    sensor = ontology.declare_class(
+        SSN.Sensor,
+        label="sensor",
+        comment="A device that observes an observable property and produces observations.",
+        parents=[system],
+    )
+    platform = ontology.declare_class(
+        SSN.Platform,
+        label="platform",
+        comment="The entity (mote, weather station, person with a phone) hosting sensors.",
+        parents=[DOLCE.PhysicalObject],
+    )
+    deployment = ontology.declare_class(
+        SSN.Deployment,
+        label="deployment",
+        comment="The process of installing sensing infrastructure at a site.",
+        parents=[DOLCE.Process],
+    )
+    observable_property = ontology.declare_class(
+        SSN.ObservableProperty,
+        label="observable property",
+        comment="A quality of a feature of interest that a sensor can observe.",
+        parents=[DOLCE.PhysicalQuality],
+    )
+    feature = ontology.declare_class(
+        SSN.FeatureOfInterest,
+        label="feature of interest",
+        comment="The real-world entity whose property is observed (a field, a river).",
+        parents=[DOLCE.PhysicalObject],
+    )
+    observation = ontology.declare_class(
+        SSN.Observation,
+        label="observation",
+        comment="The act and record of estimating a property value at a time.",
+        parents=[DOLCE.InformationObject],
+    )
+    result = ontology.declare_class(
+        SSN.SensorOutput,
+        label="sensor output",
+        comment="The result produced by an observation: value plus unit.",
+        parents=[DOLCE.InformationObject],
+    )
+    stimulus = ontology.declare_class(
+        SSN.Stimulus,
+        label="stimulus",
+        comment="The environmental event that triggered the sensor (a DOLCE event).",
+        parents=[DOLCE.Event],
+    )
+    ontology.declare_class(
+        SSN.SensingDevice,
+        label="sensing device",
+        comment="A sensor that is also a physical device (as opposed to a human observer).",
+        parents=[sensor],
+    )
+    human_sensor = ontology.declare_class(
+        SSN.HumanSensor,
+        label="human sensor",
+        comment=(
+            "A person acting as an observer, e.g. a farmer reporting an "
+            "indigenous indicator sighting through a mobile phone."
+        ),
+        parents=[sensor],
+    )
+
+    # ------------------------------------------------------------------ #
+    # object properties
+    # ------------------------------------------------------------------ #
+    ontology.declare_object_property(
+        SSN.observes, label="observes", domain=sensor, range=observable_property
+    )
+    observed_by = ontology.declare_object_property(
+        SSN.observedBy, label="observed by", domain=observation, range=sensor
+    )
+    ontology.declare_object_property(
+        SSN.madeObservation, label="made observation", domain=sensor, range=observation
+    ).inverse_of(observed_by)
+    ontology.declare_object_property(
+        SSN.observedProperty,
+        label="observed property",
+        domain=observation,
+        range=observable_property,
+    )
+    ontology.declare_object_property(
+        SSN.featureOfInterest,
+        label="feature of interest",
+        domain=observation,
+        range=feature,
+    )
+    ontology.declare_object_property(
+        SSN.hasResult, label="has result", domain=observation, range=result
+    )
+    ontology.declare_object_property(
+        SSN.onPlatform, label="on platform", domain=system, range=platform
+    )
+    ontology.declare_object_property(
+        SSN.attachedSystem, label="attached system", domain=platform, range=system
+    ).inverse_of(SSN.onPlatform)
+    ontology.declare_object_property(
+        SSN.deployedOnPlatform,
+        label="deployed on platform",
+        domain=deployment,
+        range=platform,
+    )
+    ontology.declare_object_property(
+        SSN.wasOriginatedBy,
+        label="was originated by",
+        domain=observation,
+        range=stimulus,
+    )
+    ontology.declare_object_property(
+        SSN.isPropertyOf,
+        label="is property of",
+        domain=observable_property,
+        range=feature,
+    ).subproperty_of(DOLCE.inheresIn)
+    ontology.declare_object_property(
+        SSN.hasUnit, label="has unit", domain=result, range=QUDT.Unit
+    )
+
+    # ------------------------------------------------------------------ #
+    # datatype properties
+    # ------------------------------------------------------------------ #
+    ontology.declare_datatype_property(
+        SSN.hasValue, label="has value", domain=result, range=XSD.double
+    )
+    ontology.declare_datatype_property(
+        SSN.observationResultTime,
+        label="observation result time",
+        domain=observation,
+        range=XSD.double,
+    )
+    ontology.declare_datatype_property(
+        SSN.observationSamplingTime,
+        label="observation sampling time",
+        domain=observation,
+        range=XSD.double,
+    )
+    ontology.declare_datatype_property(
+        SSN.hasAccuracy, label="has accuracy", domain=sensor, range=XSD.double
+    )
+    ontology.declare_datatype_property(
+        GEO.lat, label="latitude", domain=platform, range=XSD.double
+    )
+    ontology.declare_datatype_property(
+        GEO.long, label="longitude", domain=platform, range=XSD.double
+    )
+
+    # A well-formed observation names the sensor that made it and the
+    # property it observed.
+    observation.add_restriction(SomeValuesFrom(SSN.observedBy, SSN.Sensor))
+    observation.add_restriction(
+        SomeValuesFrom(SSN.observedProperty, SSN.ObservableProperty)
+    )
+
+    return ontology

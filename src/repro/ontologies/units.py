@@ -1,0 +1,186 @@
+"""Measurement units and conversions (QUDT-style).
+
+One face of *cognitive heterogeneity* in the paper is that heterogeneous
+sources report the same property in different units and scales: a Libelium
+mote reports soil moisture in volumetric percent, a legacy weather station
+reports temperature in Fahrenheit, a river gauge reports level in feet.
+This module declares the unit vocabulary in the ontology and provides the
+conversion engine the mediator uses to normalise every result into the
+canonical unit of its property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.ontologies.vocabulary import QUDT, UNIT
+from repro.semantics.owl.ontology import Ontology
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import XSD
+from repro.semantics.rdf.term import IRI
+
+
+class UnitConversionError(ValueError):
+    """Raised when a value cannot be converted between two units."""
+
+
+@dataclass(frozen=True)
+class UnitDefinition:
+    """A unit with its dimension and affine conversion to the base unit.
+
+    ``value_in_base = multiplier * value + offset``.
+    """
+
+    iri: IRI
+    symbol: str
+    dimension: str
+    multiplier: float = 1.0
+    offset: float = 0.0
+
+    def to_base(self, value: float) -> float:
+        """Convert ``value`` from this unit into the dimension's base unit."""
+        return self.multiplier * value + self.offset
+
+    def from_base(self, value: float) -> float:
+        """Convert ``value`` from the base unit into this unit."""
+        return (value - self.offset) / self.multiplier
+
+
+#: Registry of known units.  The first unit declared for a dimension with
+#: multiplier 1 / offset 0 is that dimension's base unit.
+UNIT_DEFINITIONS: Dict[str, UnitDefinition] = {}
+
+
+def _register(symbol: str, local: str, dimension: str, multiplier: float = 1.0, offset: float = 0.0) -> UnitDefinition:
+    definition = UnitDefinition(UNIT[local], symbol, dimension, multiplier, offset)
+    UNIT_DEFINITIONS[symbol] = definition
+    return definition
+
+
+# temperature (base: degree Celsius, the unit the forecasting layer expects)
+_register("degC", "DegreeCelsius", "temperature")
+_register("degF", "DegreeFahrenheit", "temperature", multiplier=5.0 / 9.0, offset=-160.0 / 9.0)
+_register("K", "Kelvin", "temperature", multiplier=1.0, offset=-273.15)
+
+# precipitation depth (base: millimetre)
+_register("mm", "Millimetre", "length")
+_register("cm", "Centimetre", "length", multiplier=10.0)
+_register("m", "Metre", "length", multiplier=1000.0)
+_register("in", "Inch", "length", multiplier=25.4)
+_register("ft", "Foot", "length", multiplier=304.8)
+
+# soil moisture / humidity (base: percent)
+_register("percent", "Percent", "fraction")
+_register("fraction", "Fraction", "fraction", multiplier=100.0)
+_register("permille", "PerMille", "fraction", multiplier=0.1)
+
+# wind speed (base: metre per second)
+_register("m/s", "MetrePerSecond", "speed")
+_register("km/h", "KilometrePerHour", "speed", multiplier=1.0 / 3.6)
+_register("knot", "Knot", "speed", multiplier=0.514444)
+
+# pressure (base: hectopascal)
+_register("hPa", "Hectopascal", "pressure")
+_register("kPa", "Kilopascal", "pressure", multiplier=10.0)
+_register("mmHg", "MillimetreOfMercury", "pressure", multiplier=1.33322)
+
+# solar radiation (base: watt per square metre)
+_register("W/m2", "WattPerSquareMetre", "irradiance")
+_register("MJ/m2/day", "MegajoulePerSquareMetrePerDay", "irradiance", multiplier=11.574)
+
+# dimensionless indices
+_register("index", "DimensionlessIndex", "dimensionless")
+_register("degree", "Degree", "angle")
+
+
+#: Canonical unit per property dimension used by the mediator.
+CANONICAL_UNITS: Dict[str, str] = {
+    "temperature": "degC",
+    "length": "mm",
+    "fraction": "percent",
+    "speed": "m/s",
+    "pressure": "hPa",
+    "irradiance": "W/m2",
+    "dimensionless": "index",
+    "angle": "degree",
+}
+
+
+def get_unit(symbol: str) -> UnitDefinition:
+    """Look up a unit by symbol.
+
+    Raises :class:`UnitConversionError` for unknown symbols so callers can
+    report an unresolved-unit heterogeneity failure.
+    """
+    try:
+        return UNIT_DEFINITIONS[symbol]
+    except KeyError as exc:
+        raise UnitConversionError(f"unknown unit symbol: {symbol!r}") from exc
+
+
+def convert(value: float, from_symbol: str, to_symbol: str) -> float:
+    """Convert ``value`` between two units of the same dimension."""
+    source = get_unit(from_symbol)
+    target = get_unit(to_symbol)
+    if source.dimension != target.dimension:
+        raise UnitConversionError(
+            f"cannot convert between dimensions: "
+            f"{source.dimension!r} ({from_symbol}) -> {target.dimension!r} ({to_symbol})"
+        )
+    return target.from_base(source.to_base(value))
+
+
+def to_canonical(value: float, from_symbol: str) -> float:
+    """Convert ``value`` into the canonical unit of its dimension."""
+    source = get_unit(from_symbol)
+    return convert(value, from_symbol, CANONICAL_UNITS[source.dimension])
+
+
+def canonical_symbol(from_symbol: str) -> str:
+    """The canonical unit symbol for the dimension of ``from_symbol``."""
+    return CANONICAL_UNITS[get_unit(from_symbol).dimension]
+
+
+def build_units_ontology(graph: Optional[Graph] = None) -> Ontology:
+    """Materialise the unit vocabulary into an ontology graph."""
+    ontology = Ontology(IRI("http://qudt.org/schema/qudt"), graph=graph)
+    ontology.graph.namespaces.bind("qudt", QUDT)
+    ontology.graph.namespaces.bind("unit", UNIT)
+
+    unit_class = ontology.declare_class(
+        QUDT.Unit, label="unit", comment="A unit of measure."
+    )
+    ontology.declare_class(
+        QUDT.QuantityKind, label="quantity kind", comment="A dimension of measurement."
+    )
+    ontology.declare_datatype_property(
+        QUDT.conversionMultiplier,
+        label="conversion multiplier",
+        domain=unit_class,
+        range=XSD.double,
+    )
+    ontology.declare_datatype_property(
+        QUDT.conversionOffset,
+        label="conversion offset",
+        domain=unit_class,
+        range=XSD.double,
+    )
+    ontology.declare_datatype_property(
+        QUDT.symbol, label="symbol", domain=unit_class, range=XSD.string
+    )
+
+    dimensions: Dict[str, IRI] = {}
+    for symbol, definition in UNIT_DEFINITIONS.items():
+        dim_iri = dimensions.get(definition.dimension)
+        if dim_iri is None:
+            dim_iri = QUDT[definition.dimension.capitalize() + "Kind"]
+            dimensions[definition.dimension] = dim_iri
+            ontology.declare_individual(dim_iri, types=[QUDT.QuantityKind], label=definition.dimension)
+        ontology.declare_individual(definition.iri, types=[unit_class], label=symbol)
+        ontology.assert_fact(definition.iri, QUDT.symbol, symbol)
+        ontology.assert_fact(definition.iri, QUDT.conversionMultiplier, definition.multiplier)
+        ontology.assert_fact(definition.iri, QUDT.conversionOffset, definition.offset)
+        ontology.assert_fact(definition.iri, QUDT.hasQuantityKind, dim_iri)
+
+    return ontology

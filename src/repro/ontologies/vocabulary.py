@@ -1,0 +1,64 @@
+"""Namespaces and canonical IRIs for the ontology library.
+
+Every subsystem refers to vocabulary terms through these namespace objects
+so the IRIs are defined exactly once.  The namespace bases are modelled on
+the public vocabularies the paper cites (DOLCE, SSN, QUDT, WGS84 geo) with
+project-specific namespaces for the drought and indigenous-knowledge
+domains hosted under an AfriCRID-style base IRI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.semantics.rdf.namespace import Namespace
+
+#: Upper-level foundational ontology (DOLCE).
+DOLCE = Namespace("http://www.loa-cnr.it/ontologies/DOLCE-Lite#")
+
+#: Semantic Sensor Network ontology (SSN / SOSA style).
+SSN = Namespace("http://purl.oclc.org/NET/ssnx/ssn#")
+
+#: Environmental process ontology (project specific).
+ENVO = Namespace("http://africrid.example.org/ontology/environment#")
+
+#: Drought domain ontology (project specific).
+DROUGHT = Namespace("http://africrid.example.org/ontology/drought#")
+
+#: Indigenous knowledge ontology (project specific).
+IK = Namespace("http://africrid.example.org/ontology/indigenous#")
+
+#: Instance namespace for the Free State DEWS deployment.
+AFRICRID = Namespace("http://africrid.example.org/resource/")
+
+#: WGS84 geo vocabulary for latitude / longitude.
+GEO = Namespace("http://www.w3.org/2003/01/geo/wgs84_pos#")
+
+#: QUDT-style quantities, units and dimensions.
+QUDT = Namespace("http://qudt.org/schema/qudt#")
+
+#: QUDT-style unit individuals.
+UNIT = Namespace("http://qudt.org/vocab/unit#")
+
+#: SenML-ish message vocabulary used by the interface protocol layer.
+MSG = Namespace("http://africrid.example.org/ontology/message#")
+
+#: Prefix table bound into every middleware graph.
+PREFIXES: Dict[str, Namespace] = {
+    "dolce": DOLCE,
+    "ssn": SSN,
+    "envo": ENVO,
+    "drought": DROUGHT,
+    "ik": IK,
+    "africrid": AFRICRID,
+    "geo": GEO,
+    "qudt": QUDT,
+    "unit": UNIT,
+    "msg": MSG,
+}
+
+
+def bind_all(namespace_manager) -> None:
+    """Bind every project prefix into a namespace manager."""
+    for prefix, namespace in PREFIXES.items():
+        namespace_manager.bind(prefix, namespace)

@@ -1,0 +1,57 @@
+"""Semantic-technology substrate.
+
+The paper's middleware relies on machine-readable knowledge representation
+(RDF, OWL) and reasoning to attach meaning to raw sensor readings.  Because
+this reproduction runs offline, the whole stack is implemented here in pure
+Python rather than depending on rdflib / owlready2:
+
+``repro.semantics.rdf``
+    Terms (IRIs, literals, blank nodes), namespaces, triples and an indexed
+    in-memory graph with N-Triples / Turtle-subset round-tripping.
+
+``repro.semantics.sparql``
+    A small query engine (basic graph patterns, FILTER, OPTIONAL, UNION,
+    SELECT / ASK) over :class:`~repro.semantics.rdf.graph.Graph`.
+
+``repro.semantics.owl``
+    Ontology construction helpers: classes, properties, individuals,
+    restrictions and axioms layered on top of the RDF graph.
+
+``repro.semantics.reasoner``
+    Forward-chaining RDFS + OWL-lite reasoner (subclass / subproperty
+    closure, domain/range typing, inverse / symmetric / transitive
+    properties, equivalence).
+
+``repro.semantics.rules``
+    A Datalog-style rule engine used both by the reasoner and by the
+    IK-derived inference rules.
+"""
+
+from repro.semantics.rdf.term import IRI, Literal, BlankNode, Variable
+from repro.semantics.rdf.namespace import Namespace, NamespaceManager, RDF, RDFS, OWL, XSD
+from repro.semantics.rdf.triple import Triple
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.owl.ontology import Ontology
+from repro.semantics.reasoner import Reasoner
+from repro.semantics.rules import Rule, RuleEngine
+from repro.semantics.sparql.evaluator import query
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Variable",
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "Triple",
+    "Graph",
+    "Ontology",
+    "Reasoner",
+    "Rule",
+    "RuleEngine",
+    "query",
+]

@@ -1,0 +1,21 @@
+"""OWL-lite ontology construction on top of the RDF graph."""
+
+from repro.semantics.owl.ontology import Ontology, OntologyClass, OntologyProperty
+from repro.semantics.owl.restrictions import (
+    AllValuesFrom,
+    Cardinality,
+    HasValue,
+    Restriction,
+    SomeValuesFrom,
+)
+
+__all__ = [
+    "Ontology",
+    "OntologyClass",
+    "OntologyProperty",
+    "Restriction",
+    "SomeValuesFrom",
+    "AllValuesFrom",
+    "HasValue",
+    "Cardinality",
+]

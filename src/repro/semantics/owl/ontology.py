@@ -1,0 +1,309 @@
+"""Ontology construction API.
+
+The paper builds its "ontology library" (Fig. 1) from a DOLCE upper layer,
+domain ontologies (sensors, environment, drought, indigenous knowledge) and
+alignment axioms.  :class:`Ontology` is the programmatic builder those
+modules use: it records classes, properties, individuals and axioms and
+materialises everything as RDF triples in an underlying
+:class:`~repro.semantics.rdf.graph.Graph`, so that the same content is
+available both to Python code (fast attribute access) and to the reasoner /
+query engine (triples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.semantics.owl.restrictions import Restriction
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import OWL, RDF, RDFS, Namespace, XSD
+from repro.semantics.rdf.term import IRI, Literal, Term
+from repro.semantics.rdf.triple import Triple
+
+
+class OntologyClass:
+    """A named class with its local hierarchy and restriction axioms."""
+
+    def __init__(self, iri: IRI, ontology: "Ontology"):
+        self.iri = iri
+        self._ontology = ontology
+        self.parents: Set[IRI] = set()
+        self.restrictions: List[Restriction] = []
+
+    @property
+    def label(self) -> str:
+        """Human-readable label (rdfs:label or the IRI local name)."""
+        value = self._ontology.graph.literal_value(self.iri, RDFS.label)
+        return value if isinstance(value, str) else self.iri.local_name
+
+    def subclass_of(self, parent: Union[IRI, "OntologyClass"]) -> "OntologyClass":
+        """Assert this class as a subclass of ``parent`` (chainable)."""
+        parent_iri = parent.iri if isinstance(parent, OntologyClass) else parent
+        self.parents.add(parent_iri)
+        self._ontology.graph.add(Triple(self.iri, RDFS.subClassOf, parent_iri))
+        return self
+
+    def add_restriction(self, restriction: Restriction) -> "OntologyClass":
+        """Attach a property restriction as a superclass of this class."""
+        node = restriction.materialize(self._ontology.graph)
+        self._ontology.graph.add(Triple(self.iri, RDFS.subClassOf, node))
+        self.restrictions.append(restriction)
+        return self
+
+    def instances(self) -> Set[Term]:
+        """Asserted instances of this class (no inference)."""
+        return self._ontology.graph.instances_of(self.iri)
+
+    def __repr__(self) -> str:
+        return f"OntologyClass({self.iri.local_name})"
+
+
+class OntologyProperty:
+    """A named object or datatype property."""
+
+    def __init__(self, iri: IRI, ontology: "Ontology", kind: str = "object"):
+        self.iri = iri
+        self.kind = kind
+        self._ontology = ontology
+        self.domain: Optional[IRI] = None
+        self.range: Optional[IRI] = None
+
+    def set_domain(self, cls: Union[IRI, OntologyClass]) -> "OntologyProperty":
+        """Declare ``rdfs:domain`` for this property (chainable)."""
+        iri = cls.iri if isinstance(cls, OntologyClass) else cls
+        self.domain = iri
+        self._ontology.graph.add(Triple(self.iri, RDFS.domain, iri))
+        return self
+
+    def set_range(self, cls: Union[IRI, OntologyClass]) -> "OntologyProperty":
+        """Declare ``rdfs:range`` for this property (chainable)."""
+        iri = cls.iri if isinstance(cls, OntologyClass) else cls
+        self.range = iri
+        self._ontology.graph.add(Triple(self.iri, RDFS.range, iri))
+        return self
+
+    def subproperty_of(self, parent: Union[IRI, "OntologyProperty"]) -> "OntologyProperty":
+        """Assert ``rdfs:subPropertyOf`` (chainable)."""
+        iri = parent.iri if isinstance(parent, OntologyProperty) else parent
+        self._ontology.graph.add(Triple(self.iri, RDFS.subPropertyOf, iri))
+        return self
+
+    def make_transitive(self) -> "OntologyProperty":
+        """Mark the property ``owl:TransitiveProperty``."""
+        self._ontology.graph.add(Triple(self.iri, RDF.type, OWL.TransitiveProperty))
+        return self
+
+    def make_symmetric(self) -> "OntologyProperty":
+        """Mark the property ``owl:SymmetricProperty``."""
+        self._ontology.graph.add(Triple(self.iri, RDF.type, OWL.SymmetricProperty))
+        return self
+
+    def make_functional(self) -> "OntologyProperty":
+        """Mark the property ``owl:FunctionalProperty``."""
+        self._ontology.graph.add(Triple(self.iri, RDF.type, OWL.FunctionalProperty))
+        return self
+
+    def inverse_of(self, other: Union[IRI, "OntologyProperty"]) -> "OntologyProperty":
+        """Assert ``owl:inverseOf`` between this property and ``other``."""
+        iri = other.iri if isinstance(other, OntologyProperty) else other
+        self._ontology.graph.add(Triple(self.iri, OWL.inverseOf, iri))
+        return self
+
+    def __repr__(self) -> str:
+        return f"OntologyProperty({self.iri.local_name}, kind={self.kind})"
+
+
+class Ontology:
+    """A named ontology: a builder facade over an RDF graph.
+
+    Parameters
+    ----------
+    iri:
+        The ontology IRI (e.g. ``http://africrid.example/ont/drought``).
+    graph:
+        The graph to materialise into.  Several ontologies can share one
+        graph, which is how the "ontology library" of the paper is stitched
+        together into the unified ontology.
+    """
+
+    def __init__(self, iri: Union[str, IRI], graph: Optional[Graph] = None):
+        self.iri = iri if isinstance(iri, IRI) else IRI(iri)
+        self.graph = graph if graph is not None else Graph(identifier=self.iri)
+        self.graph.add(Triple(self.iri, RDF.type, OWL.Ontology))
+        self.classes: Dict[IRI, OntologyClass] = {}
+        self.properties: Dict[IRI, OntologyProperty] = {}
+        self.individuals: Dict[IRI, Set[IRI]] = {}
+
+    # ------------------------------------------------------------------ #
+    # declaration
+    # ------------------------------------------------------------------ #
+
+    def declare_class(
+        self,
+        iri: IRI,
+        label: Optional[str] = None,
+        comment: Optional[str] = None,
+        parents: Sequence[Union[IRI, OntologyClass]] = (),
+    ) -> OntologyClass:
+        """Declare (or retrieve) a named class."""
+        cls = self.classes.get(iri)
+        if cls is None:
+            cls = OntologyClass(iri, self)
+            self.classes[iri] = cls
+            self.graph.add(Triple(iri, RDF.type, OWL.Class))
+        if label:
+            self.graph.add(Triple(iri, RDFS.label, Literal(label)))
+        if comment:
+            self.graph.add(Triple(iri, RDFS.comment, Literal(comment)))
+        for parent in parents:
+            cls.subclass_of(parent)
+        return cls
+
+    def declare_object_property(
+        self,
+        iri: IRI,
+        label: Optional[str] = None,
+        domain: Optional[Union[IRI, OntologyClass]] = None,
+        range: Optional[Union[IRI, OntologyClass]] = None,
+    ) -> OntologyProperty:
+        """Declare (or retrieve) an object property."""
+        prop = self.properties.get(iri)
+        if prop is None:
+            prop = OntologyProperty(iri, self, kind="object")
+            self.properties[iri] = prop
+            self.graph.add(Triple(iri, RDF.type, OWL.ObjectProperty))
+        if label:
+            self.graph.add(Triple(iri, RDFS.label, Literal(label)))
+        if domain is not None:
+            prop.set_domain(domain)
+        if range is not None:
+            prop.set_range(range)
+        return prop
+
+    def declare_datatype_property(
+        self,
+        iri: IRI,
+        label: Optional[str] = None,
+        domain: Optional[Union[IRI, OntologyClass]] = None,
+        range: Optional[IRI] = None,
+    ) -> OntologyProperty:
+        """Declare (or retrieve) a datatype property."""
+        prop = self.properties.get(iri)
+        if prop is None:
+            prop = OntologyProperty(iri, self, kind="datatype")
+            self.properties[iri] = prop
+            self.graph.add(Triple(iri, RDF.type, OWL.DatatypeProperty))
+        if label:
+            self.graph.add(Triple(iri, RDFS.label, Literal(label)))
+        if domain is not None:
+            prop.set_domain(domain)
+        if range is not None:
+            prop.set_range(range)
+        return prop
+
+    def declare_individual(
+        self,
+        iri: IRI,
+        types: Sequence[Union[IRI, OntologyClass]] = (),
+        label: Optional[str] = None,
+    ) -> IRI:
+        """Declare a named individual with the given types."""
+        type_iris = {
+            t.iri if isinstance(t, OntologyClass) else t for t in types
+        }
+        self.individuals.setdefault(iri, set()).update(type_iris)
+        self.graph.add(Triple(iri, RDF.type, OWL.NamedIndividual))
+        for t in type_iris:
+            self.graph.add(Triple(iri, RDF.type, t))
+        if label:
+            self.graph.add(Triple(iri, RDFS.label, Literal(label)))
+        return iri
+
+    def assert_fact(self, subject: IRI, predicate: IRI, obj: Union[Term, str, int, float, bool]) -> None:
+        """Assert an arbitrary property value for an individual."""
+        value: Term = obj if isinstance(obj, Term) else Literal(obj)
+        self.graph.add(Triple(subject, predicate, value))
+
+    def equivalent_classes(self, first: Union[IRI, OntologyClass], second: Union[IRI, OntologyClass]) -> None:
+        """Assert ``owl:equivalentClass`` between two classes."""
+        a = first.iri if isinstance(first, OntologyClass) else first
+        b = second.iri if isinstance(second, OntologyClass) else second
+        self.graph.add(Triple(a, OWL.equivalentClass, b))
+
+    def equivalent_properties(self, first: Union[IRI, OntologyProperty], second: Union[IRI, OntologyProperty]) -> None:
+        """Assert ``owl:equivalentProperty`` between two properties."""
+        a = first.iri if isinstance(first, OntologyProperty) else first
+        b = second.iri if isinstance(second, OntologyProperty) else second
+        self.graph.add(Triple(a, OWL.equivalentProperty, b))
+
+    def same_individuals(self, first: IRI, second: IRI) -> None:
+        """Assert ``owl:sameAs`` between two individuals."""
+        self.graph.add(Triple(first, OWL.sameAs, second))
+
+    def imports(self, other: "Ontology") -> None:
+        """Merge another ontology's triples into this ontology's graph."""
+        self.graph.add(Triple(self.iri, OWL.imports, other.iri))
+        if other.graph is not self.graph:
+            self.graph.add_all(other.graph)
+        self.classes.update(other.classes)
+        self.properties.update(other.properties)
+        for ind, types in other.individuals.items():
+            self.individuals.setdefault(ind, set()).update(types)
+
+    # ------------------------------------------------------------------ #
+    # interrogation
+    # ------------------------------------------------------------------ #
+
+    def class_hierarchy(self) -> Dict[IRI, Set[IRI]]:
+        """Asserted ``child -> {parents}`` map for every declared class."""
+        hierarchy: Dict[IRI, Set[IRI]] = {}
+        for triple in self.graph.triples((None, RDFS.subClassOf, None)):
+            if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
+                hierarchy.setdefault(triple.subject, set()).add(triple.object)
+        return hierarchy
+
+    def superclasses(self, cls: IRI) -> Set[IRI]:
+        """Transitive closure of asserted superclasses of ``cls``."""
+        result: Set[IRI] = set()
+        frontier = [cls]
+        while frontier:
+            current = frontier.pop()
+            for parent in self.graph.objects(current, RDFS.subClassOf):
+                if isinstance(parent, IRI) and parent not in result:
+                    result.add(parent)
+                    frontier.append(parent)
+        return result
+
+    def subclasses(self, cls: IRI) -> Set[IRI]:
+        """Transitive closure of asserted subclasses of ``cls``."""
+        result: Set[IRI] = set()
+        frontier = [cls]
+        while frontier:
+            current = frontier.pop()
+            for child in self.graph.subjects(RDFS.subClassOf, current):
+                if isinstance(child, IRI) and child not in result:
+                    result.add(child)
+                    frontier.append(child)
+        return result
+
+    def is_subclass(self, child: IRI, parent: IRI) -> bool:
+        """Whether ``child`` is (transitively) a subclass of ``parent``."""
+        return child == parent or parent in self.superclasses(child)
+
+    def classify_individual(self, individual: Term) -> Set[IRI]:
+        """All classes the individual belongs to, including inherited ones."""
+        direct = self.graph.types_of(individual)
+        result = set(direct)
+        for cls in direct:
+            result |= self.superclasses(cls)
+        result.discard(OWL.NamedIndividual)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Ontology {self.iri.value}: {len(self.classes)} classes, "
+            f"{len(self.properties)} properties, {len(self.individuals)} individuals>"
+        )

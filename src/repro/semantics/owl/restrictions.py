@@ -1,0 +1,141 @@
+"""OWL property restrictions.
+
+Restrictions describe anonymous classes defined by constraints on a
+property (``someValuesFrom``, ``allValuesFrom``, ``hasValue``, cardinality).
+The environmental process ontology uses them, for example, to state that a
+``DroughtEvent`` is a perdurant that ``hasParticipant some RainfallDeficit``.
+
+Restrictions are materialised into the graph as blank-node class
+descriptions following the OWL RDF mapping, and the reasoner's structural
+checker (:meth:`Restriction.satisfied_by`) can evaluate them directly
+against individuals, which is cheaper than full tableau reasoning and
+sufficient for the middleware's classification needs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.semantics.rdf.namespace import OWL, RDF
+from repro.semantics.rdf.term import BlankNode, IRI, Literal, Term
+from repro.semantics.rdf.triple import Triple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.semantics.rdf.graph import Graph
+
+
+class Restriction:
+    """Base class for property restrictions."""
+
+    def __init__(self, on_property: IRI):
+        self.on_property = on_property
+        self.node: Optional[BlankNode] = None
+
+    def materialize(self, graph: "Graph") -> BlankNode:
+        """Write the restriction into ``graph``, returning its blank node."""
+        node = BlankNode()
+        self.node = node
+        graph.add(Triple(node, RDF.type, OWL.Restriction))
+        graph.add(Triple(node, OWL.onProperty, self.on_property))
+        self._materialize_constraint(graph, node)
+        return node
+
+    def _materialize_constraint(self, graph: "Graph", node: BlankNode) -> None:
+        raise NotImplementedError
+
+    def satisfied_by(self, graph: "Graph", individual: Term) -> bool:
+        """Structurally check whether ``individual`` satisfies the restriction."""
+        raise NotImplementedError
+
+
+class SomeValuesFrom(Restriction):
+    """``owl:someValuesFrom``: at least one property value in the filler class."""
+
+    def __init__(self, on_property: IRI, filler: IRI):
+        super().__init__(on_property)
+        self.filler = filler
+
+    def _materialize_constraint(self, graph: "Graph", node: BlankNode) -> None:
+        graph.add(Triple(node, OWL.someValuesFrom, self.filler))
+
+    def satisfied_by(self, graph: "Graph", individual: Term) -> bool:
+        for value in graph.objects(individual, self.on_property):
+            if Triple(value, RDF.type, self.filler) in graph:
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"SomeValuesFrom({self.on_property.local_name}, {self.filler.local_name})"
+
+
+class AllValuesFrom(Restriction):
+    """``owl:allValuesFrom``: every property value is in the filler class."""
+
+    def __init__(self, on_property: IRI, filler: IRI):
+        super().__init__(on_property)
+        self.filler = filler
+
+    def _materialize_constraint(self, graph: "Graph", node: BlankNode) -> None:
+        graph.add(Triple(node, OWL.allValuesFrom, self.filler))
+
+    def satisfied_by(self, graph: "Graph", individual: Term) -> bool:
+        values = list(graph.objects(individual, self.on_property))
+        if not values:
+            return True
+        return all(Triple(v, RDF.type, self.filler) in graph for v in values)
+
+    def __repr__(self) -> str:
+        return f"AllValuesFrom({self.on_property.local_name}, {self.filler.local_name})"
+
+
+class HasValue(Restriction):
+    """``owl:hasValue``: the property takes a specific value."""
+
+    def __init__(self, on_property: IRI, value: Term):
+        super().__init__(on_property)
+        self.value = value
+
+    def _materialize_constraint(self, graph: "Graph", node: BlankNode) -> None:
+        graph.add(Triple(node, OWL.hasValue, self.value))
+
+    def satisfied_by(self, graph: "Graph", individual: Term) -> bool:
+        return Triple(individual, self.on_property, self.value) in graph
+
+    def __repr__(self) -> str:
+        return f"HasValue({self.on_property.local_name}, {self.value})"
+
+
+class Cardinality(Restriction):
+    """Minimum / maximum cardinality constraint on a property."""
+
+    def __init__(
+        self,
+        on_property: IRI,
+        minimum: Optional[int] = None,
+        maximum: Optional[int] = None,
+    ):
+        if minimum is None and maximum is None:
+            raise ValueError("cardinality restriction needs a minimum and/or maximum")
+        super().__init__(on_property)
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def _materialize_constraint(self, graph: "Graph", node: BlankNode) -> None:
+        if self.minimum is not None:
+            graph.add(Triple(node, OWL.minCardinality, Literal(self.minimum)))
+        if self.maximum is not None:
+            graph.add(Triple(node, OWL.maxCardinality, Literal(self.maximum)))
+
+    def satisfied_by(self, graph: "Graph", individual: Term) -> bool:
+        count = len(list(graph.objects(individual, self.on_property)))
+        if self.minimum is not None and count < self.minimum:
+            return False
+        if self.maximum is not None and count > self.maximum:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Cardinality({self.on_property.local_name}, "
+            f"min={self.minimum}, max={self.maximum})"
+        )

@@ -1,0 +1,22 @@
+"""RDF data model: terms, namespaces, triples, graphs and serialisation."""
+
+from repro.semantics.rdf.term import IRI, Literal, BlankNode, Variable, Term
+from repro.semantics.rdf.namespace import Namespace, NamespaceManager, RDF, RDFS, OWL, XSD
+from repro.semantics.rdf.triple import Triple
+from repro.semantics.rdf.graph import Graph
+
+__all__ = [
+    "Term",
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Variable",
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "Triple",
+    "Graph",
+]

@@ -1,0 +1,296 @@
+"""Indexed in-memory RDF graph.
+
+The graph keeps three permutation indexes (SPO, POS, OSP) so that any triple
+pattern with at least one ground position is answered by dictionary lookups
+instead of a scan.  This is the storage layer the ontology segment layer of
+the middleware is built on: every annotated observation, ontology axiom and
+inferred statement ends up as triples in a :class:`Graph`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.semantics.rdf.namespace import NamespaceManager, RDF
+from repro.semantics.rdf.term import BlankNode, IRI, Literal, Term, Variable, as_term
+from repro.semantics.rdf.triple import Triple
+
+TriplePattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+
+class Graph:
+    """A set of RDF triples with pattern-matching access.
+
+    Parameters
+    ----------
+    identifier:
+        Optional IRI naming the graph (useful when several graphs are
+        managed together, e.g. one per sensor source).
+    namespaces:
+        Optional namespace manager; a fresh one with the core W3C prefixes
+        is created when omitted.
+    """
+
+    def __init__(
+        self,
+        identifier: Optional[IRI] = None,
+        namespaces: Optional[NamespaceManager] = None,
+    ):
+        self.identifier = identifier
+        self.namespaces = namespaces or NamespaceManager()
+        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, triple: Union[Triple, Tuple[Term, Term, Term]]) -> bool:
+        """Add a ground triple.  Returns ``True`` if it was not present."""
+        if not isinstance(triple, Triple):
+            s, p, o = triple
+            triple = Triple(as_term(s), as_term(p), as_term(o))
+        if not triple.is_ground():
+            raise ValueError("cannot add a triple containing variables")
+        s, p, o = triple.subject, triple.predicate, triple.object
+        if o in self._spo[s][p]:
+            return False
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Union[Triple, Tuple[Term, Term, Term]]]) -> int:
+        """Add many triples; returns the number actually inserted."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Union[Triple, Tuple[Term, Term, Term]]) -> bool:
+        """Remove a ground triple.  Returns ``True`` if it was present."""
+        if not isinstance(triple, Triple):
+            s, p, o = triple
+            triple = Triple(as_term(s), as_term(p), as_term(o))
+        s, p, o = triple.subject, triple.predicate, triple.object
+        if o not in self._spo.get(s, {}).get(p, set()):
+            return False
+        self._spo[s][p].discard(o)
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        self._size -= 1
+        return True
+
+    def remove_matching(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Remove every triple matching the (possibly wildcard) pattern."""
+        victims = list(self.triples((subject, predicate, obj)))
+        for t in victims:
+            self.remove(t)
+        return len(victims)
+
+    def clear(self) -> None:
+        """Remove every triple."""
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Union[Triple, Tuple]) -> bool:
+        if isinstance(triple, Triple):
+            s, p, o = triple.subject, triple.predicate, triple.object
+        else:
+            s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, set())
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def triples(
+        self, pattern: TriplePattern = (None, None, None)
+    ) -> Iterator[Triple]:
+        """Yield triples matching ``pattern``; ``None`` is a wildcard.
+
+        A :class:`~repro.semantics.rdf.term.Variable` in a position is
+        treated as a wildcard too, so SPARQL basic-graph-pattern evaluation
+        can pass patterns through unchanged.
+        """
+        s, p, o = (
+            None if isinstance(t, Variable) else t for t in pattern
+        )
+        if s is not None:
+            if p is not None:
+                if o is not None:
+                    if o in self._spo.get(s, {}).get(p, set()):
+                        yield Triple(s, p, o)
+                else:
+                    for obj in self._spo.get(s, {}).get(p, set()):
+                        yield Triple(s, p, obj)
+            else:
+                for pred, objs in self._spo.get(s, {}).items():
+                    if o is not None:
+                        if o in objs:
+                            yield Triple(s, pred, o)
+                    else:
+                        for obj in objs:
+                            yield Triple(s, pred, obj)
+        elif p is not None:
+            if o is not None:
+                for subj in self._pos.get(p, {}).get(o, set()):
+                    yield Triple(subj, p, o)
+            else:
+                for obj, subjs in self._pos.get(p, {}).items():
+                    for subj in subjs:
+                        yield Triple(subj, p, obj)
+        elif o is not None:
+            for subj, preds in self._osp.get(o, {}).items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)
+        else:
+            for subj, po in self._spo.items():
+                for pred, objs in po.items():
+                    for obj in objs:
+                        yield Triple(subj, pred, obj)
+
+    def subjects(
+        self, predicate: Optional[Term] = None, obj: Optional[Term] = None
+    ) -> Iterator[Term]:
+        """Distinct subjects of triples matching ``(?, predicate, obj)``."""
+        seen: Set[Term] = set()
+        for t in self.triples((None, predicate, obj)):
+            if t.subject not in seen:
+                seen.add(t.subject)
+                yield t.subject
+
+    def objects(
+        self, subject: Optional[Term] = None, predicate: Optional[Term] = None
+    ) -> Iterator[Term]:
+        """Distinct objects of triples matching ``(subject, predicate, ?)``."""
+        seen: Set[Term] = set()
+        for t in self.triples((subject, predicate, None)):
+            if t.object not in seen:
+                seen.add(t.object)
+                yield t.object
+
+    def predicates(
+        self, subject: Optional[Term] = None, obj: Optional[Term] = None
+    ) -> Iterator[Term]:
+        """Distinct predicates of triples matching ``(subject, ?, obj)``."""
+        seen: Set[Term] = set()
+        for t in self.triples((subject, None, obj)):
+            if t.predicate not in seen:
+                seen.add(t.predicate)
+                yield t.predicate
+
+    def value(
+        self, subject: Optional[Term] = None, predicate: Optional[Term] = None,
+        obj: Optional[Term] = None, default: Optional[Term] = None,
+    ) -> Optional[Term]:
+        """Return one term completing the pattern, or ``default``.
+
+        Exactly one of the three positions must be ``None``; that position is
+        the value returned.
+        """
+        holes = [subject is None, predicate is None, obj is None]
+        if sum(holes) != 1:
+            raise ValueError("value() requires exactly one unspecified position")
+        for t in self.triples((subject, predicate, obj)):
+            if subject is None:
+                return t.subject
+            if predicate is None:
+                return t.predicate
+            return t.object
+        return default
+
+    # ------------------------------------------------------------------ #
+    # conveniences used heavily by the ontology layer
+    # ------------------------------------------------------------------ #
+
+    def add_type(self, individual: Term, cls: IRI) -> bool:
+        """Assert ``individual rdf:type cls``."""
+        return self.add(Triple(individual, RDF.type, cls))
+
+    def types_of(self, individual: Term) -> Set[IRI]:
+        """All asserted ``rdf:type`` values for ``individual``."""
+        return {o for o in self.objects(individual, RDF.type) if isinstance(o, IRI)}
+
+    def instances_of(self, cls: IRI) -> Set[Term]:
+        """All subjects asserted to be of type ``cls``."""
+        return set(self.subjects(RDF.type, cls))
+
+    def literal_value(
+        self, subject: Term, predicate: Term, default=None
+    ):
+        """The Python value of the first literal object for the pattern."""
+        val = self.value(subject, predicate, None)
+        if isinstance(val, Literal):
+            return val.to_python()
+        return default
+
+    # ------------------------------------------------------------------ #
+    # set operations
+    # ------------------------------------------------------------------ #
+
+    def union(self, other: "Graph") -> "Graph":
+        """A new graph holding the triples of both graphs."""
+        result = self.copy()
+        result.add_all(other)
+        return result
+
+    def intersection(self, other: "Graph") -> "Graph":
+        """A new graph holding only the triples present in both graphs."""
+        result = Graph(namespaces=self.namespaces.copy())
+        for t in self:
+            if t in other:
+                result.add(t)
+        return result
+
+    def difference(self, other: "Graph") -> "Graph":
+        """A new graph holding the triples of ``self`` absent from ``other``."""
+        result = Graph(namespaces=self.namespaces.copy())
+        for t in self:
+            if t not in other:
+                result.add(t)
+        return result
+
+    def copy(self) -> "Graph":
+        """An independent copy of this graph."""
+        result = Graph(identifier=self.identifier, namespaces=self.namespaces.copy())
+        result.add_all(self)
+        return result
+
+    def __iadd__(self, other: Iterable[Triple]) -> "Graph":
+        self.add_all(other)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # serialisation (delegates)
+    # ------------------------------------------------------------------ #
+
+    def serialize(self, format: str = "ntriples") -> str:
+        """Serialise to ``ntriples`` or ``turtle``."""
+        from repro.semantics.rdf.serializer import serialize_graph
+
+        return serialize_graph(self, format=format)
+
+    def parse(self, text: str, format: str = "ntriples") -> int:
+        """Parse ``text`` into this graph; returns triples added."""
+        from repro.semantics.rdf.parser import parse_into_graph
+
+        return parse_into_graph(self, text, format=format)
+
+    def __repr__(self) -> str:
+        name = self.identifier.value if self.identifier else "anonymous"
+        return f"<Graph {name} ({self._size} triples)>"

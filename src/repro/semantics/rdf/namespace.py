@@ -1,0 +1,151 @@
+"""Namespaces and prefix management.
+
+A :class:`Namespace` makes IRI construction readable: ``SSN.Sensor`` instead
+of ``IRI("http://purl.oclc.org/NET/ssnx/ssn#Sensor")``.  A
+:class:`NamespaceManager` keeps the prefix -> namespace bindings a graph uses
+when serialising to Turtle or compacting IRIs for display.
+
+The well-known namespaces used throughout the middleware (RDF, RDFS, OWL,
+XSD) are defined here once; domain namespaces (SSN, DOLCE, the drought and
+IK ontologies) live in :mod:`repro.ontologies.vocabulary`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.semantics.rdf.term import IRI
+
+
+class Namespace:
+    """A factory of IRIs sharing a common prefix.
+
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.Sensor
+    IRI('http://example.org/Sensor')
+    >>> EX["soil moisture"]          # doctest: +SKIP
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: str):
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        """The namespace IRI prefix string."""
+        return self._base
+
+    def term(self, name: str) -> IRI:
+        """Build the IRI for ``name`` inside this namespace."""
+        return IRI(self._base + name)
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return self.term(name)
+
+    def __contains__(self, iri: object) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Namespace) and other._base == self._base
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self._base))
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+    def __str__(self) -> str:
+        return self._base
+
+
+#: Core W3C vocabularies.
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+#: Default prefix table every graph starts with.
+DEFAULT_PREFIXES: Dict[str, Namespace] = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "owl": OWL,
+    "xsd": XSD,
+}
+
+
+class NamespaceManager:
+    """Bidirectional prefix <-> namespace registry used by serialisers."""
+
+    def __init__(self, initial: Optional[Dict[str, Namespace]] = None):
+        self._by_prefix: Dict[str, Namespace] = {}
+        self._by_base: Dict[str, str] = {}
+        for prefix, ns in (initial or DEFAULT_PREFIXES).items():
+            self.bind(prefix, ns)
+
+    def bind(self, prefix: str, namespace: Namespace, replace: bool = True) -> None:
+        """Associate ``prefix`` with ``namespace``.
+
+        With ``replace=False`` an existing binding for the prefix is kept.
+        """
+        if not replace and prefix in self._by_prefix:
+            return
+        old = self._by_prefix.get(prefix)
+        if old is not None:
+            self._by_base.pop(old.base, None)
+        self._by_prefix[prefix] = namespace
+        self._by_base[namespace.base] = prefix
+
+    def namespace(self, prefix: str) -> Optional[Namespace]:
+        """Look up the namespace bound to ``prefix`` (or ``None``)."""
+        return self._by_prefix.get(prefix)
+
+    def prefix(self, namespace: Namespace) -> Optional[str]:
+        """Look up the prefix bound to ``namespace`` (or ``None``)."""
+        return self._by_base.get(namespace.base)
+
+    def bindings(self) -> Iterator[Tuple[str, Namespace]]:
+        """Iterate ``(prefix, namespace)`` pairs sorted by prefix."""
+        return iter(sorted(self._by_prefix.items()))
+
+    def compact(self, iri: IRI) -> str:
+        """Return a CURIE (``prefix:local``) for ``iri`` when possible.
+
+        Falls back to the ``<...>`` form when no bound namespace matches or
+        when the local part would itself contain separators.
+        """
+        for base, prefix in sorted(
+            self._by_base.items(), key=lambda kv: -len(kv[0])
+        ):
+            if iri.value.startswith(base):
+                local = iri.value[len(base):]
+                if local and "/" not in local and "#" not in local:
+                    return f"{prefix}:{local}"
+        return iri.n3()
+
+    def expand(self, curie: str) -> IRI:
+        """Expand a CURIE such as ``ssn:Sensor`` to a full IRI.
+
+        Raises ``KeyError`` if the prefix is unknown.
+        """
+        if curie.startswith("<") and curie.endswith(">"):
+            return IRI(curie[1:-1])
+        prefix, _, local = curie.partition(":")
+        ns = self._by_prefix.get(prefix)
+        if ns is None:
+            raise KeyError(f"unknown namespace prefix: {prefix!r}")
+        return ns.term(local)
+
+    def copy(self) -> "NamespaceManager":
+        """Return an independent copy of this manager."""
+        clone = NamespaceManager(initial={})
+        for prefix, ns in self._by_prefix.items():
+            clone.bind(prefix, ns)
+        return clone

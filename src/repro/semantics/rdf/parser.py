@@ -1,0 +1,185 @@
+"""Parsers for N-Triples and the Turtle subset produced by the serialiser.
+
+Round-tripping (serialise then parse) is exercised by property-based tests;
+the interface protocol layer uses these parsers when reading semantically
+annotated observations back from the simulated cloud store.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+from repro.semantics.rdf.term import BlankNode, IRI, Literal, Term
+from repro.semantics.rdf.triple import Triple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.semantics.rdf.graph import Graph
+
+
+class ParseError(ValueError):
+    """Raised when serialised RDF text cannot be parsed."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<iri><[^>]*>)
+  | (?P<bnode>_:[A-Za-z0-9_.\-]+)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:@[A-Za-z\-]+|\^\^<[^>]*>)?)
+  | (?P<curie>[A-Za-z_][\w\-]*:[\w\-.]+)
+  | (?P<a>\ba\b)
+  | (?P<punct>[;,.])
+    """,
+    re.VERBOSE,
+)
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_literal(token: str) -> Literal:
+    match = re.match(r'^"((?:[^"\\]|\\.)*)"(?:@([A-Za-z\-]+)|\^\^<([^>]*)>)?$', token)
+    if match is None:
+        raise ParseError(f"malformed literal: {token!r}")
+    lexical = _unescape(match.group(1))
+    lang = match.group(2)
+    dtype = match.group(3)
+    if lang:
+        return Literal(lexical, lang=lang)
+    if dtype:
+        datatype = IRI(dtype)
+        # Re-materialise native types for the common XSD datatypes so the
+        # round-trip preserves to_python() behaviour.
+        local = datatype.local_name
+        if local == "integer":
+            return Literal(int(lexical))
+        if local in ("double", "decimal"):
+            return Literal(float(lexical))
+        if local == "boolean":
+            return Literal(lexical.strip().lower() in ("true", "1"))
+        return Literal(lexical, datatype=datatype)
+    return Literal(lexical)
+
+
+def _term_from_token(kind: str, token: str, graph: "Graph") -> Term:
+    if kind == "iri":
+        return IRI(token[1:-1])
+    if kind == "bnode":
+        return BlankNode(token[2:])
+    if kind == "literal":
+        return _parse_literal(token)
+    if kind == "curie":
+        return graph.namespaces.expand(token)
+    if kind == "a":
+        from repro.semantics.rdf.namespace import RDF
+
+        return RDF.type
+    raise ParseError(f"unexpected token: {token!r}")
+
+
+def _tokenize(line: str) -> Iterator[Tuple[str, str]]:
+    pos = 0
+    while pos < len(line):
+        if line[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN.match(line, pos)
+        if match is None:
+            raise ParseError(f"cannot tokenise at: {line[pos:pos + 30]!r}")
+        kind = match.lastgroup
+        yield kind, match.group(0)
+        pos = match.end()
+
+
+def parse_ntriples(graph: "Graph", text: str) -> int:
+    """Parse N-Triples ``text`` into ``graph``; returns triples added."""
+    added = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = list(_tokenize(line))
+        if len(tokens) != 4 or tokens[-1][1] != ".":
+            raise ParseError("expected '<s> <p> <o> .'", line_no)
+        try:
+            s = _term_from_token(*tokens[0], graph=graph)
+            p = _term_from_token(*tokens[1], graph=graph)
+            o = _term_from_token(*tokens[2], graph=graph)
+        except ParseError as exc:
+            raise ParseError(str(exc), line_no) from exc
+        if graph.add(Triple(s, p, o)):
+            added += 1
+    return added
+
+
+_PREFIX_LINE = re.compile(r"^@prefix\s+([A-Za-z_][\w\-]*):\s+<([^>]*)>\s*\.\s*$")
+
+
+def parse_turtle(graph: "Graph", text: str) -> int:
+    """Parse the Turtle subset emitted by :func:`to_turtle` into ``graph``."""
+    from repro.semantics.rdf.namespace import Namespace
+
+    added = 0
+    # Collapse statements: a statement ends with '.' at end of line.
+    statements: List[str] = []
+    current: List[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        prefix_match = _PREFIX_LINE.match(line)
+        if prefix_match:
+            graph.namespaces.bind(prefix_match.group(1), Namespace(prefix_match.group(2)))
+            continue
+        current.append(line)
+        if line.endswith("."):
+            statements.append(" ".join(current))
+            current = []
+    if current:
+        raise ParseError("unterminated statement at end of input")
+
+    for statement in statements:
+        body = statement[: statement.rfind(".")]
+        tokens = list(_tokenize(body))
+        if not tokens:
+            continue
+        subject = _term_from_token(*tokens[0], graph=graph)
+        idx = 1
+        predicate: Optional[Term] = None
+        while idx < len(tokens):
+            kind, token = tokens[idx]
+            if kind == "punct" and token == ";":
+                predicate = None
+                idx += 1
+                continue
+            if kind == "punct" and token == ",":
+                idx += 1
+                continue
+            if predicate is None:
+                predicate = _term_from_token(kind, token, graph)
+                idx += 1
+                continue
+            obj = _term_from_token(kind, token, graph)
+            if graph.add(Triple(subject, predicate, obj)):
+                added += 1
+            idx += 1
+    return added
+
+
+def parse_into_graph(graph: "Graph", text: str, format: str = "ntriples") -> int:
+    """Dispatch to the parser for ``format`` (``ntriples`` or ``turtle``)."""
+    fmt = format.lower()
+    if fmt in ("ntriples", "nt", "n-triples"):
+        return parse_ntriples(graph, text)
+    if fmt in ("turtle", "ttl"):
+        return parse_turtle(graph, text)
+    raise ValueError(f"unsupported parse format: {format!r}")

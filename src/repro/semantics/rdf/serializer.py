@@ -1,0 +1,88 @@
+"""Serialisation of graphs to N-Triples and a Turtle subset.
+
+The middleware's interface protocol layer exchanges "machine readable"
+representations of annotated observations; these serialisers provide the
+wire format.  Output is deterministic (triples are sorted) so tests and the
+benchmark harness can compare snapshots.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.semantics.rdf.term import BlankNode, IRI, Literal, Term
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.semantics.rdf.graph import Graph
+
+
+def serialize_graph(graph: "Graph", format: str = "ntriples") -> str:
+    """Serialise ``graph`` to the requested format.
+
+    Supported formats: ``"ntriples"`` (also ``"nt"``) and ``"turtle"``
+    (also ``"ttl"``).
+    """
+    fmt = format.lower()
+    if fmt in ("ntriples", "nt", "n-triples"):
+        return to_ntriples(graph)
+    if fmt in ("turtle", "ttl"):
+        return to_turtle(graph)
+    raise ValueError(f"unsupported serialisation format: {format!r}")
+
+
+def to_ntriples(graph: "Graph") -> str:
+    """Canonical (sorted) N-Triples serialisation."""
+    lines = sorted(t.n3() for t in graph)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _turtle_term(term: Term, graph: "Graph") -> str:
+    if isinstance(term, IRI):
+        return graph.namespaces.compact(term)
+    if isinstance(term, (Literal, BlankNode)):
+        return term.n3()
+    return term.n3()
+
+
+def to_turtle(graph: "Graph") -> str:
+    """Serialise to a readable Turtle subset.
+
+    Triples are grouped by subject and predicate; prefix declarations are
+    emitted for every bound namespace actually used.
+    """
+    # Group triples: subject -> predicate -> [objects]
+    grouped: Dict[Term, Dict[Term, List[Term]]] = defaultdict(lambda: defaultdict(list))
+    for t in graph:
+        grouped[t.subject][t.predicate].append(t.object)
+
+    used_prefixes = set()
+
+    def compact(term: Term) -> str:
+        text = _turtle_term(term, graph)
+        if ":" in text and not text.startswith("<") and not text.startswith('"'):
+            used_prefixes.add(text.split(":", 1)[0])
+        return text
+
+    body_lines: List[str] = []
+    for subject in sorted(grouped, key=lambda t: t.sort_key()):
+        subj_text = compact(subject)
+        pred_parts: List[str] = []
+        preds = grouped[subject]
+        for predicate in sorted(preds, key=lambda t: t.sort_key()):
+            objs = sorted(preds[predicate], key=lambda t: t.sort_key())
+            obj_text = ", ".join(compact(o) for o in objs)
+            pred_parts.append(f"    {compact(predicate)} {obj_text}")
+        body_lines.append(subj_text + "\n" + " ;\n".join(pred_parts) + " .")
+
+    header_lines = []
+    for prefix, ns in graph.namespaces.bindings():
+        if prefix in used_prefixes:
+            header_lines.append(f"@prefix {prefix}: <{ns.base}> .")
+
+    parts = []
+    if header_lines:
+        parts.append("\n".join(header_lines))
+    if body_lines:
+        parts.append("\n\n".join(body_lines))
+    return "\n\n".join(parts) + ("\n" if parts else "")

@@ -1,0 +1,98 @@
+"""Triples and triple patterns.
+
+A :class:`Triple` is the atomic RDF statement ``(subject, predicate,
+object)``.  The same class doubles as a *triple pattern* when any position
+holds a :class:`~repro.semantics.rdf.term.Variable`; the
+:meth:`Triple.is_ground` predicate distinguishes the two uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.semantics.rdf.term import BlankNode, IRI, Literal, Term, Variable
+
+
+class Triple:
+    """An immutable RDF triple or triple pattern."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: Term, predicate: Term, obj: Term):
+        if not isinstance(subject, (IRI, BlankNode, Variable)):
+            raise TypeError(f"invalid triple subject: {subject!r}")
+        if not isinstance(predicate, (IRI, Variable)):
+            raise TypeError(f"invalid triple predicate: {predicate!r}")
+        if not isinstance(obj, (IRI, BlankNode, Literal, Variable)):
+            raise TypeError(f"invalid triple object: {obj!r}")
+        object.__setattr__(self, "subject", subject)
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "object", obj)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Triple is immutable")
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter((self.subject, self.predicate, self.object))
+
+    def __getitem__(self, index: int) -> Term:
+        return (self.subject, self.predicate, self.object)[index]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Triple)
+            and other.subject == self.subject
+            and other.predicate == self.predicate
+            and other.object == self.object
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.subject, self.predicate, self.object))
+
+    def __repr__(self) -> str:
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+    def n3(self) -> str:
+        """N-Triples serialisation of the statement (ground triples only)."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def is_ground(self) -> bool:
+        """True when the triple contains no variables."""
+        return (
+            self.subject.is_concrete()
+            and self.predicate.is_concrete()
+            and self.object.is_concrete()
+        )
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """The variables occurring in this pattern, in S/P/O order."""
+        return tuple(t for t in self if isinstance(t, Variable))
+
+    def matches(self, other: "Triple") -> Optional[Dict[Variable, Term]]:
+        """Try to match this *pattern* against a ground triple.
+
+        Returns the variable bindings produced by the match, or ``None`` when
+        the triples do not unify.  A variable occurring twice must bind to
+        the same term both times.
+        """
+        bindings: Dict[Variable, Term] = {}
+        for mine, theirs in zip(self, other):
+            if isinstance(mine, Variable):
+                bound = bindings.get(mine)
+                if bound is None:
+                    bindings[mine] = theirs
+                elif bound != theirs:
+                    return None
+            elif mine != theirs:
+                return None
+        return bindings
+
+    def substitute(self, bindings: Dict[Variable, Term]) -> "Triple":
+        """Replace variables with their bindings, leaving unbound ones."""
+
+        def _sub(term: Term) -> Term:
+            if isinstance(term, Variable):
+                return bindings.get(term, term)
+            return term
+
+        return Triple(_sub(self.subject), _sub(self.predicate), _sub(self.object))

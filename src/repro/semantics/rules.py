@@ -1,0 +1,146 @@
+"""Datalog-style rule engine over RDF graphs.
+
+Rules are Horn clauses of triple patterns: when every pattern in the body
+matches the graph under some variable binding, the head patterns are
+instantiated and asserted.  The engine performs semi-naive forward chaining
+to a fixed point.
+
+Two clients use this module:
+
+* the :class:`~repro.semantics.reasoner.Reasoner`, whose RDFS / OWL-lite
+  entailment rules are expressed as :class:`Rule` objects, and
+* the indigenous-knowledge layer, which derives drought-indicator rules
+  (e.g. "sighting of sifennefene worms implies a DryConditionIndication")
+  that run against the annotated observation graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.term import Term, Variable
+from repro.semantics.rdf.triple import Triple
+from repro.semantics.sparql.algebra import BGP
+from repro.semantics.sparql.bindings import Bindings
+
+#: Optional guard evaluated on the bindings before firing a rule.
+RuleGuard = Callable[[Bindings], bool]
+
+
+@dataclass
+class Rule:
+    """A Horn rule ``body => head`` over triple patterns.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in provenance and diagnostics.
+    body:
+        Triple patterns that must all match.
+    head:
+        Triple patterns asserted for each match.  Head variables must occur
+        in the body (the engine checks this and raises ``ValueError``).
+    guard:
+        Optional Python predicate over the bindings, used for numeric
+        conditions that triple patterns cannot express (e.g. thresholds).
+    """
+
+    name: str
+    body: Sequence[Triple]
+    head: Sequence[Triple]
+    guard: Optional[RuleGuard] = None
+
+    def __post_init__(self) -> None:
+        body_vars = {v for pattern in self.body for v in pattern.variables()}
+        for pattern in self.head:
+            for v in pattern.variables():
+                if v not in body_vars:
+                    raise ValueError(
+                        f"rule {self.name!r}: head variable {v} not bound in body"
+                    )
+
+    def derive(self, graph: Graph) -> Set[Triple]:
+        """All head triples derivable from ``graph`` by this rule."""
+        derived: Set[Triple] = set()
+        bgp = BGP(list(self.body))
+        for solution in bgp.solutions(graph):
+            if self.guard is not None:
+                try:
+                    if not self.guard(solution):
+                        continue
+                except (TypeError, ValueError, KeyError):
+                    continue
+            mapping = solution.as_dict()
+            for pattern in self.head:
+                triple = pattern.substitute(mapping)
+                if triple.is_ground():
+                    derived.add(triple)
+        return derived
+
+    def __repr__(self) -> str:
+        return f"Rule({self.name!r}, body={len(self.body)}, head={len(self.head)})"
+
+
+@dataclass
+class InferenceTrace:
+    """Provenance of one forward-chaining run."""
+
+    iterations: int = 0
+    inferred: int = 0
+    by_rule: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, rule_name: str, count: int) -> None:
+        """Account ``count`` new triples to ``rule_name``."""
+        if count:
+            self.by_rule[rule_name] = self.by_rule.get(rule_name, 0) + count
+            self.inferred += count
+
+
+class RuleEngine:
+    """Forward-chaining engine applying a rule set to a graph to fixpoint."""
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None, max_iterations: int = 100):
+        self.rules: List[Rule] = list(rules or [])
+        self.max_iterations = max_iterations
+
+    def add_rule(self, rule: Rule) -> None:
+        """Register an additional rule."""
+        self.rules.append(rule)
+
+    def extend(self, rules: Iterable[Rule]) -> None:
+        """Register several rules."""
+        self.rules.extend(rules)
+
+    def run(self, graph: Graph) -> InferenceTrace:
+        """Apply all rules repeatedly until no new triple is produced.
+
+        The inferred triples are added to ``graph`` in place; the returned
+        :class:`InferenceTrace` reports how many triples each rule added.
+        """
+        trace = InferenceTrace()
+        for iteration in range(self.max_iterations):
+            added_this_round = 0
+            for rule in self.rules:
+                new_triples = [t for t in rule.derive(graph) if t not in graph]
+                for triple in new_triples:
+                    graph.add(triple)
+                trace.record(rule.name, len(new_triples))
+                added_this_round += len(new_triples)
+            trace.iterations = iteration + 1
+            if added_this_round == 0:
+                break
+        return trace
+
+    def infer_only(self, graph: Graph) -> Graph:
+        """Like :meth:`run` but returns only the inferred triples.
+
+        The input graph is not modified.
+        """
+        working = graph.copy()
+        self.run(working)
+        return working.difference(graph)
+
+    def __repr__(self) -> str:
+        return f"<RuleEngine {len(self.rules)} rules>"

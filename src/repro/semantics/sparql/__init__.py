@@ -1,0 +1,32 @@
+"""SPARQL-like query engine over :class:`repro.semantics.rdf.graph.Graph`.
+
+Supports the algebra the middleware actually needs: basic graph patterns,
+FILTER expressions, OPTIONAL, UNION, DISTINCT, ORDER BY, LIMIT/OFFSET and
+the SELECT / ASK query forms, with a small textual parser for convenience.
+"""
+
+from repro.semantics.sparql.algebra import (
+    BGP,
+    Filter,
+    Join,
+    LeftJoin,
+    Projection,
+    Union,
+)
+from repro.semantics.sparql.bindings import Bindings
+from repro.semantics.sparql.evaluator import QueryResult, evaluate, query
+from repro.semantics.sparql.parser import parse_query
+
+__all__ = [
+    "BGP",
+    "Filter",
+    "Join",
+    "LeftJoin",
+    "Union",
+    "Projection",
+    "Bindings",
+    "QueryResult",
+    "evaluate",
+    "query",
+    "parse_query",
+]

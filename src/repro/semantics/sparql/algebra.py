@@ -1,0 +1,267 @@
+"""Query algebra operators.
+
+Queries are evaluated as trees of algebra operators over a graph.  Each
+operator exposes ``solutions(graph)`` returning an iterator of
+:class:`~repro.semantics.sparql.bindings.Bindings`.  The design mirrors the
+SPARQL algebra (BGP, Join, LeftJoin, Union, Filter, Projection, Slice) at
+the scale the middleware needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.term import Literal, Term, Variable
+from repro.semantics.rdf.triple import Triple
+from repro.semantics.sparql.bindings import EMPTY_BINDINGS, Bindings
+
+FilterFunction = Callable[[Bindings], bool]
+
+
+class Operator:
+    """Base class for algebra operators."""
+
+    def solutions(self, graph: Graph) -> Iterator[Bindings]:
+        """Yield the solution mappings this operator produces over ``graph``."""
+        raise NotImplementedError
+
+    def variables(self) -> List[Variable]:
+        """The variables this operator can bind (used by projection)."""
+        return []
+
+
+class BGP(Operator):
+    """A basic graph pattern: a conjunction of triple patterns.
+
+    Patterns are reordered greedily at evaluation time so that the most
+    selective pattern (fewest wildcard positions, respecting already-bound
+    variables) is matched first.
+    """
+
+    def __init__(self, patterns: Sequence[Triple]):
+        self.patterns = list(patterns)
+
+    def variables(self) -> List[Variable]:
+        seen: List[Variable] = []
+        for p in self.patterns:
+            for v in p.variables():
+                if v not in seen:
+                    seen.append(v)
+        return seen
+
+    @staticmethod
+    def _selectivity(pattern: Triple, bound: set) -> int:
+        score = 0
+        for term in pattern:
+            if isinstance(term, Variable) and term not in bound:
+                score += 1
+        return score
+
+    def solutions(self, graph: Graph) -> Iterator[Bindings]:
+        if not self.patterns:
+            yield EMPTY_BINDINGS
+            return
+        yield from self._match(graph, list(self.patterns), EMPTY_BINDINGS)
+
+    def _match(
+        self, graph: Graph, remaining: List[Triple], bindings: Bindings
+    ) -> Iterator[Bindings]:
+        if not remaining:
+            yield bindings
+            return
+        bound_vars = set(bindings)
+        # pick the most selective remaining pattern
+        best_idx = min(
+            range(len(remaining)),
+            key=lambda i: self._selectivity(remaining[i], bound_vars),
+        )
+        pattern = remaining[best_idx]
+        rest = remaining[:best_idx] + remaining[best_idx + 1:]
+        concrete = pattern.substitute(bindings.as_dict())
+        for triple in graph.triples(tuple(concrete)):
+            match = concrete.matches(triple)
+            if match is None:
+                continue
+            extended = bindings.merge(Bindings(match))
+            if extended is None:
+                continue
+            yield from self._match(graph, rest, extended)
+
+
+class Join(Operator):
+    """Inner join of two operators on their shared variables."""
+
+    def __init__(self, left: Operator, right: Operator):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> List[Variable]:
+        seen = list(self.left.variables())
+        for v in self.right.variables():
+            if v not in seen:
+                seen.append(v)
+        return seen
+
+    def solutions(self, graph: Graph) -> Iterator[Bindings]:
+        right_solutions = list(self.right.solutions(graph))
+        for left in self.left.solutions(graph):
+            for right in right_solutions:
+                merged = left.merge(right)
+                if merged is not None:
+                    yield merged
+
+
+class LeftJoin(Operator):
+    """OPTIONAL: keep left solutions even when the right side has no match."""
+
+    def __init__(self, left: Operator, right: Operator):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> List[Variable]:
+        seen = list(self.left.variables())
+        for v in self.right.variables():
+            if v not in seen:
+                seen.append(v)
+        return seen
+
+    def solutions(self, graph: Graph) -> Iterator[Bindings]:
+        right_solutions = list(self.right.solutions(graph))
+        for left in self.left.solutions(graph):
+            matched = False
+            for right in right_solutions:
+                merged = left.merge(right)
+                if merged is not None:
+                    matched = True
+                    yield merged
+            if not matched:
+                yield left
+
+
+class Union(Operator):
+    """UNION: concatenation of the solutions of both sides."""
+
+    def __init__(self, left: Operator, right: Operator):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> List[Variable]:
+        seen = list(self.left.variables())
+        for v in self.right.variables():
+            if v not in seen:
+                seen.append(v)
+        return seen
+
+    def solutions(self, graph: Graph) -> Iterator[Bindings]:
+        yield from self.left.solutions(graph)
+        yield from self.right.solutions(graph)
+
+
+class Filter(Operator):
+    """FILTER: keep solutions satisfying a predicate over the bindings."""
+
+    def __init__(self, child: Operator, predicate: FilterFunction):
+        self.child = child
+        self.predicate = predicate
+
+    def variables(self) -> List[Variable]:
+        return self.child.variables()
+
+    def solutions(self, graph: Graph) -> Iterator[Bindings]:
+        for solution in self.child.solutions(graph):
+            try:
+                keep = self.predicate(solution)
+            except (TypeError, ValueError, KeyError):
+                keep = False
+            if keep:
+                yield solution
+
+
+class Projection(Operator):
+    """SELECT projection with optional DISTINCT, ORDER BY and LIMIT/OFFSET."""
+
+    def __init__(
+        self,
+        child: Operator,
+        variables: Optional[Sequence[Variable]] = None,
+        distinct: bool = False,
+        order_by: Optional[Variable] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ):
+        self.child = child
+        self._variables = list(variables) if variables else None
+        self.distinct = distinct
+        self.order_by = order_by
+        self.descending = descending
+        self.limit = limit
+        self.offset = offset
+
+    def variables(self) -> List[Variable]:
+        if self._variables is not None:
+            return list(self._variables)
+        return self.child.variables()
+
+    def solutions(self, graph: Graph) -> Iterator[Bindings]:
+        wanted = self.variables()
+        results: Iterable[Bindings] = (
+            s.project(wanted) for s in self.child.solutions(graph)
+        )
+        if self.distinct:
+            seen = set()
+            unique: List[Bindings] = []
+            for s in results:
+                if s not in seen:
+                    seen.add(s)
+                    unique.append(s)
+            results = unique
+        if self.order_by is not None:
+            def sort_key(solution: Bindings):
+                term = solution.get(self.order_by)
+                if term is None:
+                    return (0, "")
+                if isinstance(term, Literal) and term.is_numeric():
+                    return (1, term.to_python())
+                return (2, str(term))
+
+            results = sorted(results, key=sort_key, reverse=self.descending)
+        results = list(results)
+        if self.offset:
+            results = results[self.offset:]
+        if self.limit is not None:
+            results = results[: self.limit]
+        yield from results
+
+
+def numeric_filter(var: Variable, op: str, value: float) -> FilterFunction:
+    """Build a FILTER predicate comparing a numeric variable to a constant.
+
+    ``op`` is one of ``< <= > >= = !=``.
+    """
+    import operator
+
+    ops = {
+        "<": operator.lt,
+        "<=": operator.le,
+        ">": operator.gt,
+        ">=": operator.ge,
+        "=": operator.eq,
+        "==": operator.eq,
+        "!=": operator.ne,
+    }
+    if op not in ops:
+        raise ValueError(f"unsupported comparison operator: {op!r}")
+    compare = ops[op]
+
+    def predicate(bindings: Bindings) -> bool:
+        term = bindings.get(var)
+        if not isinstance(term, Literal):
+            return False
+        candidate = term.to_python()
+        if not isinstance(candidate, (int, float)):
+            return False
+        return compare(candidate, value)
+
+    return predicate

@@ -1,0 +1,87 @@
+"""Variable bindings (solution mappings) produced by query evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.semantics.rdf.term import Term, Variable
+
+
+class Bindings:
+    """An immutable mapping from variables to RDF terms.
+
+    A solution mapping in SPARQL terminology.  Compatible mappings can be
+    merged; merging incompatible mappings (same variable bound to different
+    terms) returns ``None``, which the join operators interpret as
+    "no solution".
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Optional[Dict[Variable, Term]] = None):
+        object.__setattr__(self, "_map", dict(mapping or {}))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Bindings are immutable")
+
+    def get(self, var: Variable, default: Optional[Term] = None) -> Optional[Term]:
+        """The term bound to ``var`` or ``default``."""
+        return self._map.get(var, default)
+
+    def __getitem__(self, var: Variable) -> Term:
+        return self._map[var]
+
+    def __contains__(self, var: Variable) -> bool:
+        return var in self._map
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def items(self):
+        """Iterate ``(variable, term)`` pairs."""
+        return self._map.items()
+
+    def as_dict(self) -> Dict[Variable, Term]:
+        """A mutable copy of the underlying mapping."""
+        return dict(self._map)
+
+    def merge(self, other: "Bindings") -> Optional["Bindings"]:
+        """Combine two mappings; ``None`` when they conflict."""
+        merged = dict(self._map)
+        for var, term in other.items():
+            existing = merged.get(var)
+            if existing is None:
+                merged[var] = term
+            elif existing != term:
+                return None
+        return Bindings(merged)
+
+    def extended(self, var: Variable, term: Term) -> Optional["Bindings"]:
+        """A new mapping with ``var`` bound to ``term`` (``None`` on conflict)."""
+        existing = self._map.get(var)
+        if existing is not None:
+            return self if existing == term else None
+        new_map = dict(self._map)
+        new_map[var] = term
+        return Bindings(new_map)
+
+    def project(self, variables) -> "Bindings":
+        """Restrict to the given variables."""
+        return Bindings({v: t for v, t in self._map.items() if v in variables})
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Bindings) and other._map == self._map
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}={t}" for v, t in sorted(
+            self._map.items(), key=lambda kv: kv[0].name))
+        return f"Bindings({inner})"
+
+
+EMPTY_BINDINGS = Bindings()

@@ -1,0 +1,166 @@
+"""Query evaluation: turning parsed queries into algebra and executing them."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import RDF
+from repro.semantics.rdf.term import IRI, Literal, Term, Variable
+from repro.semantics.rdf.triple import Triple
+from repro.semantics.sparql.algebra import (
+    BGP,
+    Filter,
+    LeftJoin,
+    Operator,
+    Projection,
+    numeric_filter,
+)
+from repro.semantics.sparql.bindings import Bindings
+from repro.semantics.sparql.parser import ParsedPattern, ParsedQuery, parse_query
+
+
+class QueryResult:
+    """The result of a SELECT or ASK query.
+
+    Iterating yields :class:`Bindings`; :attr:`rows` gives them as plain
+    dictionaries keyed by variable name, which is what application code and
+    tests normally want.
+    """
+
+    def __init__(self, form: str, solutions: List[Bindings], variables: List[Variable]):
+        self.form = form
+        self.solutions = solutions
+        self.variables = variables
+
+    def __iter__(self) -> Iterator[Bindings]:
+        return iter(self.solutions)
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    def __bool__(self) -> bool:
+        return bool(self.solutions)
+
+    @property
+    def rows(self) -> List[Dict[str, Term]]:
+        """Solutions as ``{variable name: term}`` dictionaries."""
+        return [
+            {var.name: term for var, term in solution.items()}
+            for solution in self.solutions
+        ]
+
+    @property
+    def scalars(self) -> List[Union[str, int, float, bool]]:
+        """For single-variable queries: the bound values as Python scalars."""
+        values = []
+        for solution in self.solutions:
+            for _, term in solution.items():
+                if isinstance(term, Literal):
+                    values.append(term.to_python())
+                else:
+                    values.append(str(term))
+        return values
+
+    @property
+    def ask(self) -> bool:
+        """For ASK queries: whether any solution exists."""
+        return bool(self.solutions)
+
+
+def _resolve_term(text: str, graph: Graph) -> Term:
+    """Resolve a textual query term against the graph's namespaces."""
+    text = text.strip()
+    if text.startswith("?"):
+        return Variable(text)
+    if text == "a":
+        return RDF.type
+    if text.startswith("<") and text.endswith(">"):
+        return IRI(text[1:-1])
+    if text.startswith('"'):
+        from repro.semantics.rdf.parser import _parse_literal
+
+        return _parse_literal(text)
+    try:
+        return Literal(int(text))
+    except ValueError:
+        pass
+    try:
+        return Literal(float(text))
+    except ValueError:
+        pass
+    return graph.namespaces.expand(text)
+
+
+def _build_bgp(patterns: Sequence[ParsedPattern], graph: Graph) -> BGP:
+    triples = [
+        Triple(
+            _resolve_term(p.subject, graph),
+            _resolve_term(p.predicate, graph),
+            _resolve_term(p.object, graph),
+        )
+        for p in patterns
+    ]
+    return BGP(triples)
+
+
+def _build_algebra(parsed: ParsedQuery, graph: Graph) -> Operator:
+    root: Operator = _build_bgp(parsed.patterns, graph)
+    for optional in parsed.optional_patterns:
+        root = LeftJoin(root, _build_bgp(optional, graph))
+    for flt in parsed.filters:
+        var = Variable(flt.variable)
+        value_text = flt.value.strip()
+        try:
+            value = float(value_text)
+            root = Filter(root, numeric_filter(var, flt.op, value))
+        except ValueError:
+            target = _resolve_term(value_text, graph)
+
+            def equality(bindings: Bindings, _var=var, _target=target, _op=flt.op) -> bool:
+                bound = bindings.get(_var)
+                if _op in ("=", "=="):
+                    return bound == _target
+                if _op == "!=":
+                    return bound != _target
+                return False
+
+            root = Filter(root, equality)
+    projection_vars = [Variable(name) for name in parsed.variables] or None
+    return Projection(
+        root,
+        variables=projection_vars,
+        distinct=parsed.distinct,
+        order_by=Variable(parsed.order_by) if parsed.order_by else None,
+        descending=parsed.descending,
+        limit=parsed.limit,
+        offset=parsed.offset,
+    )
+
+
+def evaluate(graph: Graph, operator: Operator) -> List[Bindings]:
+    """Evaluate an algebra tree, materialising all solutions."""
+    return list(operator.solutions(graph))
+
+
+def query(graph: Graph, text: str) -> QueryResult:
+    """Parse and evaluate a SELECT or ASK query against ``graph``."""
+    parsed = parse_query(text)
+    algebra = _build_algebra(parsed, graph)
+    solutions = evaluate(graph, algebra)
+    if parsed.form == "ASK":
+        return QueryResult("ASK", solutions[:1], [])
+    variables = algebra.variables()
+    return QueryResult("SELECT", solutions, variables)
+
+
+def select(
+    graph: Graph,
+    patterns: Sequence[Triple],
+    variables: Optional[Sequence[Variable]] = None,
+    distinct: bool = False,
+) -> QueryResult:
+    """Programmatic SELECT over explicit triple patterns (no text parsing)."""
+    algebra = Projection(BGP(list(patterns)), variables=variables, distinct=distinct)
+    solutions = evaluate(graph, algebra)
+    return QueryResult("SELECT", solutions, algebra.variables())

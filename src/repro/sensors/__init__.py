@@ -1,0 +1,53 @@
+"""Wireless sensor network substrate.
+
+The paper's implementation outlook (§5) gathers data with Libelium Waspmote
+motes over 6LoWPAN / IEEE 802.15.4, conventional weather stations and
+mobile-phone reports, uploaded through an SMS gateway to cloud storage.
+This package simulates that whole physical layer:
+
+``repro.sensors.modality``
+    Sensor modalities (what can be measured, in which range, with what
+    noise) and the environment-model protocol they sample from.
+``repro.sensors.heterogeneity``
+    Vendor naming profiles: how each source *spells* property names and
+    which units / schemas it uses -- the heterogeneity the middleware must
+    eliminate.
+``repro.sensors.node``
+    Waspmote-style motes: attached sensors, battery, duty cycle, drift.
+``repro.sensors.radio``
+    IEEE 802.15.4 radio and 6LoWPAN fragmentation model.
+``repro.sensors.network``
+    WSN topology and multi-hop routing to the sink (networkx).
+``repro.sensors.gateway``
+    SMS gateway uplink with batching and outage model.
+``repro.sensors.weather_station``
+    Conventional weather stations reporting a different schema.
+``repro.sensors.mobile``
+    Mobile-phone observer reports, including IK indicator sightings.
+"""
+
+from repro.sensors.modality import EnvironmentModel, Modality, MODALITIES, ConstantEnvironment
+from repro.sensors.heterogeneity import NamingProfile, VENDOR_PROFILES
+from repro.sensors.node import AttachedSensor, SensorNode
+from repro.sensors.radio import RadioModel, SIXLOWPAN_MTU
+from repro.sensors.network import WirelessSensorNetwork
+from repro.sensors.gateway import SmsGateway
+from repro.sensors.weather_station import WeatherStation
+from repro.sensors.mobile import MobileObserver
+
+__all__ = [
+    "EnvironmentModel",
+    "ConstantEnvironment",
+    "Modality",
+    "MODALITIES",
+    "NamingProfile",
+    "VENDOR_PROFILES",
+    "AttachedSensor",
+    "SensorNode",
+    "RadioModel",
+    "SIXLOWPAN_MTU",
+    "WirelessSensorNetwork",
+    "SmsGateway",
+    "WeatherStation",
+    "MobileObserver",
+]

@@ -1,0 +1,146 @@
+"""SMS gateway uplink.
+
+In the paper's deployment the motes' readings are "uploaded via SMS gateway
+for storage in the cloud".  The gateway model batches the records that
+arrive at the WSN sink, encodes them as SenML documents, and uploads them to
+the cloud store with a configurable latency and outage model (cellular
+coverage in rural Free State is intermittent).  Records that arrive during
+an outage are queued and flushed when coverage returns, so outages add
+latency rather than silently losing data -- unless the queue overflows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.streams.messages import ObservationRecord, SenMLCodec
+from repro.streams.scheduler import SimulationScheduler
+
+UploadCallback = Callable[[str, float], None]
+
+
+@dataclass
+class GatewayStatistics:
+    """Counters for the dissemination / WSN benchmarks."""
+
+    records_received: int = 0
+    records_uploaded: int = 0
+    records_dropped: int = 0
+    uploads: int = 0
+    failed_upload_attempts: int = 0
+    total_upload_latency: float = 0.0
+
+    @property
+    def upload_success_ratio(self) -> float:
+        """Fraction of received records eventually uploaded."""
+        if self.records_received == 0:
+            return 0.0
+        return self.records_uploaded / self.records_received
+
+
+class SmsGateway:
+    """Batches sink records and uploads them to the cloud store.
+
+    Parameters
+    ----------
+    scheduler:
+        Simulation scheduler driving upload timing.
+    upload:
+        Callback ``(senml_document, timestamp)`` invoked for each successful
+        upload -- normally :meth:`repro.dews.cloud.CloudStore.ingest`.
+    batch_size:
+        Records per upload batch.
+    upload_interval:
+        Seconds between scheduled upload attempts.
+    upload_latency:
+        Simulated seconds an upload takes when coverage is available.
+    outage_probability:
+        Probability that any given upload attempt finds no cellular
+        coverage; the batch stays queued for the next attempt.
+    queue_capacity:
+        Maximum records held while waiting for coverage; overflow drops the
+        oldest records.
+    """
+
+    def __init__(
+        self,
+        scheduler: SimulationScheduler,
+        upload: UploadCallback,
+        batch_size: int = 50,
+        upload_interval: float = 900.0,
+        upload_latency: float = 8.0,
+        outage_probability: float = 0.05,
+        queue_capacity: int = 5000,
+        seed: int = 0,
+    ):
+        self.scheduler = scheduler
+        self.upload = upload
+        self.batch_size = batch_size
+        self.upload_interval = upload_interval
+        self.upload_latency = upload_latency
+        self.outage_probability = outage_probability
+        self.queue_capacity = queue_capacity
+        self.statistics = GatewayStatistics()
+        self._queue: List[ObservationRecord] = []
+        self._rng = random.Random(seed)
+        self._timer = scheduler.schedule_repeating(upload_interval, self._attempt_upload)
+
+    # ------------------------------------------------------------------ #
+    # ingest from the WSN sink / weather stations / mobile reports
+    # ------------------------------------------------------------------ #
+
+    def receive(self, records: List[ObservationRecord]) -> None:
+        """Queue records that arrived at the sink for upload."""
+        self.statistics.records_received += len(records)
+        self._queue.extend(records)
+        overflow = len(self._queue) - self.queue_capacity
+        if overflow > 0:
+            del self._queue[:overflow]
+            self.statistics.records_dropped += overflow
+
+    @property
+    def queued(self) -> int:
+        """Number of records waiting for upload."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # upload
+    # ------------------------------------------------------------------ #
+
+    def _attempt_upload(self) -> None:
+        if not self._queue:
+            return
+        if self._rng.random() < self.outage_probability:
+            self.statistics.failed_upload_attempts += 1
+            return
+        while self._queue:
+            batch = self._queue[: self.batch_size]
+            del self._queue[: len(batch)]
+            document = SenMLCodec.encode(batch)
+            upload_time = self.scheduler.clock.now + self.upload_latency
+            self.scheduler.schedule(
+                self.upload_latency,
+                lambda doc=document, t=upload_time, n=len(batch): self._complete_upload(doc, t, n),
+            )
+
+    def _complete_upload(self, document: str, timestamp: float, record_count: int) -> None:
+        self.upload(document, timestamp)
+        self.statistics.uploads += 1
+        self.statistics.records_uploaded += record_count
+        self.statistics.total_upload_latency += self.upload_latency
+
+    def flush(self) -> None:
+        """Force an immediate upload attempt (used by tests)."""
+        self._attempt_upload()
+
+    def stop(self) -> None:
+        """Cancel the periodic upload timer."""
+        self._timer.cancel()
+
+    def __repr__(self) -> str:
+        return (
+            f"<SmsGateway queued={self.queued} uploads={self.statistics.uploads} "
+            f"success={self.statistics.upload_success_ratio:.2f}>"
+        )

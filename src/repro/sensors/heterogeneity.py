@@ -1,0 +1,207 @@
+"""Vendor naming profiles: the source of data heterogeneity.
+
+Each heterogeneous source family spells property names differently (its own
+language, vendor field names or standard tags), reports in its own units and
+uses its own record schema.  A :class:`NamingProfile` captures those choices
+for one vendor / community; the simulated motes and stations are assigned
+profiles so that the raw streams arriving at the middleware exhibit exactly
+the naming and cognitive heterogeneity the paper describes (``"Hoehe"`` vs
+``"Stav"`` vs ``"water level"``), and the mediation experiments can measure
+how much of it the ontology layer resolves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class NamingProfile:
+    """How one source family names properties and reports values.
+
+    Attributes
+    ----------
+    name:
+        Profile identifier, e.g. ``"libelium_en"`` or ``"dwd_german"``.
+    property_names:
+        ``canonical_key -> source spelling`` map.
+    units:
+        ``canonical_key -> unit symbol the source reports in``.  Missing
+        keys fall back to the canonical unit.
+    metadata_style:
+        Free-form schema tag recorded in the observation metadata so the
+        mediator can also resolve schema heterogeneity.
+    """
+
+    name: str
+    property_names: Dict[str, str]
+    units: Dict[str, str] = field(default_factory=dict)
+    metadata_style: str = "flat"
+
+    def spell(self, canonical_key: str) -> str:
+        """The source's spelling of a canonical property key."""
+        return self.property_names.get(canonical_key, canonical_key)
+
+    def unit_for(self, canonical_key: str, canonical_unit: str) -> str:
+        """The unit symbol the source reports the property in."""
+        return self.units.get(canonical_key, canonical_unit)
+
+
+#: Profiles used by the Free State scenario.  They intentionally mix
+#: English, German, Czech, Spanish and vendor-specific abbreviations, and
+#: non-canonical units, following the paper's naming-heterogeneity examples.
+VENDOR_PROFILES: Dict[str, NamingProfile] = {
+    "libelium_en": NamingProfile(
+        name="libelium_en",
+        property_names={
+            "air_temperature": "TC",
+            "soil_moisture": "SOIL_MOIST",
+            "soil_temperature": "SOIL_TEMP",
+            "rainfall": "PLUVIO",
+            "relative_humidity": "HUM",
+            "wind_speed": "ANE",
+            "solar_radiation": "RAD",
+            "barometric_pressure": "PRES",
+            "water_level": "WaterLevel",
+            "vegetation_index": "NDVI",
+        },
+        units={"barometric_pressure": "kPa"},
+        metadata_style="waspmote_frame",
+    ),
+    "german_gauge": NamingProfile(
+        name="german_gauge",
+        property_names={
+            "water_level": "Hoehe",
+            "air_temperature": "Lufttemperatur",
+            "rainfall": "Niederschlag",
+            "relative_humidity": "Luftfeuchtigkeit",
+            "soil_moisture": "Bodenfeuchte",
+            "soil_temperature": "Bodentemperatur",
+            "wind_speed": "Windgeschwindigkeit",
+            "barometric_pressure": "Luftdruck",
+            "solar_radiation": "Globalstrahlung",
+            "vegetation_index": "Vegetationsindex",
+        },
+        units={"water_level": "cm", "rainfall": "mm"},
+        metadata_style="wiski_export",
+    ),
+    "czech_gauge": NamingProfile(
+        name="czech_gauge",
+        property_names={
+            "water_level": "Stav",
+            "air_temperature": "Teplota",
+            "rainfall": "Srazky",
+            "relative_humidity": "Vlhkost",
+            "soil_moisture": "Vlhkost pudy",
+            "soil_temperature": "Teplota pudy",
+            "wind_speed": "Rychlost vetru",
+        },
+        units={"water_level": "m"},
+        metadata_style="chmi_export",
+    ),
+    "saws_station": NamingProfile(
+        name="saws_station",
+        property_names={
+            "air_temperature": "Dry Bulb Temperature",
+            "rainfall": "PRCP",
+            "relative_humidity": "Rel Humidity",
+            "wind_speed": "FF",
+            "wind_direction": "DD",
+            "barometric_pressure": "Station Pressure",
+            "solar_radiation": "Global Radiation",
+        },
+        units={"rainfall": "in", "air_temperature": "degF", "wind_speed": "knot"},
+        metadata_style="synop",
+    ),
+    "farmer_mobile": NamingProfile(
+        name="farmer_mobile",
+        property_names={
+            "rainfall": "rain today",
+            "air_temperature": "temp",
+            "soil_moisture": "soil water",
+            "vegetation_index": "greenness",
+        },
+        units={},
+        metadata_style="sms_text",
+    ),
+    "legacy_spanish": NamingProfile(
+        name="legacy_spanish",
+        property_names={
+            "air_temperature": "Temperatura",
+            "rainfall": "Precipitacion",
+            "relative_humidity": "Humedad",
+            "soil_moisture": "Humedad del suelo",
+            "water_level": "Nivel de agua",
+        },
+        units={"water_level": "ft"},
+        metadata_style="csv_v1",
+    ),
+}
+
+
+def profile_cycle(seed: int = 0) -> List[NamingProfile]:
+    """A deterministic shuffled list of profiles for round-robin assignment."""
+    rng = random.Random(seed)
+    profiles = list(VENDOR_PROFILES.values())
+    rng.shuffle(profiles)
+    return profiles
+
+
+def assign_profiles(count: int, seed: int = 0) -> List[NamingProfile]:
+    """Assign ``count`` sources a profile each, cycling deterministically."""
+    cycle = profile_cycle(seed)
+    return [cycle[i % len(cycle)] for i in range(count)]
+
+
+@dataclass
+class HeterogeneityReport:
+    """Summary of the raw-stream heterogeneity in a batch of observations.
+
+    Built by :func:`measure_heterogeneity`; the mediation benchmark compares
+    the number of distinct source spellings per canonical property before
+    and after mediation.
+    """
+
+    total_records: int
+    distinct_terms: int
+    distinct_units: int
+    terms_per_property: Dict[str, int]
+
+    @property
+    def naming_heterogeneity(self) -> float:
+        """Average number of distinct spellings per canonical property."""
+        if not self.terms_per_property:
+            return 0.0
+        return sum(self.terms_per_property.values()) / len(self.terms_per_property)
+
+
+def measure_heterogeneity(records, aligner=None) -> HeterogeneityReport:
+    """Measure naming / unit heterogeneity in raw observation records.
+
+    ``aligner`` (a :class:`repro.ontologies.alignment.TermAligner`) is used
+    to group spellings under their canonical property; without one the raw
+    spelling itself is used as the group key (i.e. no grouping).
+    """
+    terms: Dict[str, set] = {}
+    units: set = set()
+    spellings: set = set()
+    total = 0
+    for record in records:
+        total += 1
+        spellings.add(record.property_name)
+        if record.unit:
+            units.add(record.unit)
+        if aligner is not None:
+            result = aligner.align(record.property_name)
+            key = result.canonical_key or record.property_name
+        else:
+            key = record.property_name
+        terms.setdefault(key, set()).add(record.property_name)
+    return HeterogeneityReport(
+        total_records=total,
+        distinct_terms=len(spellings),
+        distinct_units=len(units),
+        terms_per_property={key: len(values) for key, values in terms.items()},
+    )

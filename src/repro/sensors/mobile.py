@@ -1,0 +1,140 @@
+"""Mobile-phone observers.
+
+The third heterogeneous source class: farmers and extension officers with
+mobile phones, reporting (a) rough quantitative observations ("rain today",
+"temp") in colloquial terms and (b) sightings of indigenous-knowledge
+indicators.  IK sightings are produced as observation records of kind
+``"ik_sighting"`` whose property name is the indicator key and whose value
+is the sighting intensity in ``[0, 1]``; the IK layer turns these into
+semantic ``IndicatorSighting`` individuals.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sensors.heterogeneity import NamingProfile, VENDOR_PROFILES
+from repro.sensors.modality import EnvironmentModel, get_modality
+from repro.streams.messages import ObservationRecord
+
+#: Signature of the indicator-activity oracle: returns the probability in
+#: [0, 1] that a given indicator is currently showing, given the location
+#: and time.  Supplied by the scenario / IK layer.
+IndicatorActivity = Callable[[str, Tuple[float, float], float], float]
+
+
+class MobileObserver:
+    """A community member reporting observations and IK sightings by phone.
+
+    Parameters
+    ----------
+    observer_id:
+        Identifier, e.g. ``"farmer-012"``.
+    location:
+        The observer's home area.
+    environment:
+        Ground-truth environment model (for the quantitative reports).
+    indicator_activity:
+        Oracle giving the probability that an indicator is observable; when
+        omitted, no IK sightings are produced.
+    indicators:
+        The indicator keys this observer knows how to recognise.
+    report_probability:
+        Probability that the observer actually sends a report on any given
+        reporting opportunity (people forget, networks fail).
+    quantisation:
+        Rounding step for quantitative reports -- phone reports are coarse
+        ("about 10 mm"), which is part of cognitive heterogeneity.
+    """
+
+    def __init__(
+        self,
+        observer_id: str,
+        location: Tuple[float, float],
+        environment: EnvironmentModel,
+        indicator_activity: Optional[IndicatorActivity] = None,
+        indicators: Optional[List[str]] = None,
+        profile: Optional[NamingProfile] = None,
+        report_probability: float = 0.6,
+        quantisation: float = 1.0,
+        seed: int = 0,
+    ):
+        self.observer_id = observer_id
+        self.location = location
+        self.environment = environment
+        self.indicator_activity = indicator_activity
+        self.indicators = list(indicators or [])
+        self.profile = profile or VENDOR_PROFILES["farmer_mobile"]
+        self.report_probability = report_probability
+        self.quantisation = quantisation
+        self._rng = random.Random(seed)
+        self.reports_sent = 0
+        self.sightings_sent = 0
+
+    # ------------------------------------------------------------------ #
+    # quantitative reports
+    # ------------------------------------------------------------------ #
+
+    def report_conditions(self, timestamp: float) -> List[ObservationRecord]:
+        """Produce coarse quantitative reports for the observer's area."""
+        if self._rng.random() > self.report_probability:
+            return []
+        records: List[ObservationRecord] = []
+        for key in ("rainfall", "air_temperature"):
+            modality = get_modality(key)
+            true_value = self.environment.true_value(key, self.location, timestamp)
+            noisy = true_value + self._rng.gauss(0.0, modality.noise_std * 3.0)
+            coarse = round(noisy / self.quantisation) * self.quantisation
+            records.append(
+                ObservationRecord(
+                    source_id=self.observer_id,
+                    source_kind="mobile_report",
+                    property_name=self.profile.spell(key),
+                    value=modality.clip(coarse),
+                    unit=modality.canonical_unit,
+                    timestamp=timestamp,
+                    location=self.location,
+                    metadata={"profile": self.profile.name, "schema": "sms_text"},
+                )
+            )
+        self.reports_sent += 1
+        return records
+
+    # ------------------------------------------------------------------ #
+    # indigenous indicator sightings
+    # ------------------------------------------------------------------ #
+
+    def report_sightings(self, timestamp: float) -> List[ObservationRecord]:
+        """Report any indigenous indicators the observer noticed."""
+        if self.indicator_activity is None or not self.indicators:
+            return []
+        records: List[ObservationRecord] = []
+        for indicator_key in self.indicators:
+            activity = self.indicator_activity(indicator_key, self.location, timestamp)
+            if self._rng.random() >= activity:
+                continue
+            intensity = min(1.0, max(0.0, activity + self._rng.gauss(0.0, 0.1)))
+            records.append(
+                ObservationRecord(
+                    source_id=self.observer_id,
+                    source_kind="ik_sighting",
+                    property_name=indicator_key,
+                    value=round(intensity, 3),
+                    unit=None,
+                    timestamp=timestamp,
+                    location=self.location,
+                    metadata={
+                        "observer": self.observer_id,
+                        "schema": "ik_sighting",
+                    },
+                )
+            )
+            self.sightings_sent += 1
+        return records
+
+    def __repr__(self) -> str:
+        return (
+            f"<MobileObserver {self.observer_id} indicators={len(self.indicators)} "
+            f"reports={self.reports_sent} sightings={self.sightings_sent}>"
+        )

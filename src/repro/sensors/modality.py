@@ -1,0 +1,125 @@
+"""Sensor modalities and the environment-model protocol.
+
+A :class:`Modality` describes one measurable environmental property: its
+canonical key in the unified vocabulary, the canonical unit, a plausible
+value range and the measurement noise of a typical sensing element.  Motes,
+weather stations and human observers sample an :class:`EnvironmentModel`
+(the ground-truth field provided by :mod:`repro.workloads.climate`) through
+their modalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol, Tuple
+
+
+class EnvironmentModel(Protocol):
+    """Ground-truth environmental field sampled by all sources.
+
+    Implementations return the true value of a canonical property at a
+    location and simulated time (seconds since the scenario epoch).
+    """
+
+    def true_value(
+        self, property_key: str, location: Tuple[float, float], timestamp: float
+    ) -> float:
+        """The true value of ``property_key`` at ``location`` and ``timestamp``."""
+        ...
+
+
+class ConstantEnvironment:
+    """A trivially simple environment returning fixed values per property.
+
+    Used by unit tests that need deterministic sensor behaviour without the
+    full climate generator.
+    """
+
+    def __init__(self, values: Optional[Dict[str, float]] = None, default: float = 0.0):
+        self._values = dict(values or {})
+        self._default = default
+
+    def true_value(
+        self, property_key: str, location: Tuple[float, float], timestamp: float
+    ) -> float:
+        """Return the configured constant for the property."""
+        return self._values.get(property_key, self._default)
+
+
+@dataclass(frozen=True)
+class Modality:
+    """One measurable property and the characteristics of sensing it.
+
+    Attributes
+    ----------
+    property_key:
+        Canonical property key in the unified vocabulary
+        (see :data:`repro.ontologies.environment.CANONICAL_PROPERTIES`).
+    canonical_unit:
+        Unit symbol the forecasting layer expects.
+    minimum / maximum:
+        Physical clipping range for sensed values.
+    noise_std:
+        Standard deviation of zero-mean Gaussian measurement noise, in
+        canonical units.
+    drift_per_day:
+        Calibration drift added per simulated day of operation.
+    sampling_interval:
+        Default sampling period in simulated seconds.
+    """
+
+    property_key: str
+    canonical_unit: str
+    minimum: float
+    maximum: float
+    noise_std: float
+    drift_per_day: float = 0.0
+    sampling_interval: float = 3600.0
+
+    def clip(self, value: float) -> float:
+        """Clamp a value into the physical range of the modality."""
+        return max(self.minimum, min(self.maximum, value))
+
+
+#: The modalities deployed in the Free State scenario.
+MODALITIES: Dict[str, Modality] = {
+    "air_temperature": Modality(
+        "air_temperature", "degC", -15.0, 50.0, noise_std=0.3, drift_per_day=0.002
+    ),
+    "soil_moisture": Modality(
+        "soil_moisture", "percent", 0.0, 60.0, noise_std=0.8, drift_per_day=0.01
+    ),
+    "soil_temperature": Modality(
+        "soil_temperature", "degC", -5.0, 45.0, noise_std=0.4
+    ),
+    "rainfall": Modality(
+        "rainfall", "mm", 0.0, 400.0, noise_std=0.2
+    ),
+    "relative_humidity": Modality(
+        "relative_humidity", "percent", 0.0, 100.0, noise_std=1.5
+    ),
+    "wind_speed": Modality(
+        "wind_speed", "m/s", 0.0, 40.0, noise_std=0.5
+    ),
+    "solar_radiation": Modality(
+        "solar_radiation", "W/m2", 0.0, 1200.0, noise_std=15.0
+    ),
+    "barometric_pressure": Modality(
+        "barometric_pressure", "hPa", 850.0, 1080.0, noise_std=0.5
+    ),
+    "water_level": Modality(
+        "water_level", "mm", 0.0, 15000.0, noise_std=20.0
+    ),
+    "vegetation_index": Modality(
+        "vegetation_index", "index", 0.0, 1.0, noise_std=0.02,
+        sampling_interval=86400.0,
+    ),
+}
+
+
+def get_modality(property_key: str) -> Modality:
+    """Look up a modality by canonical property key.
+
+    Raises ``KeyError`` for unknown keys.
+    """
+    return MODALITIES[property_key]

@@ -1,0 +1,207 @@
+"""WSN topology and multi-hop delivery to the sink.
+
+The motes of a district form a mesh; observations travel hop by hop towards
+the sink (the gateway mote attached to the SMS uplink).  The topology is a
+:mod:`networkx` graph whose edges are radio links within range; routing uses
+shortest paths weighted by expected transmission count, and each hop runs
+the :class:`~repro.sensors.radio.RadioModel`, so end-to-end delivery ratio,
+latency and energy fall out of the simulation rather than being assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.sensors.node import SensorNode
+from repro.sensors.radio import RadioModel, distance_metres
+from repro.streams.messages import ObservationRecord, SenMLCodec
+
+
+@dataclass
+class DeliveryOutcome:
+    """Result of pushing one batch of records from a mote to the sink."""
+
+    source_id: str
+    delivered: bool
+    records: List[ObservationRecord]
+    hops: int
+    latency_seconds: float
+    bytes_on_air: int
+    energy_mj: float
+
+
+@dataclass
+class NetworkStatistics:
+    """Aggregate WSN delivery statistics for the E8 benchmark."""
+
+    batches_sent: int = 0
+    batches_delivered: int = 0
+    records_sent: int = 0
+    records_delivered: int = 0
+    total_bytes_on_air: int = 0
+    total_latency: float = 0.0
+    total_energy_mj: float = 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of record batches that reached the sink."""
+        if self.batches_sent == 0:
+            return 0.0
+        return self.batches_delivered / self.batches_sent
+
+    @property
+    def energy_per_delivered_record_mj(self) -> float:
+        """Radio energy spent per record that reached the sink."""
+        if self.records_delivered == 0:
+            return float("inf")
+        return self.total_energy_mj / self.records_delivered
+
+
+class WirelessSensorNetwork:
+    """A mesh of sensor nodes routing observation batches to a sink.
+
+    Parameters
+    ----------
+    sink_id:
+        Identifier of the sink node (created implicitly; it has no sensors).
+    sink_location:
+        Coordinates of the sink / gateway mote.
+    radio:
+        Shared radio model; per-link loss derives from inter-node distance.
+    max_link_range_m:
+        Links longer than this are not usable.
+    """
+
+    def __init__(
+        self,
+        sink_id: str = "sink",
+        sink_location: Tuple[float, float] = (0.0, 0.0),
+        radio: Optional[RadioModel] = None,
+        max_link_range_m: float = 600.0,
+    ):
+        self.sink_id = sink_id
+        self.sink_location = sink_location
+        self.radio = radio or RadioModel()
+        self.max_link_range_m = max_link_range_m
+        self.nodes: Dict[str, SensorNode] = {}
+        self.graph = nx.Graph()
+        self.graph.add_node(sink_id, location=sink_location)
+        self.statistics = NetworkStatistics()
+
+    # ------------------------------------------------------------------ #
+    # topology
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node: SensorNode) -> None:
+        """Add a mote and connect it to every node within radio range."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id: {node.node_id}")
+        self.nodes[node.node_id] = node
+        self.graph.add_node(node.node_id, location=node.location)
+        for other_id, attrs in self.graph.nodes(data=True):
+            if other_id == node.node_id:
+                continue
+            distance = distance_metres(node.location, attrs["location"])
+            if distance <= self.max_link_range_m:
+                loss = self.radio.loss_probability(distance)
+                # expected transmission count as the routing weight
+                etx = 1.0 / max(1e-6, 1.0 - loss)
+                self.graph.add_edge(
+                    node.node_id, other_id, distance=distance, etx=etx
+                )
+
+    def route_to_sink(self, node_id: str) -> Optional[List[str]]:
+        """Shortest ETX-weighted path from ``node_id`` to the sink."""
+        alive = {self.sink_id} | {
+            nid for nid, node in self.nodes.items() if node.alive
+        }
+        subgraph = self.graph.subgraph(alive)
+        try:
+            return nx.shortest_path(subgraph, node_id, self.sink_id, weight="etx")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+    def connectivity(self) -> float:
+        """Fraction of alive motes that currently have a route to the sink."""
+        alive = [nid for nid, node in self.nodes.items() if node.alive]
+        if not alive:
+            return 0.0
+        reachable = sum(1 for nid in alive if self.route_to_sink(nid) is not None)
+        return reachable / len(alive)
+
+    # ------------------------------------------------------------------ #
+    # delivery
+    # ------------------------------------------------------------------ #
+
+    def deliver(self, node_id: str, records: List[ObservationRecord]) -> DeliveryOutcome:
+        """Send a batch of records from ``node_id`` to the sink hop by hop."""
+        if not records:
+            return DeliveryOutcome(node_id, True, [], 0, 0.0, 0, 0.0)
+        node = self.nodes[node_id]
+        path = self.route_to_sink(node_id)
+        self.statistics.batches_sent += 1
+        self.statistics.records_sent += len(records)
+        if path is None or not node.alive:
+            return DeliveryOutcome(node_id, False, records, 0, 0.0, 0, 0.0)
+
+        payload_bytes = SenMLCodec.encoded_size(records)
+        total_latency = 0.0
+        total_bytes = 0
+        total_energy = 0.0
+        delivered = True
+        for hop_index in range(len(path) - 1):
+            sender_id, receiver_id = path[hop_index], path[hop_index + 1]
+            sender_loc = self.graph.nodes[sender_id]["location"]
+            receiver_loc = self.graph.nodes[receiver_id]["location"]
+            distance = distance_metres(sender_loc, receiver_loc)
+            result = self.radio.transmit(payload_bytes, distance)
+            total_latency += result.latency_seconds
+            total_bytes += result.bytes_on_air
+            sender = self.nodes.get(sender_id)
+            if sender is not None:
+                energy = result.bytes_on_air * sender.energy.transmit_cost_mj_per_byte
+                sender.spend_transmission(result.bytes_on_air)
+                total_energy += energy
+            if not result.delivered:
+                delivered = False
+                break
+
+        self.statistics.total_latency += total_latency
+        self.statistics.total_bytes_on_air += total_bytes
+        self.statistics.total_energy_mj += total_energy
+        if delivered:
+            self.statistics.batches_delivered += 1
+            self.statistics.records_delivered += len(records)
+        return DeliveryOutcome(
+            source_id=node_id,
+            delivered=delivered,
+            records=records if delivered else [],
+            hops=len(path) - 1 if path else 0,
+            latency_seconds=total_latency,
+            bytes_on_air=total_bytes,
+            energy_mj=total_energy,
+        )
+
+    def sample_and_deliver(self, timestamp: float) -> List[DeliveryOutcome]:
+        """Sample every alive mote and deliver its batch to the sink."""
+        outcomes: List[DeliveryOutcome] = []
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            records = node.sample(timestamp)
+            if records:
+                outcomes.append(self.deliver(node_id, records))
+        return outcomes
+
+    @property
+    def alive_count(self) -> int:
+        """Number of motes still alive."""
+        return sum(1 for node in self.nodes.values() if node.alive)
+
+    def __repr__(self) -> str:
+        return (
+            f"<WirelessSensorNetwork nodes={len(self.nodes)} alive={self.alive_count} "
+            f"delivery_ratio={self.statistics.delivery_ratio:.2f}>"
+        )

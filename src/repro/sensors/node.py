@@ -1,0 +1,223 @@
+"""Waspmote-style sensor nodes.
+
+A :class:`SensorNode` hosts several :class:`AttachedSensor` elements (one
+per modality), samples the ground-truth environment on a duty cycle, applies
+measurement noise, calibration drift and the node's vendor naming profile,
+and spends battery energy for sampling and transmission.  Dead or sleeping
+nodes produce nothing, which is one source of the missing data the
+forecasting experiments must tolerate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ontologies.units import convert
+from repro.sensors.heterogeneity import NamingProfile, VENDOR_PROFILES
+from repro.sensors.modality import EnvironmentModel, Modality, get_modality
+from repro.streams.messages import ObservationRecord
+from repro.streams.scheduler import DAY
+
+
+@dataclass
+class AttachedSensor:
+    """One sensing element attached to a node."""
+
+    modality: Modality
+    #: Multiplicative calibration error (1.0 = perfect).
+    gain_error: float = 1.0
+    #: Additive offset error in canonical units.
+    offset_error: float = 0.0
+    #: Accumulated drift (canonical units), grows with node age.
+    accumulated_drift: float = 0.0
+
+    def measure(
+        self,
+        environment: EnvironmentModel,
+        location: Tuple[float, float],
+        timestamp: float,
+        rng: random.Random,
+    ) -> float:
+        """Produce a noisy, drifted reading in canonical units."""
+        true_value = environment.true_value(self.modality.property_key, location, timestamp)
+        noise = rng.gauss(0.0, self.modality.noise_std)
+        raw = true_value * self.gain_error + self.offset_error + self.accumulated_drift + noise
+        return self.modality.clip(raw)
+
+    def age(self, days: float) -> None:
+        """Accumulate calibration drift over ``days`` of operation."""
+        self.accumulated_drift += self.modality.drift_per_day * days
+
+
+@dataclass
+class EnergyModel:
+    """Per-operation energy costs in millijoules and the battery budget.
+
+    The defaults model a Waspmote-class node with a 6600 mAh battery and a
+    small solar panel (as Libelium field deployments use), giving multi-year
+    lifetimes under a daily duty cycle; the WSN energy benchmark (E8) sweeps
+    these parameters downwards to study battery-constrained deployments.
+    """
+
+    battery_mj: float = 400_000.0
+    sample_cost_mj: float = 5.0
+    idle_cost_mj_per_day: float = 20.0
+    transmit_cost_mj_per_byte: float = 0.015
+    receive_cost_mj_per_byte: float = 0.008
+
+
+class SensorNode:
+    """A battery-powered multi-sensor mote.
+
+    Parameters
+    ----------
+    node_id:
+        Unique identifier, e.g. ``"mote-07"``.
+    location:
+        ``(latitude, longitude)`` of the deployment site.
+    modalities:
+        Canonical property keys of the attached sensing elements.
+    profile:
+        Vendor naming profile controlling how readings are spelled and in
+        which units they are reported.  Defaults to the Libelium profile.
+    environment:
+        The ground-truth environment model to sample.
+    sampling_interval:
+        Seconds between sampling rounds (duty cycle).
+    seed:
+        Per-node RNG seed for reproducible noise and failure behaviour.
+    failure_rate_per_day:
+        Probability per simulated day that the node fails permanently
+        (hardware fault, theft, livestock damage).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        location: Tuple[float, float],
+        modalities: List[str],
+        environment: EnvironmentModel,
+        profile: Optional[NamingProfile] = None,
+        sampling_interval: float = 3600.0,
+        seed: int = 0,
+        failure_rate_per_day: float = 0.0,
+        energy_model: Optional[EnergyModel] = None,
+    ):
+        self.node_id = node_id
+        self.location = location
+        self.environment = environment
+        self.profile = profile or VENDOR_PROFILES["libelium_en"]
+        self.sampling_interval = sampling_interval
+        self.failure_rate_per_day = failure_rate_per_day
+        self.energy = energy_model or EnergyModel()
+        self._rng = random.Random(seed)
+        self.sensors: Dict[str, AttachedSensor] = {}
+        for key in modalities:
+            modality = get_modality(key)
+            self.sensors[key] = AttachedSensor(
+                modality=modality,
+                gain_error=1.0 + self._rng.gauss(0.0, 0.01),
+                offset_error=self._rng.gauss(0.0, modality.noise_std * 0.5),
+            )
+        self.remaining_energy_mj = self.energy.battery_mj
+        self.alive = True
+        self.samples_taken = 0
+        self.records_produced = 0
+        self._last_sample_time: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _spend(self, millijoules: float) -> bool:
+        if not self.alive:
+            return False
+        self.remaining_energy_mj -= millijoules
+        if self.remaining_energy_mj <= 0:
+            self.remaining_energy_mj = 0.0
+            self.alive = False
+        return self.alive
+
+    def spend_transmission(self, payload_bytes: int) -> bool:
+        """Account the energy for transmitting ``payload_bytes``.
+
+        Returns whether the node is still alive afterwards.
+        """
+        return self._spend(payload_bytes * self.energy.transmit_cost_mj_per_byte)
+
+    def advance_time(self, timestamp: float) -> None:
+        """Apply ageing, idle drain and random failure up to ``timestamp``."""
+        if self._last_sample_time is None:
+            self._last_sample_time = timestamp
+            return
+        elapsed_days = max(0.0, (timestamp - self._last_sample_time) / DAY)
+        if elapsed_days <= 0:
+            return
+        for sensor in self.sensors.values():
+            sensor.age(elapsed_days)
+        self._spend(elapsed_days * self.energy.idle_cost_mj_per_day)
+        if self.failure_rate_per_day > 0 and self.alive:
+            failure_probability = 1.0 - (1.0 - self.failure_rate_per_day) ** elapsed_days
+            if self._rng.random() < failure_probability:
+                self.alive = False
+        self._last_sample_time = timestamp
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+
+    def sample(self, timestamp: float) -> List[ObservationRecord]:
+        """Sample every attached sensor, producing raw heterogeneous records.
+
+        Values are converted from canonical units into the profile's
+        reporting unit and labelled with the profile's spelling, so the
+        records exhibit the raw heterogeneity of the source.
+        """
+        self.advance_time(timestamp)
+        if not self.alive:
+            return []
+        records: List[ObservationRecord] = []
+        for key, sensor in self.sensors.items():
+            if not self._spend(self.energy.sample_cost_mj):
+                break
+            canonical_value = sensor.measure(self.environment, self.location, timestamp, self._rng)
+            report_unit = self.profile.unit_for(key, sensor.modality.canonical_unit)
+            if report_unit != sensor.modality.canonical_unit:
+                reported_value = convert(
+                    canonical_value, sensor.modality.canonical_unit, report_unit
+                )
+            else:
+                reported_value = canonical_value
+            records.append(
+                ObservationRecord(
+                    source_id=self.node_id,
+                    source_kind="wsn_mote",
+                    property_name=self.profile.spell(key),
+                    value=round(reported_value, 4),
+                    unit=report_unit,
+                    timestamp=timestamp,
+                    location=self.location,
+                    metadata={
+                        "profile": self.profile.name,
+                        "schema": self.profile.metadata_style,
+                        "battery_mj": round(self.remaining_energy_mj, 1),
+                    },
+                )
+            )
+            self.samples_taken += 1
+        self.records_produced += len(records)
+        return records
+
+    @property
+    def battery_fraction(self) -> float:
+        """Remaining battery energy as a fraction of the initial budget."""
+        return self.remaining_energy_mj / self.energy.battery_mj
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return (
+            f"<SensorNode {self.node_id} {state} battery={self.battery_fraction:.0%} "
+            f"sensors={list(self.sensors)}>"
+        )

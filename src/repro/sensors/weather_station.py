@@ -1,0 +1,106 @@
+"""Conventional weather stations.
+
+Weather stations are the second heterogeneous source class in the paper's
+IoT-based monitoring system.  Compared to the WSN motes they are sparse,
+reliable, report on a slower cadence (synoptic hours or daily summaries) and
+use their own schema and units (the SAWS-style profile reports temperature
+in Fahrenheit and rainfall in inches to exercise unit mediation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.ontologies.units import convert
+from repro.sensors.heterogeneity import NamingProfile, VENDOR_PROFILES
+from repro.sensors.modality import EnvironmentModel, get_modality
+from repro.streams.messages import ObservationRecord
+
+#: Properties a synoptic station reports, in reporting order.
+STATION_PROPERTIES = [
+    "air_temperature",
+    "rainfall",
+    "relative_humidity",
+    "wind_speed",
+    "barometric_pressure",
+    "solar_radiation",
+]
+
+
+class WeatherStation:
+    """A conventional synoptic weather station.
+
+    Parameters
+    ----------
+    station_id:
+        Identifier such as ``"saws-bloemfontein"``.
+    location:
+        Station coordinates.
+    environment:
+        Ground-truth environment model.
+    profile:
+        Naming profile; defaults to the SAWS-style synoptic profile.
+    reporting_interval:
+        Seconds between reports (default: 6-hourly synoptic reports).
+    availability:
+        Probability that a scheduled report is actually produced
+        (instrument and comms downtime).
+    """
+
+    def __init__(
+        self,
+        station_id: str,
+        location: Tuple[float, float],
+        environment: EnvironmentModel,
+        profile: Optional[NamingProfile] = None,
+        reporting_interval: float = 6 * 3600.0,
+        availability: float = 0.97,
+        seed: int = 0,
+    ):
+        self.station_id = station_id
+        self.location = location
+        self.environment = environment
+        self.profile = profile or VENDOR_PROFILES["saws_station"]
+        self.reporting_interval = reporting_interval
+        self.availability = availability
+        self._rng = random.Random(seed)
+        self.reports_produced = 0
+        self.reports_missed = 0
+
+    def report(self, timestamp: float) -> List[ObservationRecord]:
+        """Produce one synoptic report (possibly empty if unavailable)."""
+        if self._rng.random() > self.availability:
+            self.reports_missed += 1
+            return []
+        records: List[ObservationRecord] = []
+        for key in STATION_PROPERTIES:
+            if key not in self.profile.property_names:
+                continue
+            modality = get_modality(key)
+            true_value = self.environment.true_value(key, self.location, timestamp)
+            # Station instruments are better calibrated than mote elements.
+            value = modality.clip(true_value + self._rng.gauss(0.0, modality.noise_std * 0.3))
+            report_unit = self.profile.unit_for(key, modality.canonical_unit)
+            if report_unit != modality.canonical_unit:
+                value = convert(value, modality.canonical_unit, report_unit)
+            records.append(
+                ObservationRecord(
+                    source_id=self.station_id,
+                    source_kind="weather_station",
+                    property_name=self.profile.spell(key),
+                    value=round(value, 3),
+                    unit=report_unit,
+                    timestamp=timestamp,
+                    location=self.location,
+                    metadata={
+                        "profile": self.profile.name,
+                        "schema": self.profile.metadata_style,
+                    },
+                )
+            )
+        self.reports_produced += 1
+        return records
+
+    def __repr__(self) -> str:
+        return f"<WeatherStation {self.station_id} profile={self.profile.name}>"

@@ -1,0 +1,40 @@
+"""Data streams and message-oriented middleware substrate.
+
+The paper classifies its contribution as *message oriented middleware*: the
+semantic layer sits on top of an asynchronous messaging fabric that carries
+heterogeneous observation streams from the physical layer to the ontology
+segment layer and onwards to the CEP engine and output channels.
+
+``repro.streams.scheduler``
+    A deterministic discrete-event simulation clock shared by the WSN
+    simulator, the broker and the DEWS pipeline.
+``repro.streams.broker``
+    Topic-based publish/subscribe message broker with delivery accounting.
+``repro.streams.messages``
+    The message envelope and SenML-like observation payload codecs.
+``repro.streams.window``
+    Tumbling / sliding / count windows over timestamped items.
+``repro.streams.operators``
+    Functional stream operators (map, filter, aggregate, join) used to build
+    processing pipelines.
+"""
+
+from repro.streams.broker import Broker, Subscription
+from repro.streams.messages import Message, ObservationRecord, SenMLCodec
+from repro.streams.operators import StreamPipeline
+from repro.streams.scheduler import SimulationClock, SimulationScheduler
+from repro.streams.window import CountWindow, SlidingWindow, TumblingWindow
+
+__all__ = [
+    "SimulationClock",
+    "SimulationScheduler",
+    "Broker",
+    "Subscription",
+    "Message",
+    "ObservationRecord",
+    "SenMLCodec",
+    "TumblingWindow",
+    "SlidingWindow",
+    "CountWindow",
+    "StreamPipeline",
+]

@@ -1,0 +1,191 @@
+"""Topic-based publish/subscribe message broker.
+
+This is the message-oriented-middleware backbone: the physical layer
+publishes raw observation messages, the ontology segment layer subscribes,
+annotates and republishes semantic messages, and the CEP engine and the
+dissemination channels subscribe downstream.  Topics use ``/``-separated
+segments with MQTT-style wildcards (``+`` for one segment, ``#`` for the
+rest), which is how the application abstraction layer exposes selective
+subscriptions to applications.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.streams.messages import Message
+from repro.streams.scheduler import SimulationScheduler
+
+MessageHandler = Callable[[Message], None]
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """MQTT-style topic matching.
+
+    ``+`` matches exactly one segment, ``#`` (which must be last) matches
+    any remaining segments including none.
+    """
+    pattern_parts = pattern.split("/")
+    topic_parts = topic.split("/")
+    for index, part in enumerate(pattern_parts):
+        if part == "#":
+            if index != len(pattern_parts) - 1:
+                raise ValueError("'#' wildcard must be the last topic segment")
+            return True
+        if index >= len(topic_parts):
+            return False
+        if part == "+":
+            continue
+        if part != topic_parts[index]:
+            return False
+    return len(pattern_parts) == len(topic_parts)
+
+
+@dataclass
+class Subscription:
+    """A registered subscriber: a topic pattern plus a handler."""
+
+    subscription_id: int
+    pattern: str
+    handler: MessageHandler = field(repr=False)
+    subscriber_name: str = "anonymous"
+    delivered: int = 0
+    active: bool = True
+
+    def cancel(self) -> None:
+        """Stop receiving messages on this subscription."""
+        self.active = False
+
+
+@dataclass
+class BrokerStatistics:
+    """Counters the middleware-layer benchmarks read off the broker."""
+
+    published: int = 0
+    delivered: int = 0
+    dropped_no_subscriber: int = 0
+    per_topic_published: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    @property
+    def fanout(self) -> float:
+        """Average deliveries per published message."""
+        if self.published == 0:
+            return 0.0
+        return self.delivered / self.published
+
+
+class Broker:
+    """In-process pub/sub broker with optional delivery latency.
+
+    Parameters
+    ----------
+    scheduler:
+        When given, deliveries are scheduled ``delivery_latency`` simulated
+        seconds after publication instead of being synchronous, which lets
+        the end-to-end latency experiments account for middleware hops.
+    delivery_latency:
+        Simulated per-hop latency in seconds (ignored without a scheduler).
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[SimulationScheduler] = None,
+        delivery_latency: float = 0.0,
+    ):
+        self._subscriptions: List[Subscription] = []
+        self._ids = itertools.count(1)
+        self.scheduler = scheduler
+        self.delivery_latency = delivery_latency
+        self.statistics = BrokerStatistics()
+        self._retained: Dict[str, Message] = {}
+
+    # ------------------------------------------------------------------ #
+    # subscription management
+    # ------------------------------------------------------------------ #
+
+    def subscribe(
+        self,
+        pattern: str,
+        handler: MessageHandler,
+        subscriber_name: str = "anonymous",
+        receive_retained: bool = True,
+    ) -> Subscription:
+        """Register ``handler`` for messages whose topic matches ``pattern``."""
+        subscription = Subscription(
+            subscription_id=next(self._ids),
+            pattern=pattern,
+            handler=handler,
+            subscriber_name=subscriber_name,
+        )
+        self._subscriptions.append(subscription)
+        if receive_retained:
+            for topic, message in self._retained.items():
+                if topic_matches(pattern, topic):
+                    self._deliver(subscription, message)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Cancel a subscription."""
+        subscription.cancel()
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        """The active subscriptions."""
+        return [s for s in self._subscriptions if s.active]
+
+    # ------------------------------------------------------------------ #
+    # publication
+    # ------------------------------------------------------------------ #
+
+    def publish(
+        self,
+        topic: str,
+        payload: Any,
+        timestamp: Optional[float] = None,
+        headers: Optional[Dict[str, Any]] = None,
+        retain: bool = False,
+    ) -> Message:
+        """Publish a payload on ``topic`` and fan it out to subscribers."""
+        if timestamp is None:
+            timestamp = self.scheduler.clock.now if self.scheduler else 0.0
+        message = Message(
+            topic=topic, payload=payload, timestamp=timestamp, headers=dict(headers or {})
+        )
+        if retain:
+            self._retained[topic] = message
+        self.statistics.published += 1
+        self.statistics.per_topic_published[topic] += 1
+
+        recipients = [
+            s for s in self._subscriptions if s.active and topic_matches(s.pattern, topic)
+        ]
+        if not recipients:
+            self.statistics.dropped_no_subscriber += 1
+            return message
+        for subscription in recipients:
+            if self.scheduler is not None and self.delivery_latency > 0:
+                self.scheduler.schedule(
+                    self.delivery_latency,
+                    lambda s=subscription, m=message: self._deliver(s, m),
+                )
+            else:
+                self._deliver(subscription, message)
+        return message
+
+    def _deliver(self, subscription: Subscription, message: Message) -> None:
+        if not subscription.active:
+            return
+        subscription.handler(message)
+        subscription.delivered += 1
+        self.statistics.delivered += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<Broker subscriptions={len(self.subscriptions)} "
+            f"published={self.statistics.published} delivered={self.statistics.delivered}>"
+        )

@@ -1,0 +1,166 @@
+"""Message envelopes and observation payload codecs.
+
+The physical layer produces *raw observation records* whose field names,
+units and schema differ per source (that is the heterogeneity the paper
+wants to eliminate).  Records travel inside :class:`Message` envelopes over
+the broker; the codecs serialise them to a SenML-like JSON wire format for
+the simulated SMS gateway / cloud store and back.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field, asdict
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class ObservationRecord:
+    """A raw observation as emitted by a heterogeneous source.
+
+    Attributes
+    ----------
+    source_id:
+        Identifier of the producing source (mote id, station id, phone id).
+    source_kind:
+        One of ``"wsn_mote"``, ``"weather_station"``, ``"mobile_report"``,
+        ``"ik_sighting"`` -- the heterogeneous source classes of the paper.
+    property_name:
+        The property name *as the source spells it* (e.g. ``"Hoehe"``).
+    value:
+        The numeric reading, in the source's unit.
+    unit:
+        The source's unit symbol (e.g. ``"degF"``); may be ``None`` for
+        categorical reports such as indicator sightings.
+    timestamp:
+        Simulated seconds since the scenario epoch.
+    location:
+        ``(latitude, longitude)`` of the source.
+    feature_of_interest:
+        Optional identifier of the observed feature (field, river reach).
+    metadata:
+        Source-specific extra fields (battery level, observer name, ...).
+    """
+
+    source_id: str
+    source_kind: str
+    property_name: str
+    value: float
+    unit: Optional[str]
+    timestamp: float
+    location: Optional[tuple] = None
+    feature_of_interest: Optional[str] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by the codecs and the cloud store."""
+        data = asdict(self)
+        if self.location is not None:
+            data["location"] = list(self.location)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ObservationRecord":
+        """Rebuild a record from its dict form."""
+        payload = dict(data)
+        location = payload.get("location")
+        if location is not None:
+            payload["location"] = tuple(location)
+        return cls(**payload)
+
+
+@dataclass
+class Message:
+    """An envelope carried by the broker.
+
+    ``topic`` routes the message; ``payload`` is either an
+    :class:`ObservationRecord`, a semantic annotation result or any other
+    application object; ``headers`` carry middleware metadata such as the
+    producing layer and the annotation provenance.
+    """
+
+    topic: str
+    payload: Any
+    timestamp: float
+    message_id: int = field(default_factory=lambda: next(Message._ids))
+    headers: Dict[str, Any] = field(default_factory=dict)
+
+    _ids = itertools.count(1)
+
+    def with_header(self, key: str, value: Any) -> "Message":
+        """A copy of the message with one extra header."""
+        headers = dict(self.headers)
+        headers[key] = value
+        return Message(
+            topic=self.topic,
+            payload=self.payload,
+            timestamp=self.timestamp,
+            message_id=self.message_id,
+            headers=headers,
+        )
+
+
+class SenMLCodec:
+    """Encode / decode observation records to a SenML-inspired JSON format.
+
+    The encoding mirrors the structure of the OGC / IETF sensor formats the
+    paper cites (SensorML, O&M, SenML): a base record naming the source plus
+    a list of entries with name / value / unit / time.  The simulated SMS
+    gateway compresses batches of records into one JSON document per upload.
+    """
+
+    @staticmethod
+    def encode(records: List[ObservationRecord]) -> str:
+        """Encode a batch of records into a JSON document."""
+        if not records:
+            return json.dumps({"bn": "", "e": []})
+        base = records[0].source_id
+        entries = []
+        for record in records:
+            entry: Dict[str, Any] = {
+                "n": record.property_name,
+                "v": record.value,
+                "t": record.timestamp,
+                "src": record.source_id,
+                "kind": record.source_kind,
+            }
+            if record.unit is not None:
+                entry["u"] = record.unit
+            if record.location is not None:
+                entry["lat"], entry["lon"] = record.location
+            if record.feature_of_interest is not None:
+                entry["foi"] = record.feature_of_interest
+            if record.metadata:
+                entry["meta"] = record.metadata
+            entries.append(entry)
+        return json.dumps({"bn": base, "e": entries}, sort_keys=True)
+
+    @staticmethod
+    def decode(document: str) -> List[ObservationRecord]:
+        """Decode a JSON document back into observation records."""
+        data = json.loads(document)
+        records: List[ObservationRecord] = []
+        for entry in data.get("e", []):
+            location = None
+            if "lat" in entry and "lon" in entry:
+                location = (entry["lat"], entry["lon"])
+            records.append(
+                ObservationRecord(
+                    source_id=entry.get("src", data.get("bn", "")),
+                    source_kind=entry.get("kind", "unknown"),
+                    property_name=entry["n"],
+                    value=entry["v"],
+                    unit=entry.get("u"),
+                    timestamp=entry["t"],
+                    location=location,
+                    feature_of_interest=entry.get("foi"),
+                    metadata=entry.get("meta", {}),
+                )
+            )
+        return records
+
+    @staticmethod
+    def encoded_size(records: List[ObservationRecord]) -> int:
+        """Size in bytes of the encoded batch (used by the radio model)."""
+        return len(SenMLCodec.encode(records).encode("utf-8"))

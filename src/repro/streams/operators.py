@@ -1,0 +1,203 @@
+"""Functional stream operators.
+
+Small composable operators for building per-topic processing pipelines --
+the "abstraction of complex network communication" the middleware's
+application abstraction layer offers.  A :class:`StreamPipeline` wraps a
+chain of operators and can be attached directly to a broker subscription.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generic, Iterable, List, Optional, TypeVar
+
+from repro.streams.broker import Broker
+from repro.streams.messages import Message
+from repro.streams.window import CountWindow
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+class Operator:
+    """Base class: an operator consumes one item and emits zero or more."""
+
+    def process(self, item: Any) -> List[Any]:
+        """Transform ``item`` into a (possibly empty) list of outputs."""
+        raise NotImplementedError
+
+
+class MapOperator(Operator):
+    """Apply a function to every item."""
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self._fn = fn
+
+    def process(self, item: Any) -> List[Any]:
+        return [self._fn(item)]
+
+
+class FilterOperator(Operator):
+    """Keep only items satisfying the predicate."""
+
+    def __init__(self, predicate: Callable[[Any], bool]):
+        self._predicate = predicate
+
+    def process(self, item: Any) -> List[Any]:
+        return [item] if self._predicate(item) else []
+
+
+class FlatMapOperator(Operator):
+    """Apply a function returning an iterable and flatten the result."""
+
+    def __init__(self, fn: Callable[[Any], Iterable[Any]]):
+        self._fn = fn
+
+    def process(self, item: Any) -> List[Any]:
+        return list(self._fn(item))
+
+
+class DeduplicateOperator(Operator):
+    """Suppress items whose key was already seen among the last ``history``."""
+
+    def __init__(self, key_fn: Callable[[Any], Any], history: int = 1024):
+        self._key_fn = key_fn
+        self._window = CountWindow(history)
+        self._seen: set = set()
+
+    def process(self, item: Any) -> List[Any]:
+        key = self._key_fn(item)
+        if key in self._seen:
+            return []
+        if self._window.full:
+            oldest = self._window.items[0]
+            self._seen.discard(oldest)
+        self._window.add(key)
+        self._seen.add(key)
+        return [item]
+
+
+class MovingAggregateOperator(Operator):
+    """Emit a running aggregate (mean/min/max/sum) over the last N values."""
+
+    _AGGREGATES: Dict[str, Callable[[List[float]], float]] = {
+        "mean": lambda values: statistics.fmean(values),
+        "min": min,
+        "max": max,
+        "sum": sum,
+        "median": lambda values: statistics.median(values),
+    }
+
+    def __init__(
+        self,
+        value_fn: Callable[[Any], float],
+        size: int = 10,
+        aggregate: str = "mean",
+    ):
+        if aggregate not in self._AGGREGATES:
+            raise ValueError(f"unknown aggregate: {aggregate!r}")
+        self._value_fn = value_fn
+        self._window = CountWindow(size)
+        self._aggregate = self._AGGREGATES[aggregate]
+        self.aggregate_name = aggregate
+
+    def process(self, item: Any) -> List[Any]:
+        self._window.add(self._value_fn(item))
+        return [(item, self._aggregate(self._window.items))]
+
+
+@dataclass
+class PipelineStatistics:
+    """Item counters for a pipeline."""
+
+    consumed: int = 0
+    emitted: int = 0
+
+
+class StreamPipeline:
+    """A chain of operators with an optional sink.
+
+    Example
+    -------
+    ::
+
+        pipeline = (StreamPipeline()
+                    .filter(lambda r: r.property_name == "rainfall")
+                    .map(lambda r: r.value)
+                    .sink(totals.append))
+        broker.subscribe("raw/#", pipeline.on_message)
+    """
+
+    def __init__(self) -> None:
+        self._operators: List[Operator] = []
+        self._sinks: List[Callable[[Any], None]] = []
+        self.statistics = PipelineStatistics()
+
+    def add_operator(self, operator: Operator) -> "StreamPipeline":
+        """Append an operator to the chain (chainable)."""
+        self._operators.append(operator)
+        return self
+
+    def map(self, fn: Callable[[Any], Any]) -> "StreamPipeline":
+        """Append a map stage."""
+        return self.add_operator(MapOperator(fn))
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "StreamPipeline":
+        """Append a filter stage."""
+        return self.add_operator(FilterOperator(predicate))
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "StreamPipeline":
+        """Append a flat-map stage."""
+        return self.add_operator(FlatMapOperator(fn))
+
+    def deduplicate(self, key_fn: Callable[[Any], Any], history: int = 1024) -> "StreamPipeline":
+        """Append a deduplication stage."""
+        return self.add_operator(DeduplicateOperator(key_fn, history))
+
+    def moving_aggregate(
+        self, value_fn: Callable[[Any], float], size: int = 10, aggregate: str = "mean"
+    ) -> "StreamPipeline":
+        """Append a moving-aggregate stage."""
+        return self.add_operator(MovingAggregateOperator(value_fn, size, aggregate))
+
+    def sink(self, consumer: Callable[[Any], None]) -> "StreamPipeline":
+        """Register a terminal consumer for pipeline outputs."""
+        self._sinks.append(consumer)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def push(self, item: Any) -> List[Any]:
+        """Run one item through the chain; returns (and sinks) the outputs."""
+        self.statistics.consumed += 1
+        items = [item]
+        for operator in self._operators:
+            next_items: List[Any] = []
+            for current in items:
+                next_items.extend(operator.process(current))
+            items = next_items
+            if not items:
+                break
+        for output in items:
+            self.statistics.emitted += 1
+            for sink in self._sinks:
+                sink(output)
+        return items
+
+    def push_many(self, items: Iterable[Any]) -> List[Any]:
+        """Run many items through the chain, collecting all outputs."""
+        outputs: List[Any] = []
+        for item in items:
+            outputs.extend(self.push(item))
+        return outputs
+
+    def on_message(self, message: Message) -> None:
+        """Broker-compatible handler: feeds the message payload in."""
+        self.push(message.payload)
+
+    def attach(self, broker: Broker, pattern: str, name: str = "pipeline") -> None:
+        """Subscribe this pipeline to a broker topic pattern."""
+        broker.subscribe(pattern, self.on_message, subscriber_name=name)

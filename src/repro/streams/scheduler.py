@@ -1,0 +1,194 @@
+"""Discrete-event simulation clock and scheduler.
+
+Everything in the reproduction that "happens over time" -- mote sampling,
+radio transmission, gateway uploads, CEP window expiry, forecast issuance,
+dissemination -- is driven by one deterministic scheduler so experiments are
+reproducible and fast (simulated days run in milliseconds of wall time).
+
+Time is measured in simulated seconds since the scenario epoch.  Helper
+constants convert to hours/days so the climate workloads can speak in days
+while the radio model speaks in milliseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Seconds per simulated minute / hour / day.
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+EventCallback = Callable[[], None]
+
+
+class SimulationClock:
+    """A monotonically advancing simulated time source."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp`` (never backwards)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = timestamp
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self._now += delta
+
+    def __repr__(self) -> str:
+        return f"SimulationClock(t={self._now:.3f}s)"
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimulationScheduler.schedule` for cancelling."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already ran)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """The simulated time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+
+class SimulationScheduler:
+    """Priority-queue based discrete-event scheduler.
+
+    Events scheduled for the same instant run in insertion order, which
+    keeps runs deterministic.
+    """
+
+    def __init__(self, clock: Optional[SimulationClock] = None):
+        self.clock = clock or SimulationClock()
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of events waiting to run (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.clock.now + delay, callback)
+
+    def schedule_at(self, timestamp: float, callback: EventCallback) -> EventHandle:
+        """Run ``callback`` at the absolute simulated ``timestamp``."""
+        if timestamp < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: {timestamp} < {self.clock.now}"
+            )
+        event = _ScheduledEvent(timestamp, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_repeating(
+        self,
+        interval: float,
+        callback: EventCallback,
+        start_delay: float = 0.0,
+        count: Optional[int] = None,
+    ) -> EventHandle:
+        """Run ``callback`` every ``interval`` seconds.
+
+        ``count`` bounds the number of invocations; ``None`` means until the
+        scheduler stops being run.  Returns the handle of the *first*
+        occurrence; cancelling it stops the whole series.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        state = {"remaining": count}
+        handle_box: List[EventHandle] = []
+
+        def fire() -> None:
+            # cancelling the returned (first) handle stops the whole series,
+            # even after it has already fired
+            if handle_box and handle_box[0].cancelled:
+                return
+            callback()
+            if state["remaining"] is not None:
+                state["remaining"] -= 1
+                if state["remaining"] <= 0:
+                    return
+            self.schedule(interval, fire)
+
+        first = self.schedule(start_delay if start_delay > 0 else interval, fire)
+        handle_box.append(first)
+        return first
+
+    def run_until(self, end_time: float) -> int:
+        """Execute events up to and including ``end_time``.
+
+        Returns the number of events executed.  The clock finishes at
+        ``end_time`` even if the queue empties earlier.
+        """
+        executed = 0
+        while self._queue and self._queue[0].time <= end_time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            executed += 1
+            self._processed += 1
+        self.clock.advance_to(max(self.clock.now, end_time))
+        return executed
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Execute every pending event (bounded by ``max_events``)."""
+        executed = 0
+        while self._queue and executed < max_events:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            executed += 1
+            self._processed += 1
+        return executed
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimulationScheduler t={self.clock.now:.1f}s "
+            f"pending={self.pending} processed={self._processed}>"
+        )

@@ -1,0 +1,191 @@
+"""Windows over timestamped items.
+
+The CEP engine and the stream operators evaluate their conditions over
+bounded windows of the (conceptually unbounded) observation streams:
+tumbling windows for periodic aggregation (daily rainfall totals), sliding
+windows for trend and threshold patterns (soil-moisture decline over the
+last 30 days), and count windows for "last N readings" logic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+TimestampFunction = Callable[[Any], float]
+
+
+def _default_timestamp(item: Any) -> float:
+    timestamp = getattr(item, "timestamp", None)
+    if timestamp is None:
+        raise TypeError(
+            "window items must expose a 'timestamp' attribute or a timestamp "
+            "function must be supplied"
+        )
+    return float(timestamp)
+
+
+@dataclass
+class WindowSnapshot(Generic[T]):
+    """The content of a window when it closed or was inspected."""
+
+    start: float
+    end: float
+    items: List[T]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def values(self, extractor: Callable[[T], float]) -> List[float]:
+        """Apply ``extractor`` to every item (convenience for aggregates)."""
+        return [extractor(item) for item in self.items]
+
+
+class SlidingWindow(Generic[T]):
+    """A time-based sliding window keeping items newer than ``duration``.
+
+    ``add`` returns the evicted items so callers can react to expiry.
+    """
+
+    def __init__(self, duration: float, timestamp_fn: Optional[TimestampFunction] = None):
+        if duration <= 0:
+            raise ValueError("window duration must be positive")
+        self.duration = duration
+        self._timestamp = timestamp_fn or _default_timestamp
+        self._items: Deque[Tuple[float, T]] = deque()
+
+    def add(self, item: T) -> List[T]:
+        """Insert an item and evict everything older than the window."""
+        timestamp = self._timestamp(item)
+        self._items.append((timestamp, item))
+        return self._evict(timestamp)
+
+    def advance_to(self, timestamp: float) -> List[T]:
+        """Evict items that have fallen out of the window at ``timestamp``."""
+        return self._evict(timestamp)
+
+    def _evict(self, now: float) -> List[T]:
+        expired: List[T] = []
+        cutoff = now - self.duration
+        while self._items and self._items[0][0] < cutoff:
+            expired.append(self._items.popleft()[1])
+        return expired
+
+    @property
+    def items(self) -> List[T]:
+        """Items currently inside the window (oldest first)."""
+        return [item for _, item in self._items]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self.items)
+
+    def snapshot(self) -> WindowSnapshot[T]:
+        """The current window content with its time bounds."""
+        if not self._items:
+            return WindowSnapshot(0.0, 0.0, [])
+        return WindowSnapshot(self._items[0][0], self._items[-1][0], self.items)
+
+    def clear(self) -> None:
+        """Drop all items."""
+        self._items.clear()
+
+
+class TumblingWindow(Generic[T]):
+    """Fixed, non-overlapping windows of ``duration`` simulated seconds.
+
+    ``add`` returns the completed :class:`WindowSnapshot` whenever an item's
+    timestamp falls past the current window boundary (possibly skipping
+    empty windows).
+    """
+
+    def __init__(
+        self,
+        duration: float,
+        start: float = 0.0,
+        timestamp_fn: Optional[TimestampFunction] = None,
+    ):
+        if duration <= 0:
+            raise ValueError("window duration must be positive")
+        self.duration = duration
+        self._window_start = start
+        self._timestamp = timestamp_fn or _default_timestamp
+        self._items: List[T] = []
+
+    @property
+    def window_start(self) -> float:
+        """Start time of the currently accumulating window."""
+        return self._window_start
+
+    def add(self, item: T) -> List[WindowSnapshot[T]]:
+        """Insert an item; returns any windows closed by its timestamp."""
+        timestamp = self._timestamp(item)
+        closed = self.advance_to(timestamp)
+        self._items.append(item)
+        return closed
+
+    def advance_to(self, timestamp: float) -> List[WindowSnapshot[T]]:
+        """Close every window that ends at or before ``timestamp``."""
+        closed: List[WindowSnapshot[T]] = []
+        while timestamp >= self._window_start + self.duration:
+            closed.append(
+                WindowSnapshot(
+                    self._window_start,
+                    self._window_start + self.duration,
+                    list(self._items),
+                )
+            )
+            self._items = []
+            self._window_start += self.duration
+        return closed
+
+    def flush(self) -> WindowSnapshot[T]:
+        """Close the currently accumulating window regardless of time."""
+        snapshot = WindowSnapshot(
+            self._window_start, self._window_start + self.duration, list(self._items)
+        )
+        self._items = []
+        self._window_start += self.duration
+        return snapshot
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class CountWindow(Generic[T]):
+    """A window keeping the last ``size`` items."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        self.size = size
+        self._items: Deque[T] = deque(maxlen=size)
+
+    def add(self, item: T) -> None:
+        """Insert an item, evicting the oldest when full."""
+        self._items.append(item)
+
+    @property
+    def items(self) -> List[T]:
+        """Items currently in the window (oldest first)."""
+        return list(self._items)
+
+    @property
+    def full(self) -> bool:
+        """Whether the window holds ``size`` items."""
+        return len(self._items) == self.size
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def clear(self) -> None:
+        """Drop all items."""
+        self._items.clear()

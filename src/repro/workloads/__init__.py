@@ -1,0 +1,21 @@
+"""Synthetic workloads: climate ground truth and deployment scenarios.
+
+The paper's test bed is the Free State Province of South Africa -- a
+semi-arid, summer-rainfall region.  Since the real AfriCRID traces are not
+available, :mod:`repro.workloads.climate` generates a stochastic but
+statistically plausible climate for the region, with drought episodes
+embedded at known times so forecast skill can be scored against ground
+truth, and :mod:`repro.workloads.scenario` wires the climate to a full
+deployment (districts, motes, stations, observers).
+"""
+
+from repro.workloads.climate import ClimateGenerator, DroughtEpisode
+from repro.workloads.scenario import DeploymentScenario, District, build_free_state_scenario
+
+__all__ = [
+    "ClimateGenerator",
+    "DroughtEpisode",
+    "District",
+    "DeploymentScenario",
+    "build_free_state_scenario",
+]

@@ -1,0 +1,297 @@
+"""Stochastic climate generator with embedded drought episodes.
+
+Implements the :class:`~repro.sensors.modality.EnvironmentModel` protocol:
+given a canonical property, a location and a simulated time it returns the
+ground-truth value.  The generator composes:
+
+* a seasonal cycle calibrated to a semi-arid summer-rainfall climate
+  (hot wet summers around January, cold dry winters around July);
+* day-to-day stochastic weather (rain occurs in events, temperature has
+  autocorrelated anomalies), deterministic per (seed, day) so that every
+  sensor sampling the same place and day sees the same truth;
+* slow-responding land-surface state: soil moisture, water level and
+  vegetation index follow a water-balance-like recursion driven by rainfall
+  and temperature, which gives drought its characteristic lag structure;
+* optional :class:`DroughtEpisode` periods during which rainfall is
+  suppressed and temperature elevated -- the ground truth the forecasting
+  experiments score against;
+* mild spatial variation so different districts are not identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.streams.scheduler import DAY
+
+
+@dataclass(frozen=True)
+class DroughtEpisode:
+    """A ground-truth drought period embedded in the synthetic climate.
+
+    ``severity`` in ``(0, 1]`` scales how strongly rainfall is suppressed
+    (1.0 means essentially no rain at the peak).  Episodes ramp in and out
+    over ``ramp_days`` so the onset is gradual, as real droughts are.
+    """
+
+    start_day: float
+    end_day: float
+    severity: float = 0.8
+    ramp_days: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.end_day <= self.start_day:
+            raise ValueError("episode end must be after start")
+        if not 0.0 < self.severity <= 1.0:
+            raise ValueError("severity must be in (0, 1]")
+
+    def intensity(self, day: float) -> float:
+        """Suppression intensity in [0, severity] at ``day``."""
+        if day < self.start_day or day > self.end_day:
+            return 0.0
+        ramp = max(1e-9, self.ramp_days)
+        rise = min(1.0, (day - self.start_day) / ramp)
+        fall = min(1.0, (self.end_day - day) / ramp)
+        return self.severity * min(rise, fall)
+
+    def contains(self, day: float) -> bool:
+        """Whether ``day`` falls inside the episode."""
+        return self.start_day <= day <= self.end_day
+
+
+class ClimateGenerator:
+    """Ground-truth climate for a Free State-like region.
+
+    Parameters
+    ----------
+    seed:
+        Controls all stochastic weather; two generators with the same seed
+        and episodes produce identical climates.
+    episodes:
+        Drought episodes to embed (ground truth for the experiments).
+    start_day_of_year:
+        Calendar day-of-year corresponding to simulated day 0 (default 182,
+        i.e. the start of July -- the dry season).
+    mean_annual_rainfall_mm:
+        Annual rainfall total the generator is calibrated to (Free State
+        averages roughly 400-600 mm).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        episodes: Optional[Sequence[DroughtEpisode]] = None,
+        start_day_of_year: float = 182.0,
+        mean_annual_rainfall_mm: float = 550.0,
+    ):
+        self.seed = seed
+        self.episodes: List[DroughtEpisode] = list(episodes or [])
+        self.start_day_of_year = start_day_of_year
+        self.mean_annual_rainfall_mm = mean_annual_rainfall_mm
+        self._state_cache: Dict[Tuple[int, int], Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # deterministic per-day randomness
+    # ------------------------------------------------------------------ #
+
+    def _uniform(self, day: int, tag: str, cell: int = 0) -> float:
+        """A deterministic uniform(0,1) draw keyed by (seed, day, tag, cell)."""
+        key = f"{self.seed}:{day}:{tag}:{cell}".encode()
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / float(2**64)
+
+    def _gauss(self, day: int, tag: str, cell: int = 0) -> float:
+        """A deterministic standard-normal draw (Box-Muller)."""
+        u1 = max(1e-12, self._uniform(day, tag + ":u1", cell))
+        u2 = self._uniform(day, tag + ":u2", cell)
+        return math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+    @staticmethod
+    def _cell_for(location: Tuple[float, float]) -> int:
+        """Map a location to a coarse spatial cell (~0.2 degree grid)."""
+        lat, lon = location
+        return int(round(lat * 5)) * 10_000 + int(round(lon * 5))
+
+    # ------------------------------------------------------------------ #
+    # seasonal structure
+    # ------------------------------------------------------------------ #
+
+    def day_of_year(self, day: float) -> float:
+        """Calendar day-of-year for a simulated day index."""
+        return (self.start_day_of_year + day) % 365.0
+
+    def _season_phase(self, day: float) -> float:
+        """+1 at the height of summer (mid January), -1 in mid winter."""
+        doy = self.day_of_year(day)
+        return math.cos(2.0 * math.pi * (doy - 15.0) / 365.0)
+
+    def drought_intensity(self, day: float) -> float:
+        """Combined suppression intensity of all episodes at ``day``."""
+        if not self.episodes:
+            return 0.0
+        return min(1.0, sum(episode.intensity(day) for episode in self.episodes))
+
+    def in_drought(self, day: float) -> bool:
+        """Whether ``day`` lies inside any embedded episode."""
+        return any(episode.contains(day) for episode in self.episodes)
+
+    # ------------------------------------------------------------------ #
+    # primitive weather fields
+    # ------------------------------------------------------------------ #
+
+    def daily_rainfall(self, day: float, location: Tuple[float, float] = (0.0, 0.0)) -> float:
+        """Rain depth (mm) falling on the given simulated day."""
+        day_index = int(math.floor(day))
+        cell = self._cell_for(location)
+        phase = self._season_phase(day_index)
+        # wet-day probability and mean event depth follow the season
+        wet_probability = 0.12 + 0.23 * max(0.0, phase)
+        mean_depth = 4.0 + 10.0 * max(0.0, phase)
+        suppression = self.drought_intensity(day_index)
+        wet_probability *= 1.0 - 0.85 * suppression
+        mean_depth *= 1.0 - 0.6 * suppression
+        if self._uniform(day_index, "wet", cell) >= wet_probability:
+            return 0.0
+        # exponential event depths
+        draw = max(1e-12, self._uniform(day_index, "depth", cell))
+        depth = -mean_depth * math.log(draw)
+        return round(min(depth, 180.0), 2)
+
+    def daily_mean_temperature(self, day: float, location: Tuple[float, float] = (0.0, 0.0)) -> float:
+        """Daily mean air temperature (degC)."""
+        day_index = int(math.floor(day))
+        cell = self._cell_for(location)
+        phase = self._season_phase(day_index)
+        seasonal = 16.0 + 8.5 * phase
+        anomaly = 1.8 * self._gauss(day_index, "temp", cell)
+        heat_from_drought = 3.0 * self.drought_intensity(day_index)
+        lat, _ = location
+        altitude_adjust = -0.4 * (abs(lat) - 29.0)
+        return seasonal + anomaly + heat_from_drought + altitude_adjust
+
+    # ------------------------------------------------------------------ #
+    # land-surface state (lagged response)
+    # ------------------------------------------------------------------ #
+
+    def _surface_state(self, day_index: int, cell: int) -> Dict[str, float]:
+        """Soil moisture / water level / NDVI state after ``day_index`` days.
+
+        Computed by a daily water-balance recursion from day 0 and cached
+        per (cell, day); the recursion is cheap (O(days)) and evaluated
+        lazily from the most recent cached day.
+        """
+        cached = self._state_cache.get((cell, day_index))
+        if cached is not None:
+            return cached
+        # find the latest cached earlier day to continue from
+        start_index = -1
+        state = {"soil_moisture": 24.0, "water_level": 2600.0, "vegetation_index": 0.5}
+        for candidate in range(day_index - 1, -1, -1):
+            cached_state = self._state_cache.get((cell, candidate))
+            if cached_state is not None:
+                start_index = candidate
+                state = dict(cached_state)
+                break
+        location = (cell // 10_000 / 5.0, (cell % 10_000) / 5.0)
+        for current in range(start_index + 1, day_index + 1):
+            rain = self.daily_rainfall(float(current), location)
+            temperature = self.daily_mean_temperature(float(current), location)
+            evapotranspiration = max(0.5, 0.28 * temperature)
+            soil = state["soil_moisture"]
+            soil += 0.55 * rain - 0.16 * evapotranspiration
+            soil = max(2.0, min(45.0, soil))
+            water = state["water_level"]
+            # inflow from rain, losses to evaporation/abstraction, and a slow
+            # relaxation towards the long-term storage level so interannual
+            # spread stays moderate in non-drought years
+            water += 6.0 * rain - 1.3 * evapotranspiration - 2.0 - 0.02 * (water - 2600.0)
+            water = max(200.0, min(6000.0, water))
+            ndvi = state["vegetation_index"]
+            target = 0.15 + 0.012 * soil
+            ndvi += 0.05 * (target - ndvi)
+            ndvi = max(0.05, min(0.9, ndvi))
+            state = {
+                "soil_moisture": soil,
+                "water_level": water,
+                "vegetation_index": ndvi,
+            }
+            if current % 5 == 0 or current == day_index:
+                self._state_cache[(cell, current)] = dict(state)
+        self._state_cache[(cell, day_index)] = dict(state)
+        return state
+
+    # ------------------------------------------------------------------ #
+    # EnvironmentModel protocol
+    # ------------------------------------------------------------------ #
+
+    def true_value(
+        self, property_key: str, location: Tuple[float, float], timestamp: float
+    ) -> float:
+        """Ground-truth value of ``property_key`` at ``location`` / ``timestamp``."""
+        day = timestamp / DAY
+        day_index = int(math.floor(day))
+        cell = self._cell_for(location)
+        hour = (timestamp % DAY) / 3600.0
+
+        if property_key == "rainfall":
+            # report the daily total spread over the wet hours of the day
+            return self.daily_rainfall(day, location)
+        if property_key == "air_temperature":
+            mean = self.daily_mean_temperature(day, location)
+            diurnal = 6.5 * math.sin(math.pi * (hour - 7.0) / 14.0) if 7.0 <= hour <= 21.0 else -4.0
+            return mean + diurnal
+        if property_key == "soil_temperature":
+            return self.daily_mean_temperature(day, location) * 0.9 + 2.0
+        if property_key == "relative_humidity":
+            rain = self.daily_rainfall(day, location)
+            base = 52.0 + 20.0 * max(0.0, self._season_phase(day)) + (18.0 if rain > 0 else 0.0)
+            base -= 22.0 * self.drought_intensity(day)
+            return max(8.0, min(98.0, base + 4.0 * self._gauss(day_index, "rh", cell)))
+        if property_key == "wind_speed":
+            return max(0.0, 3.2 + 1.5 * self._gauss(day_index, "wind", cell))
+        if property_key == "wind_direction":
+            return (self._uniform(day_index, "winddir", cell) * 360.0)
+        if property_key == "solar_radiation":
+            phase = self._season_phase(day)
+            clear_sky = 420.0 + 260.0 * phase
+            cloud_factor = 0.45 if self.daily_rainfall(day, location) > 0 else 1.0
+            if hour < 6.0 or hour > 19.0:
+                return 0.0
+            elevation = math.sin(math.pi * (hour - 6.0) / 13.0)
+            return max(0.0, clear_sky * cloud_factor * elevation)
+        if property_key == "barometric_pressure":
+            return 1013.0 - 10.0 * max(0.0, self._season_phase(day)) + 3.0 * self._gauss(day_index, "pres", cell)
+        if property_key == "evapotranspiration":
+            return max(0.5, 0.28 * self.daily_mean_temperature(day, location))
+        if property_key in ("soil_moisture", "water_level", "vegetation_index"):
+            return self._surface_state(day_index, cell)[property_key]
+        raise KeyError(f"unknown property key: {property_key!r}")
+
+    # ------------------------------------------------------------------ #
+    # bulk series for the forecasting layer
+    # ------------------------------------------------------------------ #
+
+    def daily_series(
+        self,
+        property_key: str,
+        days: int,
+        location: Tuple[float, float] = (-29.1, 26.2),
+        start_day: int = 0,
+    ) -> np.ndarray:
+        """Ground-truth daily series of ``property_key`` (noon values)."""
+        values = [
+            self.true_value(property_key, location, (start_day + d) * DAY + 12 * 3600.0)
+            for d in range(days)
+        ]
+        return np.asarray(values, dtype=float)
+
+    def drought_truth(self, days: int, start_day: int = 0) -> np.ndarray:
+        """Boolean ground-truth drought mask for ``days`` simulated days."""
+        return np.asarray(
+            [self.in_drought(float(start_day + d)) for d in range(days)], dtype=bool
+        )

@@ -1,0 +1,359 @@
+"""Tests for the CEP engine: events, patterns, rules, DSL."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cep.dsl import RuleSyntaxError, parse_rule, parse_rules
+from repro.cep.engine import CepEngine
+from repro.cep.event import DerivedEvent, Event
+from repro.cep.patterns import (
+    AbsencePattern,
+    ConjunctionPattern,
+    CountPattern,
+    SequencePattern,
+    ThresholdPattern,
+    TrendPattern,
+)
+from repro.cep.rules import CepRule
+from repro.streams.broker import Broker
+from repro.streams.scheduler import DAY
+
+
+def events(event_type, values, start_day=0.0, step_days=1.0, source="s"):
+    return [
+        Event(event_type, value, (start_day + index * step_days) * DAY, source_id=source)
+        for index, value in enumerate(values)
+    ]
+
+
+class TestEventModel:
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            Event("x", 1.0, -1.0)
+
+    def test_age(self):
+        assert Event("x", 1.0, 10.0).age_at(25.0) == 15.0
+
+    def test_derived_event_provenance_and_explain(self):
+        base = Event("soil_moisture", 8.0, DAY, source_id="mote-1")
+        derived = DerivedEvent(
+            "soil_drying_process", 0.8, 2 * DAY,
+            rule_name="soil_drying", contributing_events=[base],
+        )
+        assert derived.provenance == [base.event_id]
+        assert "soil_drying" in derived.explain()
+        assert "mote-1" in derived.explain()
+
+
+class TestPatterns:
+    def test_threshold_below_matches(self):
+        pattern = ThresholdPattern("soil_moisture", 12.0, "below", min_fraction=0.8, min_count=3)
+        match = pattern.evaluate(events("soil_moisture", [10, 9, 8, 11]), 10 * DAY)
+        assert match is not None and 0 < match.score <= 1
+        assert len(match.events) == 4
+
+    def test_threshold_insufficient_count(self):
+        pattern = ThresholdPattern("soil_moisture", 12.0, "below", min_count=5)
+        assert pattern.evaluate(events("soil_moisture", [8, 9]), DAY) is None
+
+    def test_threshold_fraction_not_met(self):
+        pattern = ThresholdPattern("soil_moisture", 12.0, "below", min_fraction=0.9, min_count=3)
+        assert pattern.evaluate(events("soil_moisture", [8, 20, 25, 9]), 5 * DAY) is None
+
+    def test_threshold_above(self):
+        pattern = ThresholdPattern("air_temperature", 30.0, "above", min_count=2, min_fraction=0.5)
+        assert pattern.evaluate(events("air_temperature", [33, 35]), 3 * DAY) is not None
+
+    def test_threshold_invalid_comparison(self):
+        with pytest.raises(ValueError):
+            ThresholdPattern("x", 1.0, comparison="near")
+
+    def test_trend_falling(self):
+        pattern = TrendPattern("water_level", "falling", min_slope_per_day=5.0, min_count=5)
+        match = pattern.evaluate(events("water_level", [2500, 2450, 2400, 2380, 2300]), 10 * DAY)
+        assert match is not None
+
+    def test_trend_wrong_direction(self):
+        pattern = TrendPattern("water_level", "falling", min_slope_per_day=5.0, min_count=5)
+        assert pattern.evaluate(events("water_level", [2300, 2400, 2500, 2550, 2600]), 10 * DAY) is None
+
+    def test_trend_rising(self):
+        pattern = TrendPattern("vegetation_index", "rising", min_slope_per_day=0.001, min_count=4)
+        assert pattern.evaluate(events("vegetation_index", [0.3, 0.32, 0.35, 0.4]), 10 * DAY) is not None
+
+    def test_trend_flat_series_rejected(self):
+        pattern = TrendPattern("x", "falling", min_slope_per_day=0.1, min_count=3)
+        flat = [Event("x", 1.0, DAY) for _ in range(5)]
+        assert pattern.evaluate(flat, 10 * DAY) is None
+
+    def test_absence_matches_when_empty(self):
+        pattern = AbsencePattern("rainfall", qualifier=lambda e: e.value > 1.0)
+        match = pattern.evaluate(events("rainfall", [0.5, 0.2, 0.0]), 5 * DAY)
+        assert match is not None and match.score == 1.0
+
+    def test_absence_fails_when_qualifying_event_present(self):
+        pattern = AbsencePattern("rainfall", qualifier=lambda e: e.value > 1.0)
+        assert pattern.evaluate(events("rainfall", [0.5, 5.0]), 5 * DAY) is None
+
+    def test_count_distinct_sources(self):
+        pattern = CountPattern("sifennefene_worms", 3, distinct_sources=True)
+        same_source = events("sifennefene_worms", [0.9] * 5, source="obs1")
+        assert pattern.evaluate(same_source, 10 * DAY) is None
+        distinct = [
+            Event("sifennefene_worms", 0.9, DAY, source_id=f"obs{i}") for i in range(3)
+        ]
+        assert pattern.evaluate(distinct, 10 * DAY) is not None
+
+    def test_count_qualifier(self):
+        pattern = CountPattern("x", 2, qualifier=lambda e: e.value >= 0.5)
+        weak = [Event("x", 0.2, DAY, source_id=f"o{i}") for i in range(4)]
+        assert pattern.evaluate(weak, 5 * DAY) is None
+
+    def test_count_minimum_validation(self):
+        with pytest.raises(ValueError):
+            CountPattern("x", 0)
+
+    def test_conjunction_requires_all(self):
+        pattern = ConjunctionPattern([
+            ThresholdPattern("soil_moisture", 12.0, "below", min_count=2, min_fraction=0.5),
+            AbsencePattern("rainfall", qualifier=lambda e: e.value > 1.0),
+        ])
+        window = events("soil_moisture", [8, 9]) + events("rainfall", [0.0, 0.1])
+        assert pattern.evaluate(window, 5 * DAY) is not None
+        window_with_rain = window + [Event("rainfall", 10.0, 2 * DAY)]
+        assert pattern.evaluate(window_with_rain, 5 * DAY) is None
+
+    def test_conjunction_weights_validation(self):
+        with pytest.raises(ValueError):
+            ConjunctionPattern([], weights=[])
+        with pytest.raises(ValueError):
+            ConjunctionPattern([AbsencePattern("x")], weights=[1.0, 2.0])
+
+    def test_sequence_requires_temporal_order(self):
+        first = ThresholdPattern("rainfall", 1.0, "below", min_count=2, min_fraction=0.8)
+        second = ThresholdPattern("soil_moisture", 12.0, "below", min_count=2, min_fraction=0.8)
+        ordered = events("rainfall", [0.1, 0.2], start_day=0) + events(
+            "soil_moisture", [9, 8], start_day=10
+        )
+        reversed_order = events("soil_moisture", [9, 8], start_day=0) + events(
+            "rainfall", [0.1, 0.2], start_day=10
+        )
+        sequence = SequencePattern([first, second])
+        assert sequence.evaluate(ordered, 20 * DAY) is not None
+        assert sequence.evaluate(reversed_order, 20 * DAY) is None
+
+    def test_sequence_needs_two_patterns(self):
+        with pytest.raises(ValueError):
+            SequencePattern([AbsencePattern("x")])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=50, allow_nan=False), min_size=3, max_size=40))
+    def test_property_scores_bounded(self, values):
+        pattern = ThresholdPattern("soil_moisture", 12.0, "below", min_count=1, min_fraction=0.0)
+        match = pattern.evaluate(events("soil_moisture", values), 100 * DAY)
+        if match is not None:
+            assert 0.0 <= match.score <= 1.0
+
+
+class TestCepRule:
+    def make_rule(self, **kwargs):
+        defaults = dict(
+            name="soil_drying",
+            pattern=ThresholdPattern("soil_moisture", 12.0, "below", min_count=3, min_fraction=0.8),
+            window_seconds=14 * DAY,
+            derived_event_type="soil_drying_process",
+            cooldown_seconds=7 * DAY,
+        )
+        defaults.update(kwargs)
+        return CepRule(**defaults)
+
+    def test_rule_fires_and_emits_derived_event(self):
+        rule = self.make_rule()
+        derived = None
+        for event in events("soil_moisture", [10, 9, 8, 9]):
+            derived = rule.offer(event) or derived
+        assert derived is not None
+        assert derived.event_type == "soil_drying_process"
+        assert derived.rule_name == "soil_drying"
+        assert derived.contributing_events
+
+    def test_cooldown_suppresses_refiring(self):
+        rule = self.make_rule()
+        fired = [rule.offer(e) for e in events("soil_moisture", [10, 9, 8, 9, 8, 9, 8])]
+        assert sum(1 for f in fired if f is not None) == 1
+        assert rule.statistics.suppressed_by_cooldown > 0
+
+    def test_min_score_suppression(self):
+        rule = self.make_rule(min_score=0.99)
+        fired = [rule.offer(e) for e in events("soil_moisture", [11.9, 11.8, 11.9, 11.8])]
+        assert all(f is None for f in fired)
+        assert rule.statistics.suppressed_by_score > 0
+
+    def test_area_scoping(self):
+        rule = self.make_rule(area="Mangaung")
+        foreign = Event("soil_moisture", 8.0, DAY, area="Xhariep")
+        assert not rule.accepts(foreign)
+        local = Event("soil_moisture", 8.0, DAY, area="Mangaung")
+        assert rule.accepts(local)
+
+    def test_window_eviction(self):
+        rule = self.make_rule()
+        rule.offer(Event("soil_moisture", 8.0, 0.0))
+        rule.offer(Event("soil_moisture", 8.0, 30 * DAY))
+        assert rule.window_size == 1
+
+    def test_reset(self):
+        rule = self.make_rule()
+        for event in events("soil_moisture", [10, 9, 8, 9]):
+            rule.offer(event)
+        rule.reset()
+        assert rule.window_size == 0
+        assert rule.statistics.fired == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            self.make_rule(window_seconds=0)
+
+
+class TestCepEngine:
+    def test_routing_by_event_type(self):
+        engine = CepEngine()
+        engine.add_rule(CepRule(
+            "r1", ThresholdPattern("soil_moisture", 12, "below", min_count=2, min_fraction=0.5),
+            14 * DAY, "soil_drying_process",
+        ))
+        engine.process_many(events("air_temperature", [30, 31, 32]))
+        assert engine.statistics.rule_evaluations == 0
+        engine.process_many(events("soil_moisture", [8, 9]))
+        assert engine.statistics.rule_evaluations > 0
+
+    def test_duplicate_rule_name_rejected(self):
+        engine = CepEngine()
+        rule = CepRule("r", AbsencePattern("x"), DAY, "y")
+        engine.add_rule(rule)
+        with pytest.raises(ValueError):
+            engine.add_rule(CepRule("r", AbsencePattern("x"), DAY, "y"))
+
+    def test_remove_rule(self):
+        engine = CepEngine()
+        engine.add_rule(CepRule("r", AbsencePattern("x"), DAY, "y"))
+        engine.remove_rule("r")
+        assert engine.rules == {}
+
+    def test_listener_and_broker_publication(self):
+        broker = Broker()
+        received = []
+        broker.subscribe("derived/#", lambda m: received.append(m.payload))
+        engine = CepEngine(broker=broker)
+        captured = []
+        engine.on_derived_event(captured.append)
+        engine.add_rule(CepRule(
+            "r1", ThresholdPattern("soil_moisture", 12, "below", min_count=2, min_fraction=0.5),
+            14 * DAY, "soil_drying_process",
+        ))
+        engine.process_many(events("soil_moisture", [8, 9]))
+        assert len(captured) == 1
+        assert len(received) == 1
+
+    def test_feedback_chains_rules(self):
+        engine = CepEngine(feedback=True)
+        engine.add_rule(CepRule(
+            "detect", ThresholdPattern("soil_moisture", 12, "below", min_count=2, min_fraction=0.5),
+            14 * DAY, "soil_drying_process",
+        ))
+        engine.add_rule(CepRule(
+            "escalate", CountPattern("soil_drying_process", 1),
+            30 * DAY, "drought_precursor",
+        ))
+        derived = engine.process_many(events("soil_moisture", [8, 9]))
+        types = {d.event_type for d in derived}
+        assert "drought_precursor" in types
+
+    def test_reset(self):
+        engine = CepEngine()
+        engine.add_rule(CepRule(
+            "r1", ThresholdPattern("soil_moisture", 12, "below", min_count=2, min_fraction=0.5),
+            14 * DAY, "soil_drying_process",
+        ))
+        engine.process_many(events("soil_moisture", [8, 9]))
+        engine.reset()
+        assert engine.statistics.events_processed == 0
+
+
+class TestRuleDsl:
+    def test_threshold_rule(self):
+        rule = parse_rule("""
+            RULE soil_drying
+            WHEN soil_moisture BELOW 12 FRACTION 0.8 WITHIN 14 DAYS
+            EMIT soil_drying_process WEIGHT 1.0 SOURCE sensor
+        """)
+        assert rule.name == "soil_drying"
+        assert rule.window_seconds == 14 * DAY
+        assert rule.derived_event_type == "soil_drying_process"
+        assert rule.source == "sensor"
+
+    def test_count_rule_with_intensity(self):
+        rule = parse_rule("""
+            RULE sifennefene
+            WHEN COUNT sifennefene_worms AT LEAST 3 DISTINCT INTENSITY 0.5 WITHIN 21 DAYS
+            EMIT ik_dry_indication WEIGHT 0.8 SOURCE indigenous
+        """)
+        assert isinstance(rule.pattern, CountPattern)
+        assert rule.pattern.distinct_sources
+        assert rule.weight == pytest.approx(0.8)
+
+    def test_absent_and_trend_rules(self):
+        rules = parse_rules("""
+            RULE no_rain
+            WHEN ABSENT rainfall ABOVE 1.0 WITHIN 21 DAYS
+            EMIT rainfall_deficit_process
+
+            RULE water_drop
+            WHEN TREND water_level FALLING 5 PER DAY WITHIN 30 DAYS
+            EMIT water_depletion_process AREA Mangaung
+        """)
+        assert len(rules) == 2
+        assert isinstance(rules[0].pattern, AbsencePattern)
+        assert isinstance(rules[1].pattern, TrendPattern)
+        assert rules[1].area == "Mangaung"
+
+    def test_conjunction_of_conditions(self):
+        rule = parse_rule("""
+            RULE compound
+            WHEN soil_moisture BELOW 12 WITHIN 14 DAYS
+            AND ABSENT rainfall ABOVE 1.0 WITHIN 21 DAYS
+            EMIT drought_precursor MINSCORE 0.4
+        """)
+        assert isinstance(rule.pattern, ConjunctionPattern)
+        assert rule.window_seconds == 21 * DAY
+        assert rule.min_score == pytest.approx(0.4)
+
+    def test_hours_window(self):
+        rule = parse_rule("""
+            RULE heat_spike
+            WHEN air_temperature ABOVE 38 WITHIN 48 HOURS
+            EMIT heat_spike_event
+        """)
+        assert rule.window_seconds == 48 * 3600.0
+
+    @pytest.mark.parametrize("text", [
+        "WHEN x BELOW 1 WITHIN 1 DAYS\nEMIT y",                # missing RULE
+        "RULE r\nEMIT y",                                       # missing WHEN
+        "RULE r\nWHEN x BELOW 1 WITHIN 1 DAYS",                 # missing EMIT
+        "RULE r\nWHEN x WOBBLES 1 WITHIN 1 DAYS\nEMIT y",       # bad condition
+        "RULE r\nWHEN x BELOW 1\nEMIT y",                       # missing WITHIN
+    ])
+    def test_syntax_errors(self, text):
+        with pytest.raises(RuleSyntaxError):
+            parse_rule(text)
+
+    def test_parsed_rule_behaves_like_programmatic(self):
+        rule = parse_rule("""
+            RULE soil_drying
+            WHEN soil_moisture BELOW 12 FRACTION 0.8 WITHIN 14 DAYS
+            EMIT soil_drying_process
+        """)
+        engine = CepEngine()
+        engine.add_rule(rule)
+        derived = engine.process_many(events("soil_moisture", [10, 9, 8]))
+        assert derived and derived[0].event_type == "soil_drying_process"

@@ -1,0 +1,313 @@
+"""Tests for drought indices, forecasters, evaluation and vulnerability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cep.event import DerivedEvent
+from repro.forecasting.evaluation import ForecastSkill, evaluate_forecasts, skill_comparison_table
+from repro.forecasting.fusion import Forecast, FusionForecaster, IndigenousForecaster
+from repro.forecasting.indices import (
+    deciles_index,
+    effective_drought_index,
+    percent_of_normal,
+    soil_moisture_anomaly,
+    standardized_precipitation_index,
+    vegetation_condition_index,
+)
+from repro.forecasting.statistical import StatisticalForecaster
+from repro.forecasting.vulnerability import (
+    DEFAULT_DISTRICT_PROFILES,
+    VulnerabilityIndex,
+    compute_vulnerability,
+)
+from repro.ik.knowledge_base import IndigenousKnowledgeBase
+from repro.streams.scheduler import DAY
+from repro.workloads.climate import ClimateGenerator, DroughtEpisode
+
+
+@pytest.fixture(scope="module")
+def drought_climate():
+    return ClimateGenerator(seed=1, episodes=[DroughtEpisode(525, 665, 0.85)])
+
+
+@pytest.fixture(scope="module")
+def reference_climate():
+    return ClimateGenerator(seed=1)
+
+
+class TestIndices:
+    def test_spi_is_negative_during_drought(self, drought_climate, reference_climate):
+        rain = drought_climate.daily_series("rainfall", 730)
+        reference = reference_climate.daily_series("rainfall", 365 * 5)
+        spi = standardized_precipitation_index(rain, 30, reference=reference)
+        assert np.nanmean(spi[555:660]) < -1.0
+        assert abs(np.nanmean(spi[100:500])) < 0.8
+
+    def test_spi_prefix_is_nan(self):
+        rain = np.ones(100)
+        spi = standardized_precipitation_index(rain, 30)
+        assert np.isnan(spi[:29]).all()
+        assert not np.isnan(spi[30:]).any()
+
+    def test_spi_requires_enough_data(self):
+        with pytest.raises(ValueError):
+            standardized_precipitation_index(np.ones(5), 30)
+
+    def test_spi_all_dry_climatology_degenerates_gracefully(self):
+        spi = standardized_precipitation_index(np.zeros(400), 30)
+        assert np.nanmax(np.abs(spi[30:])) < 1e-6 or not np.isnan(spi[30:]).all()
+
+    def test_percent_of_normal(self):
+        rain = np.concatenate([np.full(200, 2.0), np.full(200, 1.0)])
+        index = percent_of_normal(rain, 30)
+        assert np.nanmean(index[50:190]) > np.nanmean(index[250:390])
+
+    def test_deciles_in_range(self):
+        rain = np.abs(np.sin(np.arange(400))) * 5
+        deciles = deciles_index(rain, 30)
+        valid = deciles[~np.isnan(deciles)]
+        assert valid.min() >= 1 and valid.max() <= 10
+
+    def test_effective_drought_index_standardised(self):
+        rain = np.concatenate([np.full(200, 3.0), np.zeros(200)])
+        edi = effective_drought_index(rain, memory_days=100)
+        assert np.nanmean(edi[-50:]) < np.nanmean(edi[100:200])
+
+    def test_soil_moisture_anomaly_detects_deficit(self, drought_climate, reference_climate):
+        soil = drought_climate.daily_series("soil_moisture", 730)
+        reference = reference_climate.daily_series("soil_moisture", 365 * 5)
+        anomaly = soil_moisture_anomaly(soil, reference=reference)
+        assert np.nanmean(anomaly[560:660]) < np.nanmean(anomaly[100:500])
+
+    def test_soil_moisture_anomaly_last_value_not_edge_biased(self):
+        flat = np.full(100, 25.0)
+        anomaly = soil_moisture_anomaly(flat)
+        assert abs(anomaly[-1]) < 1e-6
+
+    def test_vegetation_condition_index_bounds(self):
+        vci = vegetation_condition_index(np.linspace(0.2, 0.8, 50))
+        assert vci.min() == pytest.approx(0.0)
+        assert vci.max() == pytest.approx(100.0)
+
+    def test_empty_soil_series(self):
+        assert soil_moisture_anomaly(np.array([])).size == 0
+
+
+class TestStatisticalForecaster:
+    def test_detects_embedded_drought(self, drought_climate, reference_climate):
+        rain = drought_climate.daily_series("rainfall", 730)
+        soil = drought_climate.daily_series("soil_moisture", 730)
+        forecaster = StatisticalForecaster()
+        forecasts = forecaster.forecast_series(
+            rain, soil, area="Mangaung",
+            reference_rainfall=reference_climate.daily_series("rainfall", 365 * 5),
+            reference_soil_moisture=reference_climate.daily_series("soil_moisture", 365 * 5),
+        )
+        skill = evaluate_forecasts(forecasts, drought_climate.drought_truth(730),
+                                   drought_climate.episodes)
+        assert skill.pod >= 0.5
+        assert skill.far <= 0.5
+        assert skill.brier_score < 0.25
+
+    def test_probability_monotone_in_spi(self):
+        forecaster = StatisticalForecaster()
+        assert forecaster.drought_probability(-2.0, 0.0) > forecaster.drought_probability(0.0, 0.0)
+        assert forecaster.drought_probability(0.0, -2.0) > forecaster.drought_probability(0.0, 0.0)
+
+    def test_nan_indices_fall_back_to_bias(self):
+        forecaster = StatisticalForecaster()
+        probability = forecaster.drought_probability(float("nan"), float("nan"))
+        assert 0.0 < probability < 0.6
+
+    def test_missing_data_lowers_confidence(self, drought_climate):
+        rain = drought_climate.daily_series("rainfall", 200)
+        rain[150:] = np.nan
+        forecasts = StatisticalForecaster().forecast_series(rain, None)
+        assert forecasts[-1].confidence < forecasts[0].confidence
+
+
+def derived(event_type, day, score=0.8, rule=None, area="Mangaung", weight=1.0):
+    return DerivedEvent(
+        event_type=event_type, value=score, timestamp=day * DAY,
+        rule_name=rule or event_type, area=area,
+        attributes={"rule_weight": weight},
+    )
+
+
+class TestFusionForecaster:
+    def test_probability_rises_with_corroborated_evidence(self):
+        forecaster = FusionForecaster(IndigenousKnowledgeBase())
+        baseline = forecaster.drought_probability_at(100.0)
+        for day in (80, 85, 90, 95):
+            forecaster.observe(derived("rainfall_deficit_process", day, rule="rain"))
+            forecaster.observe(derived("soil_drying_process", day, rule="soil"))
+            forecaster.observe(derived("ik_dry_indication", day, rule=f"ik_{day}"))
+        loaded = forecaster.drought_probability_at(100.0)
+        assert loaded > baseline
+        assert loaded > 0.5
+
+    def test_uncorroborated_ik_is_discounted(self):
+        forecaster = FusionForecaster(IndigenousKnowledgeBase())
+        for day in (80, 90):
+            forecaster.observe(derived("ik_dry_indication", day, rule="ik_single"))
+        ik_only = forecaster.drought_probability_at(100.0)
+        forecaster.observe(derived("rainfall_deficit_process", 95, rule="rain"))
+        forecaster.observe(derived("soil_drying_process", 96, rule="soil"))
+        corroborated = forecaster.drought_probability_at(100.0)
+        assert corroborated > ik_only
+
+    def test_wet_indications_argue_against(self):
+        forecaster = FusionForecaster(IndigenousKnowledgeBase())
+        for day in (80, 85):
+            forecaster.observe(derived("rainfall_deficit_process", day, rule="rain"))
+            forecaster.observe(derived("soil_drying_process", day, rule="soil"))
+        dry_only = forecaster.drought_probability_at(100.0)
+        forecaster.observe(derived("ik_wet_indication", 95, rule="ik_frogs"))
+        with_wet = forecaster.drought_probability_at(100.0)
+        assert with_wet < dry_only
+
+    def test_evidence_decays_with_age(self):
+        forecaster = FusionForecaster(IndigenousKnowledgeBase())
+        forecaster.observe(derived("rainfall_deficit_process", 10, rule="rain"))
+        near = forecaster.drought_probability_at(12.0)
+        far = forecaster.drought_probability_at(60.0)
+        assert near > far
+
+    def test_area_scoping(self):
+        forecaster = FusionForecaster(IndigenousKnowledgeBase())
+        forecaster.observe(derived("rainfall_deficit_process", 10, area="Xhariep", rule="rain"))
+        assert forecaster.drought_probability_at(12.0, "Mangaung") < \
+            forecaster.drought_probability_at(12.0, "Xhariep")
+
+    def test_repeated_firings_of_same_rule_capped(self):
+        forecaster = FusionForecaster(IndigenousKnowledgeBase())
+        for day in range(60, 100, 5):
+            forecaster.observe(derived("ik_dry_indication", day, rule="ik_same"))
+        evidence = forecaster._evidence_at(100.0, None)
+        assert evidence["ik_support"] <= 1.5
+
+    def test_forecast_series_and_clear(self):
+        forecaster = FusionForecaster(IndigenousKnowledgeBase())
+        forecaster.observe(derived("rainfall_deficit_process", 40, rule="rain"))
+        series = forecaster.forecast_series(100, area="Mangaung", issue_every_days=20)
+        assert len(series) == 4
+        assert all(f.method == "fusion" for f in series)
+        forecaster.clear()
+        assert forecaster._evidence_at(100.0, None)["supporting"] == 0.0
+
+
+class TestIndigenousForecaster:
+    def test_probability_rises_with_dry_sightings(self):
+        kb = IndigenousKnowledgeBase()
+        forecaster = IndigenousForecaster(kb)
+        quiet = forecaster.drought_probability_at(50.0)["probability"]
+        for observer in ("a", "b", "c"):
+            for indicator in ("sifennefene_worms", "springs_receding", "mutiga_tree_flowering"):
+                kb.register_sighting(
+                    __import__("repro.streams.messages", fromlist=["ObservationRecord"]).ObservationRecord(
+                        source_id=observer, source_kind="ik_sighting",
+                        property_name=indicator, value=0.9, unit=None, timestamp=45 * DAY,
+                    )
+                )
+        loaded = forecaster.drought_probability_at(50.0)["probability"]
+        assert loaded > quiet
+        assert loaded > 0.5
+
+    def test_forecast_series_lead_time_from_catalogue(self):
+        forecaster = IndigenousForecaster(IndigenousKnowledgeBase())
+        series = forecaster.forecast_series(100, issue_every_days=50)
+        assert all(f.lead_time_days > 20 for f in series)
+
+
+class TestEvaluation:
+    def make_forecasts(self, probabilities, lead=10.0, every=10):
+        return [
+            Forecast(issue_day=float(i * every), lead_time_days=lead,
+                     drought_probability=p, confidence=1.0, method="test")
+            for i, p in enumerate(probabilities)
+        ]
+
+    def test_perfect_forecaster(self):
+        mask = np.zeros(200, dtype=bool)
+        mask[100:150] = True
+        probabilities = [1.0 if 90 <= day * 10 <= 140 else 0.0 for day in range(20)]
+        skill = evaluate_forecasts(self.make_forecasts(probabilities), mask,
+                                   [DroughtEpisode(100, 150)])
+        assert skill.pod == 1.0
+        assert skill.far == 0.0
+        assert skill.csi == 1.0
+        assert skill.brier_score == pytest.approx(0.0)
+
+    def test_always_no_forecaster(self):
+        mask = np.zeros(200, dtype=bool)
+        mask[100:150] = True
+        skill = evaluate_forecasts(self.make_forecasts([0.0] * 20), mask, [DroughtEpisode(100, 150)])
+        assert skill.pod == 0.0
+        assert skill.mean_lead_time_days == 0.0
+
+    def test_always_yes_forecaster_has_false_alarms(self):
+        mask = np.zeros(200, dtype=bool)
+        mask[100:150] = True
+        skill = evaluate_forecasts(self.make_forecasts([1.0] * 20), mask, [DroughtEpisode(100, 150)])
+        assert skill.pod == 1.0
+        assert skill.far > 0.5
+        assert skill.bias > 1.5
+
+    def test_lead_time_measures_first_preceding_alarm(self):
+        mask = np.zeros(300, dtype=bool)
+        mask[200:260] = True
+        probabilities = [0.0] * 15 + [1.0] * 15
+        skill = evaluate_forecasts(self.make_forecasts(probabilities), mask,
+                                   [DroughtEpisode(200, 260)])
+        assert skill.mean_lead_time_days == pytest.approx(50.0)
+
+    def test_out_of_range_targets_skipped(self):
+        mask = np.zeros(50, dtype=bool)
+        skill = evaluate_forecasts(self.make_forecasts([0.6] * 30), mask)
+        assert skill.forecasts_evaluated < 30
+
+    def test_comparison_table(self):
+        skill = ForecastSkill("x", 1, 1, 1, 1, 0.2, 5.0, 4)
+        rows = skill_comparison_table([skill])
+        assert rows[0]["method"] == "x"
+        assert rows[0]["POD"] == 0.5
+
+
+class TestVulnerability:
+    def test_compute_for_districts(self):
+        indices = compute_vulnerability({"Xhariep": 0.8, "Mangaung": 0.8})
+        by_name = {index.district: index for index in indices}
+        # Xhariep is more sensitive and has less adaptive capacity
+        assert by_name["Xhariep"].score > by_name["Mangaung"].score
+
+    def test_score_monotone_in_exposure(self):
+        low = VulnerabilityIndex("d", 0.2, 0.6, 0.3)
+        high = VulnerabilityIndex("d", 0.9, 0.6, 0.3)
+        assert high.score > low.score
+
+    def test_categories_ordered(self):
+        assert VulnerabilityIndex("d", 0.95, 0.8, 0.1).category in ("extreme", "high")
+        assert VulnerabilityIndex("d", 0.05, 0.4, 0.8).category == "low"
+
+    def test_unknown_district_uses_generic_profile(self):
+        indices = compute_vulnerability({"Nowhere": 0.5})
+        assert indices[0].district == "Nowhere"
+        assert 0.0 <= indices[0].score <= 1.0
+
+    def test_profiles_have_bounded_factors(self):
+        for profile in DEFAULT_DISTRICT_PROFILES.values():
+            assert 0.0 <= profile.sensitivity <= 1.0
+            assert 0.0 <= profile.adaptive_capacity <= 1.0
+
+    def test_as_row(self):
+        row = VulnerabilityIndex("d", 0.5, 0.5, 0.5).as_row()
+        assert set(row) == {"district", "exposure", "sensitivity", "adaptive_capacity", "dvi", "category"}
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=-3, max_value=3, allow_nan=False),
+       st.floats(min_value=-3, max_value=3, allow_nan=False))
+def test_property_statistical_probability_bounded(spi, soil):
+    probability = StatisticalForecaster().drought_probability(spi, soil)
+    assert 0.0 <= probability <= 1.0

@@ -1,0 +1,271 @@
+"""Tests for the indigenous-knowledge layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cep.engine import CepEngine
+from repro.cep.event import Event
+from repro.ik.elicitation import ElicitationCampaign
+from repro.ik.fuzzy import (
+    SIGHTING_INTENSITY,
+    FuzzyVariable,
+    TrapezoidalMembership,
+    TriangularMembership,
+    aggregate_evidence,
+    noisy_or,
+)
+from repro.ik.indicators import (
+    INDICATOR_CATALOGUE,
+    IndicatorActivityModel,
+    IndicatorDefinition,
+    indicators_implying,
+)
+from repro.ik.knowledge_base import IndigenousKnowledgeBase
+from repro.ik.rules import derive_cep_rules, sensor_process_rules
+from repro.sensors.modality import ConstantEnvironment
+from repro.semantics.rdf.graph import Graph
+from repro.streams.messages import ObservationRecord
+from repro.streams.scheduler import DAY
+from repro.workloads.climate import ClimateGenerator, DroughtEpisode
+
+
+def sighting(indicator, observer="obs-1", intensity=0.8, day=10.0):
+    return ObservationRecord(
+        source_id=observer, source_kind="ik_sighting", property_name=indicator,
+        value=intensity, unit=None, timestamp=day * DAY,
+    )
+
+
+class TestCatalogue:
+    def test_catalogue_has_both_conditions(self):
+        assert len(indicators_implying("drier")) >= 5
+        assert len(indicators_implying("wetter")) >= 2
+
+    def test_reliabilities_in_range(self):
+        for definition in INDICATOR_CATALOGUE.values():
+            assert 0.0 <= definition.reliability <= 1.0
+            assert definition.lead_time_days > 0
+
+    def test_invalid_definition_rejected(self):
+        with pytest.raises(ValueError):
+            IndicatorDefinition(
+                key="x", label="x", category="plant", implies="sideways",
+                reliability=0.5, lead_time_days=10, driver="rainfall", driver_direction=-1,
+            )
+        with pytest.raises(ValueError):
+            IndicatorDefinition(
+                key="x", label="x", category="plant", implies="drier",
+                reliability=1.5, lead_time_days=10, driver="rainfall", driver_direction=-1,
+            )
+
+
+class TestActivityModel:
+    def test_unknown_indicator_inactive(self):
+        model = IndicatorActivityModel(ConstantEnvironment())
+        assert model.activity("martian_dust", (-29, 26), 0.0) == 0.0
+
+    def test_dry_conditions_raise_dry_indicator_activity(self):
+        dry = ConstantEnvironment({"soil_moisture": 4.0, "rainfall": 0.0, "water_level": 900.0,
+                                   "air_temperature": 32.0, "relative_humidity": 20.0})
+        normal = ConstantEnvironment({"soil_moisture": 24.0, "rainfall": 2.0, "water_level": 2600.0,
+                                      "air_temperature": 24.0, "relative_humidity": 55.0})
+        model_dry = IndicatorActivityModel(dry)
+        model_normal = IndicatorActivityModel(normal)
+        assert model_dry.activity("sifennefene_worms", (-29, 26), 0.0) > \
+            model_normal.activity("sifennefene_worms", (-29, 26), 0.0)
+
+    def test_activity_is_probability(self):
+        climate = ClimateGenerator(seed=1, episodes=[DroughtEpisode(100, 200)])
+        model = IndicatorActivityModel(climate, reference=ClimateGenerator(seed=1))
+        for key in INDICATOR_CATALOGUE:
+            for day in (10, 150, 300):
+                value = model.activity(key, (-29.1, 26.2), day * DAY)
+                assert 0.0 <= value <= 1.0
+
+    def test_drought_raises_dry_indicator_activity_vs_normal_year(self):
+        climate = ClimateGenerator(seed=2, episodes=[DroughtEpisode(160, 300, 0.9)])
+        model = IndicatorActivityModel(climate, reference=ClimateGenerator(seed=2))
+        location = (-29.1, 26.2)
+        # compare mid-episode against the same calendar window one year later
+        in_drought = model.activity("sifennefene_worms", location, 220 * DAY)
+        next_year = model.activity("sifennefene_worms", location, (220 + 365) * DAY)
+        assert in_drought >= next_year
+
+
+class TestFuzzy:
+    def test_triangular_membership(self):
+        membership = TriangularMembership(0.0, 0.5, 1.0)
+        assert membership.membership(0.5) == 1.0
+        assert membership.membership(0.25) == pytest.approx(0.5)
+        assert membership.membership(2.0) == 0.0
+
+    def test_triangular_validation(self):
+        with pytest.raises(ValueError):
+            TriangularMembership(1.0, 0.5, 0.0)
+
+    def test_trapezoidal_membership(self):
+        membership = TrapezoidalMembership(0.0, 0.2, 0.8, 1.0)
+        assert membership.membership(0.5) == 1.0
+        assert membership.membership(0.1) == pytest.approx(0.5)
+        assert membership.membership(1.5) == 0.0
+
+    def test_fuzzy_variable_best_term(self):
+        assert SIGHTING_INTENSITY.best_term(0.9) == "many"
+        assert SIGHTING_INTENSITY.best_term(0.5) == "some"
+        assert SIGHTING_INTENSITY.best_term(0.05) == "few"
+
+    def test_fuzzy_variable_requires_terms(self):
+        with pytest.raises(ValueError):
+            FuzzyVariable("empty", {})
+
+    def test_noisy_or(self):
+        assert noisy_or([]) == 0.0
+        assert noisy_or([0.5, 0.5]) == pytest.approx(0.75)
+        assert noisy_or([1.0, 0.2]) == 1.0
+
+    def test_aggregate_evidence_net(self):
+        combined = aggregate_evidence([("drier", 0.6), ("drier", 0.4), ("wetter", 0.3)])
+        assert combined["drier"] == pytest.approx(0.76)
+        assert combined["net_drier"] == pytest.approx(0.76 - 0.3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["drier", "wetter"]),
+                              st.floats(min_value=0, max_value=1, allow_nan=False)), max_size=20))
+    def test_property_aggregate_bounds(self, pairs):
+        combined = aggregate_evidence(pairs)
+        assert -1.0 <= combined["net_drier"] <= 1.0
+        for condition in ("drier", "wetter"):
+            if condition in combined:
+                assert 0.0 <= combined[condition] <= 1.0
+
+
+class TestKnowledgeBase:
+    def test_register_known_sighting(self):
+        kb = IndigenousKnowledgeBase()
+        evidence = kb.register_sighting(sighting("sifennefene_worms"))
+        assert evidence is not None
+        assert evidence.condition == "drier"
+        assert 0.0 < evidence.strength <= 1.0
+
+    def test_unknown_indicator_ignored(self):
+        kb = IndigenousKnowledgeBase()
+        assert kb.register_sighting(sighting("unknown_sign")) is None
+        assert kb.sightings == []
+
+    def test_aggregate_corroboration_discount(self):
+        kb = IndigenousKnowledgeBase()
+        kb.register_sighting(sighting("sifennefene_worms", observer="a"))
+        single = kb.aggregate(0.0, 30 * DAY)["drier"]
+        kb.register_sighting(sighting("sifennefene_worms", observer="b"))
+        kb.register_sighting(sighting("sifennefene_worms", observer="c"))
+        corroborated = kb.aggregate(0.0, 30 * DAY)["drier"]
+        assert corroborated > single
+
+    def test_aggregate_window_filtering(self):
+        kb = IndigenousKnowledgeBase()
+        kb.register_sighting(sighting("sifennefene_worms", day=5))
+        assert kb.aggregate(10 * DAY, 20 * DAY)["net_drier"] == 0.0
+
+    def test_wetter_evidence_offsets_drier(self):
+        kb = IndigenousKnowledgeBase()
+        for observer in "abc":
+            kb.register_sighting(sighting("sifennefene_worms", observer=observer))
+        net_before = kb.aggregate(0.0, 30 * DAY)["net_drier"]
+        for observer in "abc":
+            kb.register_sighting(sighting("frogs_calling", observer=observer))
+        net_after = kb.aggregate(0.0, 30 * DAY)["net_drier"]
+        assert net_after < net_before
+
+    def test_mean_lead_time(self):
+        kb = IndigenousKnowledgeBase()
+        assert kb.mean_lead_time("drier") > 20
+
+    def test_materialize_writes_indicator_individuals(self):
+        kb = IndigenousKnowledgeBase()
+        graph = Graph()
+        added = kb.materialize(graph)
+        assert added >= len(kb) * 5
+
+    def test_materialize_sighting(self):
+        kb = IndigenousKnowledgeBase()
+        graph = Graph()
+        iri = kb.materialize_sighting(graph, sighting("mutiga_tree_flowering"))
+        assert iri is not None
+        assert len(graph) >= 5
+        assert kb.materialize_sighting(graph, sighting("bogus")) is None
+
+    def test_clear_sightings(self):
+        kb = IndigenousKnowledgeBase()
+        kb.register_sighting(sighting("sifennefene_worms"))
+        kb.clear_sightings()
+        assert kb.sightings == []
+
+
+class TestElicitation:
+    def test_campaign_produces_knowledge_base(self):
+        campaign = ElicitationCampaign(respondents=40, seed=1)
+        kb = campaign.run()
+        assert 5 <= len(kb) <= len(INDICATOR_CATALOGUE)
+        report = campaign.last_report
+        assert report.indicators_elicited == len(kb)
+        assert report.respondents == 40
+
+    def test_low_recognition_shrinks_knowledge_base(self):
+        rich = ElicitationCampaign(respondents=30, recognition_rate=0.9, seed=2).run()
+        poor = ElicitationCampaign(respondents=30, recognition_rate=0.1,
+                                   inclusion_threshold=0.5, seed=2).run()
+        assert len(poor) < len(rich)
+
+    def test_implication_noise_recorded_as_disagreement(self):
+        campaign = ElicitationCampaign(respondents=30, implication_noise=0.4, seed=3)
+        campaign.run()
+        assert campaign.last_report.disagreement_rate > 0.1
+
+    def test_deterministic_for_seed(self):
+        first = ElicitationCampaign(respondents=20, seed=5).run()
+        second = ElicitationCampaign(respondents=20, seed=5).run()
+        assert first.known_keys() == second.known_keys()
+
+    def test_requires_respondents(self):
+        with pytest.raises(ValueError):
+            ElicitationCampaign(respondents=0)
+
+
+class TestRuleDerivation:
+    def test_one_rule_per_indicator(self):
+        kb = IndigenousKnowledgeBase()
+        rules = derive_cep_rules(kb)
+        assert len(rules) == len(kb)
+        assert all(rule.source == "indigenous" for rule in rules)
+
+    def test_rule_types_follow_implication(self):
+        kb = IndigenousKnowledgeBase()
+        rules = {rule.name: rule for rule in derive_cep_rules(kb)}
+        assert rules["ik_sifennefene_worms"].derived_event_type == "ik_dry_indication"
+        assert rules["ik_frogs_calling"].derived_event_type == "ik_wet_indication"
+
+    def test_rule_weight_matches_reliability(self):
+        kb = IndigenousKnowledgeBase()
+        rules = {rule.name: rule for rule in derive_cep_rules(kb)}
+        assert rules["ik_springs_receding"].weight == pytest.approx(
+            INDICATOR_CATALOGUE["springs_receding"].reliability
+        )
+
+    def test_derived_rules_fire_on_corroborated_sightings(self):
+        kb = IndigenousKnowledgeBase()
+        engine = CepEngine()
+        engine.add_rules(derive_cep_rules(kb, min_observers=2, min_intensity=0.3))
+        sightings = [
+            Event("sifennefene_worms", 0.9, day * DAY, source_id=f"obs{i}")
+            for i, day in enumerate([1, 2, 3])
+        ]
+        derived = engine.process_many(sightings)
+        assert any(d.event_type == "ik_dry_indication" for d in derived)
+
+    def test_sensor_process_rules_cover_all_processes(self):
+        names = {rule.name for rule in sensor_process_rules()}
+        assert names == {
+            "soil_drying_process", "rainfall_deficit_process", "heat_accumulation_process",
+            "water_depletion_process", "vegetation_decline_process",
+        }
+        assert all(rule.source == "sensor" for rule in sensor_process_rules())

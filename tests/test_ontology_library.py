@@ -1,0 +1,206 @@
+"""Tests for the domain ontology library, units and term alignment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ontologies import build_unified_ontology
+from repro.ontologies.alignment import (
+    SYNONYMS,
+    AlignmentStatistics,
+    TermAligner,
+    build_alignment_ontology,
+    normalise_term,
+)
+from repro.ontologies.drought import alert_level_for_probability, severity_class_for_spi
+from repro.ontologies.environment import CANONICAL_PROPERTIES, canonical_property
+from repro.ontologies.units import (
+    CANONICAL_UNITS,
+    UNIT_DEFINITIONS,
+    UnitConversionError,
+    canonical_symbol,
+    convert,
+    get_unit,
+    to_canonical,
+)
+from repro.ontologies.vocabulary import DOLCE, DROUGHT, ENVO, IK, SSN
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_unified_ontology(materialize=True)
+
+
+class TestOntologyLibrary:
+    def test_components_present(self, library):
+        assert set(library.components) == {
+            "dolce", "ssn", "units", "environment", "drought", "indigenous", "alignment",
+        }
+
+    def test_statistics_counts(self, library):
+        stats = library.statistics()
+        assert stats["classes"] > 80
+        assert stats["properties"] > 40
+        assert stats["triples"] > 1000
+
+    def test_sensor_is_physical_endurant(self, library):
+        reasoner = library.reasoner()
+        assert reasoner.is_subclass_of(SSN.Sensor, DOLCE.PhysicalEndurant)
+
+    def test_drought_event_is_environmental_event_and_perdurant(self, library):
+        reasoner = library.reasoner()
+        assert reasoner.is_subclass_of(DROUGHT.DroughtEvent, ENVO.EnvironmentalEvent)
+        assert reasoner.is_subclass_of(DROUGHT.DroughtEvent, DOLCE.Perdurant)
+
+    def test_indicator_sighting_is_observation(self, library):
+        reasoner = library.reasoner()
+        assert reasoner.is_subclass_of(IK.IndicatorSighting, SSN.Observation)
+
+    def test_canonical_properties_are_observable(self, library):
+        reasoner = library.reasoner()
+        for iri in CANONICAL_PROPERTIES.values():
+            assert reasoner.is_subclass_of(iri, SSN.ObservableProperty)
+
+    def test_processes_culminate_in_drought_onset(self, library):
+        objs = set(library.graph.objects(ENVO.RainfallDeficitProcess, ENVO.culminatesIn))
+        assert ENVO.DroughtOnsetEvent in objs
+
+    def test_canonical_property_lookup(self):
+        assert canonical_property("soil_moisture") == ENVO.SoilMoisture
+        with pytest.raises(KeyError):
+            canonical_property("not_a_property")
+
+
+class TestSeverityAndAlerts:
+    @pytest.mark.parametrize("spi,expected_local", [
+        (-2.5, "ExtremeDrought"),
+        (-1.7, "SevereDrought"),
+        (-1.2, "ModerateDrought"),
+        (-0.7, "MildDrought"),
+        (0.3, "NoDrought"),
+    ])
+    def test_severity_bands(self, spi, expected_local):
+        assert severity_class_for_spi(spi).local_name == expected_local
+
+    @pytest.mark.parametrize("probability,expected_local", [
+        (0.9, "LevelEmergency"),
+        (0.65, "LevelWarning"),
+        (0.4, "LevelWatch"),
+        (0.1, "LevelNormal"),
+    ])
+    def test_alert_levels(self, probability, expected_local):
+        assert alert_level_for_probability(probability).local_name == expected_local
+
+
+class TestUnits:
+    def test_fahrenheit_to_celsius(self):
+        assert convert(32.0, "degF", "degC") == pytest.approx(0.0)
+        assert convert(212.0, "degF", "degC") == pytest.approx(100.0)
+
+    def test_kelvin_round_trip(self):
+        assert convert(convert(25.0, "degC", "K"), "K", "degC") == pytest.approx(25.0)
+
+    def test_length_conversions(self):
+        assert convert(1.0, "in", "mm") == pytest.approx(25.4)
+        assert convert(1.0, "m", "cm") == pytest.approx(100.0)
+
+    def test_speed_conversion(self):
+        assert convert(36.0, "km/h", "m/s") == pytest.approx(10.0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(UnitConversionError):
+            convert(1.0, "degC", "mm")
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(UnitConversionError):
+            get_unit("furlongs")
+
+    def test_to_canonical_and_symbol(self):
+        assert to_canonical(1.0, "ft") == pytest.approx(304.8)
+        assert canonical_symbol("degF") == "degC"
+
+    def test_every_dimension_has_canonical_unit(self):
+        dimensions = {definition.dimension for definition in UNIT_DEFINITIONS.values()}
+        assert dimensions == set(CANONICAL_UNITS)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from(sorted(UNIT_DEFINITIONS)),
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    )
+    def test_property_round_trip_is_identity(self, symbol, value):
+        canonical = canonical_symbol(symbol)
+        there = convert(value, symbol, canonical)
+        back = convert(there, canonical, symbol)
+        assert back == pytest.approx(value, rel=1e-9, abs=1e-6)
+
+
+class TestTermAlignment:
+    def test_normalise_strips_accents_case_punctuation(self):
+        assert normalise_term("Höhe") == "hohe"
+        assert normalise_term("Soil_Moisture(%)") == "soil moisture"
+
+    @pytest.mark.parametrize("term,expected", [
+        ("Hoehe", "water_level"),
+        ("Stav", "water_level"),
+        ("Niederschlag", "rainfall"),
+        ("NDVI", "vegetation_index"),
+        ("Dry Bulb Temperature", "air_temperature"),
+        ("soil_moisture", "soil_moisture"),
+        ("PRCP", "rainfall"),
+    ])
+    def test_known_spellings_resolve(self, term, expected):
+        assert TermAligner().align(term).canonical_key == expected
+
+    def test_fuzzy_match_catches_typo(self):
+        result = TermAligner().align("soil moistur")
+        assert result.canonical_key == "soil_moisture"
+        assert result.method == "fuzzy"
+
+    def test_unknown_term_unresolved(self):
+        result = TermAligner().align("flux capacitor level")
+        assert not result.resolved
+        assert result.method == "unresolved"
+
+    def test_fuzzy_disabled(self):
+        aligner = TermAligner(fuzzy_threshold=1.0)
+        assert not aligner.align("soil moistur").resolved
+
+    def test_statistics_accumulate(self):
+        aligner = TermAligner()
+        for term in ["Hoehe", "rain", "garbage-term-xyz"]:
+            aligner.align(term)
+        stats = aligner.statistics
+        assert stats.total == 3
+        assert stats.unresolved == 1
+        assert stats.resolution_rate == pytest.approx(2 / 3)
+
+    def test_add_synonym(self):
+        aligner = TermAligner()
+        aligner.add_synonym("rainfall", "izulu")
+        assert aligner.align("izulu").canonical_key == "rainfall"
+
+    def test_add_synonym_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            TermAligner().add_synonym("not_a_property", "x")
+
+    def test_extra_synonyms_constructor(self):
+        aligner = TermAligner(extra_synonyms={"rainfall": ["pula"]})
+        assert aligner.align("pula").canonical_key == "rainfall"
+
+    def test_every_synonym_resolves(self):
+        aligner = TermAligner()
+        for key, spellings in SYNONYMS.items():
+            for spelling in spellings:
+                assert aligner.align(spelling).canonical_key == key
+
+    def test_materialize_alignment_writes_equivalences(self):
+        from repro.semantics.rdf.graph import Graph
+
+        graph = Graph()
+        resolved = TermAligner().materialize_alignment(graph, ["Hoehe", "garbage-xyz"])
+        assert resolved == 1
+        assert len(graph) >= 2
+
+    def test_alignment_ontology_builds(self):
+        ontology = build_alignment_ontology()
+        assert len(ontology.graph) > 50

@@ -1,0 +1,195 @@
+"""Tests for the indexed graph, serialisation and parsing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import Namespace, RDF
+from repro.semantics.rdf.parser import ParseError, parse_ntriples
+from repro.semantics.rdf.term import IRI, Literal, Variable
+from repro.semantics.rdf.triple import Triple
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.namespaces.bind("ex", EX)
+    g.add(Triple(EX.s1, EX.observes, EX.SoilMoisture))
+    g.add(Triple(EX.s1, EX.hasValue, Literal(12.5)))
+    g.add(Triple(EX.s2, EX.observes, EX.Rainfall))
+    g.add(Triple(EX.s2, RDF.type, EX.Sensor))
+    return g
+
+
+class TestGraphMutation:
+    def test_add_and_len(self, graph):
+        assert len(graph) == 4
+
+    def test_add_duplicate_is_noop(self, graph):
+        assert graph.add(Triple(EX.s1, EX.observes, EX.SoilMoisture)) is False
+        assert len(graph) == 4
+
+    def test_add_tuple_coercion(self):
+        g = Graph()
+        g.add((EX.a, EX.p, 5))
+        assert Triple(EX.a, EX.p, Literal(5)) in g
+
+    def test_add_variable_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add(Triple(Variable("x"), EX.p, EX.o))
+
+    def test_remove(self, graph):
+        assert graph.remove(Triple(EX.s1, EX.observes, EX.SoilMoisture))
+        assert len(graph) == 3
+        assert not graph.remove(Triple(EX.s1, EX.observes, EX.SoilMoisture))
+
+    def test_remove_matching_wildcard(self, graph):
+        removed = graph.remove_matching(subject=EX.s1)
+        assert removed == 2
+        assert len(graph) == 2
+
+    def test_clear(self, graph):
+        graph.clear()
+        assert len(graph) == 0
+
+
+class TestGraphAccess:
+    def test_contains(self, graph):
+        assert Triple(EX.s1, EX.observes, EX.SoilMoisture) in graph
+        assert (EX.s1, EX.observes, EX.SoilMoisture) in graph
+        assert Triple(EX.s1, EX.observes, EX.Rainfall) not in graph
+
+    def test_pattern_by_subject(self, graph):
+        assert len(list(graph.triples((EX.s1, None, None)))) == 2
+
+    def test_pattern_by_predicate(self, graph):
+        assert len(list(graph.triples((None, EX.observes, None)))) == 2
+
+    def test_pattern_by_object(self, graph):
+        assert len(list(graph.triples((None, None, EX.Rainfall)))) == 1
+
+    def test_pattern_fully_ground(self, graph):
+        assert len(list(graph.triples((EX.s1, EX.observes, EX.SoilMoisture)))) == 1
+
+    def test_variables_act_as_wildcards(self, graph):
+        matches = list(graph.triples((Variable("s"), EX.observes, Variable("o"))))
+        assert len(matches) == 2
+
+    def test_subjects_objects_predicates(self, graph):
+        assert set(graph.subjects(EX.observes)) == {EX.s1, EX.s2}
+        assert set(graph.objects(EX.s1)) == {EX.SoilMoisture, Literal(12.5)}
+        assert EX.observes in set(graph.predicates(EX.s2))
+
+    def test_value_requires_single_hole(self, graph):
+        assert graph.value(EX.s1, EX.observes, None) == EX.SoilMoisture
+        with pytest.raises(ValueError):
+            graph.value(EX.s1, None, None)
+
+    def test_value_default(self, graph):
+        assert graph.value(EX.s9, EX.observes, None, default=EX.Nothing) == EX.Nothing
+
+    def test_typing_helpers(self, graph):
+        assert EX.Sensor in graph.types_of(EX.s2)
+        assert EX.s2 in graph.instances_of(EX.Sensor)
+
+    def test_literal_value(self, graph):
+        assert graph.literal_value(EX.s1, EX.hasValue) == pytest.approx(12.5)
+        assert graph.literal_value(EX.s1, EX.missing, default=0) == 0
+
+
+class TestGraphSetOperations:
+    def test_union(self, graph):
+        other = Graph()
+        other.add(Triple(EX.s3, EX.observes, EX.WaterLevel))
+        combined = graph.union(other)
+        assert len(combined) == 5
+
+    def test_intersection(self, graph):
+        other = graph.copy()
+        other.remove(Triple(EX.s1, EX.hasValue, Literal(12.5)))
+        assert len(graph.intersection(other)) == 3
+
+    def test_difference(self, graph):
+        other = graph.copy()
+        other.remove(Triple(EX.s1, EX.hasValue, Literal(12.5)))
+        diff = graph.difference(other)
+        assert len(diff) == 1
+
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.add(Triple(EX.extra, EX.p, EX.o))
+        assert len(clone) == len(graph) + 1
+
+
+class TestSerialisation:
+    def test_ntriples_round_trip(self, graph):
+        text = graph.serialize("ntriples")
+        restored = Graph()
+        restored.parse(text, "ntriples")
+        assert len(restored) == len(graph)
+        for triple in graph:
+            assert triple in restored
+
+    def test_turtle_round_trip(self, graph):
+        text = graph.serialize("turtle")
+        restored = Graph()
+        restored.namespaces.bind("ex", EX)
+        restored.parse(text, "turtle")
+        assert len(restored) == len(graph)
+
+    def test_turtle_contains_prefix_declarations(self, graph):
+        assert "@prefix ex:" in graph.serialize("turtle")
+
+    def test_unknown_format_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.serialize("rdfxml")
+
+    def test_ntriples_is_sorted_deterministic(self, graph):
+        assert graph.serialize("ntriples") == graph.serialize("ntriples")
+
+    def test_parse_error_reports_line(self):
+        g = Graph()
+        with pytest.raises(ParseError):
+            parse_ntriples(g, "this is not a triple .")
+
+    def test_parse_skips_comments_and_blanks(self):
+        g = Graph()
+        added = g.parse("# comment\n\n<http://a.org/s> <http://a.org/p> \"v\" .\n")
+        assert added == 1
+
+
+_literal_values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.text(alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=30),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 5), _literal_values), max_size=25))
+def test_property_ntriples_round_trip(items):
+    """Any graph of simple triples survives an N-Triples round trip."""
+    graph = Graph()
+    for subject_index, predicate_index, value in items:
+        graph.add(Triple(EX[f"s{subject_index}"], EX[f"p{predicate_index}"], Literal(value)))
+    restored = Graph()
+    restored.parse(graph.serialize("ntriples"), "ntriples")
+    assert len(restored) == len(graph)
+    for triple in graph:
+        assert triple in restored
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 3), st.integers(0, 10)), max_size=30))
+def test_property_pattern_queries_consistent_with_scan(items):
+    """Indexed pattern lookups agree with a full scan."""
+    graph = Graph()
+    for s, p, o in items:
+        graph.add(Triple(EX[f"s{s}"], EX[f"p{p}"], EX[f"o{o}"]))
+    for s, p, o in items[:5]:
+        subject = EX[f"s{s}"]
+        expected = {t for t in graph if t.subject == subject}
+        assert set(graph.triples((subject, None, None))) == expected

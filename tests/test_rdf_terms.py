@@ -1,0 +1,198 @@
+"""Tests for RDF terms, namespaces and triples."""
+
+import pytest
+
+from repro.semantics.rdf.namespace import Namespace, NamespaceManager, RDF, RDFS, XSD
+from repro.semantics.rdf.term import BlankNode, IRI, Literal, Variable, as_term
+from repro.semantics.rdf.triple import Triple
+
+EX = Namespace("http://example.org/")
+
+
+class TestIRI:
+    def test_value_round_trip(self):
+        iri = IRI("http://example.org/sensor/1")
+        assert iri.value == "http://example.org/sensor/1"
+        assert str(iri) == iri.value
+
+    def test_n3_form(self):
+        assert IRI("http://example.org/a").n3() == "<http://example.org/a>"
+
+    def test_local_name_hash_and_slash(self):
+        assert IRI("http://example.org/ont#Sensor").local_name == "Sensor"
+        assert IRI("http://example.org/ont/Sensor").local_name == "Sensor"
+
+    def test_namespace_part(self):
+        assert IRI("http://example.org/ont#Sensor").namespace == "http://example.org/ont#"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://example.org/a") == IRI("http://example.org/a")
+        assert hash(IRI("http://example.org/a")) == hash(IRI("http://example.org/a"))
+        assert IRI("http://example.org/a") != IRI("http://example.org/b")
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("http://example.org/has space")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_immutable(self):
+        iri = IRI("http://example.org/a")
+        with pytest.raises(AttributeError):
+            iri.value = "http://example.org/b"
+
+
+class TestLiteral:
+    def test_integer_datatype_inferred(self):
+        assert Literal(3).datatype.local_name == "integer"
+        assert Literal(3).to_python() == 3
+
+    def test_float_datatype_inferred(self):
+        assert Literal(2.5).datatype.local_name == "double"
+        assert Literal(2.5).to_python() == pytest.approx(2.5)
+
+    def test_boolean_datatype_inferred(self):
+        assert Literal(True).to_python() is True
+        assert Literal(False).to_python() is False
+
+    def test_string_literal(self):
+        lit = Literal("drought")
+        assert lit.to_python() == "drought"
+        assert lit.n3() == '"drought"'
+
+    def test_language_tag(self):
+        lit = Literal("Hoehe", lang="de")
+        assert lit.lang == "de"
+        assert lit.n3().endswith("@de")
+
+    def test_lang_and_datatype_conflict(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD.string, lang="en")
+
+    def test_numeric_check(self):
+        assert Literal(1).is_numeric()
+        assert Literal(1.0).is_numeric()
+        assert not Literal("one").is_numeric()
+
+    def test_n3_escaping(self):
+        lit = Literal('say "hi"\nplease')
+        assert '\\"' in lit.n3()
+        assert "\\n" in lit.n3()
+
+    def test_equality(self):
+        assert Literal(3) == Literal(3)
+        assert Literal(3) != Literal(3.0)
+        assert Literal("a", lang="en") != Literal("a")
+
+
+class TestBlankNodeAndVariable:
+    def test_blank_nodes_unique_by_default(self):
+        assert BlankNode() != BlankNode()
+
+    def test_blank_node_explicit_id(self):
+        assert BlankNode("b1") == BlankNode("b1")
+        assert BlankNode("b1").n3() == "_:b1"
+
+    def test_variable_strips_question_mark(self):
+        assert Variable("?x") == Variable("x")
+        assert Variable("x").n3() == "?x"
+
+    def test_variable_not_concrete(self):
+        assert not Variable("x").is_concrete()
+        assert IRI("http://example.org/a").is_concrete()
+
+    def test_empty_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("?")
+
+
+class TestAsTerm:
+    def test_passthrough(self):
+        iri = EX.a
+        assert as_term(iri) is iri
+
+    def test_url_string_becomes_iri(self):
+        assert isinstance(as_term("http://example.org/x"), IRI)
+
+    def test_scalar_becomes_literal(self):
+        assert isinstance(as_term(5), Literal)
+        assert isinstance(as_term("plain"), Literal)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            as_term(object())
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        assert EX.Sensor == IRI("http://example.org/Sensor")
+
+    def test_item_access(self):
+        assert EX["Sensor"] == EX.Sensor
+
+    def test_contains(self):
+        assert EX.Sensor in EX
+        assert IRI("http://other.org/x") not in EX
+
+    def test_manager_compact_and_expand(self):
+        manager = NamespaceManager()
+        manager.bind("ex", EX)
+        assert manager.compact(EX.Sensor) == "ex:Sensor"
+        assert manager.expand("ex:Sensor") == EX.Sensor
+
+    def test_manager_expand_unknown_prefix(self):
+        with pytest.raises(KeyError):
+            NamespaceManager().expand("nope:thing")
+
+    def test_manager_compact_falls_back_to_n3(self):
+        manager = NamespaceManager()
+        assert manager.compact(EX.Sensor).startswith("<")
+
+    def test_default_prefixes_present(self):
+        manager = NamespaceManager()
+        assert manager.namespace("rdf") == RDF
+        assert manager.namespace("rdfs") == RDFS
+
+
+class TestTriple:
+    def test_round_trip_and_equality(self):
+        t1 = Triple(EX.s, EX.p, Literal(1))
+        t2 = Triple(EX.s, EX.p, Literal(1))
+        assert t1 == t2 and hash(t1) == hash(t2)
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Literal(1), EX.p, EX.o)
+
+    def test_blank_node_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(EX.s, BlankNode(), EX.o)
+
+    def test_is_ground(self):
+        assert Triple(EX.s, EX.p, EX.o).is_ground()
+        assert not Triple(Variable("s"), EX.p, EX.o).is_ground()
+
+    def test_matches_binds_variables(self):
+        pattern = Triple(Variable("s"), EX.p, Variable("o"))
+        bindings = pattern.matches(Triple(EX.a, EX.p, Literal(2)))
+        assert bindings[Variable("s")] == EX.a
+        assert bindings[Variable("o")] == Literal(2)
+
+    def test_matches_repeated_variable_must_agree(self):
+        pattern = Triple(Variable("x"), EX.p, Variable("x"))
+        assert pattern.matches(Triple(EX.a, EX.p, EX.a)) is not None
+        assert pattern.matches(Triple(EX.a, EX.p, EX.b)) is None
+
+    def test_matches_mismatch_returns_none(self):
+        pattern = Triple(EX.a, EX.p, Variable("o"))
+        assert pattern.matches(Triple(EX.b, EX.p, EX.o)) is None
+
+    def test_substitute(self):
+        pattern = Triple(Variable("s"), EX.p, Variable("o"))
+        result = pattern.substitute({Variable("s"): EX.a, Variable("o"): Literal(1)})
+        assert result == Triple(EX.a, EX.p, Literal(1))
+
+    def test_n3(self):
+        assert Triple(EX.s, EX.p, EX.o).n3().endswith(" .")

@@ -1,0 +1,278 @@
+"""Tests for the WSN substrate: nodes, radio, network, gateway, sources."""
+
+import pytest
+
+from repro.sensors.gateway import SmsGateway
+from repro.sensors.heterogeneity import (
+    VENDOR_PROFILES,
+    assign_profiles,
+    measure_heterogeneity,
+)
+from repro.sensors.mobile import MobileObserver
+from repro.sensors.modality import MODALITIES, ConstantEnvironment, get_modality
+from repro.sensors.network import WirelessSensorNetwork
+from repro.sensors.node import EnergyModel, SensorNode
+from repro.sensors.radio import RadioModel, SIXLOWPAN_MTU, distance_metres
+from repro.sensors.weather_station import WeatherStation
+from repro.streams.messages import SenMLCodec
+from repro.streams.scheduler import DAY, SimulationScheduler
+
+ENVIRONMENT = ConstantEnvironment(
+    {"air_temperature": 25.0, "soil_moisture": 20.0, "rainfall": 2.0,
+     "relative_humidity": 50.0, "water_level": 2500.0}
+)
+
+
+class TestModalities:
+    def test_catalogue_covers_core_properties(self):
+        assert {"air_temperature", "soil_moisture", "rainfall", "water_level"} <= set(MODALITIES)
+
+    def test_clip(self):
+        modality = get_modality("relative_humidity")
+        assert modality.clip(150.0) == 100.0
+        assert modality.clip(-5.0) == 0.0
+
+    def test_unknown_modality(self):
+        with pytest.raises(KeyError):
+            get_modality("cosmic_rays")
+
+    def test_constant_environment(self):
+        assert ENVIRONMENT.true_value("air_temperature", (0, 0), 0.0) == 25.0
+        assert ENVIRONMENT.true_value("unknown", (0, 0), 0.0) == 0.0
+
+
+class TestSensorNode:
+    def make_node(self, **kwargs):
+        defaults = dict(
+            node_id="mote-1", location=(-29.1, 26.2),
+            modalities=["air_temperature", "soil_moisture"],
+            environment=ENVIRONMENT, seed=1,
+        )
+        defaults.update(kwargs)
+        return SensorNode(**defaults)
+
+    def test_sample_produces_profile_spellings(self):
+        node = self.make_node(profile=VENDOR_PROFILES["german_gauge"])
+        records = node.sample(0.0)
+        names = {record.property_name for record in records}
+        assert names == {"Lufttemperatur", "Bodenfeuchte"}
+
+    def test_sample_reports_in_profile_units(self):
+        node = self.make_node(
+            profile=VENDOR_PROFILES["saws_station"], modalities=["air_temperature"]
+        )
+        record = node.sample(0.0)[0]
+        assert record.unit == "degF"
+        assert record.value == pytest.approx(77.0, abs=5.0)
+
+    def test_values_near_truth_in_canonical_units(self):
+        node = self.make_node(modalities=["soil_moisture"])
+        record = node.sample(0.0)[0]
+        assert record.value == pytest.approx(20.0, abs=4.0)
+
+    def test_dead_node_produces_nothing(self):
+        node = self.make_node(energy_model=EnergyModel(battery_mj=1.0))
+        node.sample(0.0)
+        assert not node.alive or node.battery_fraction < 1.0
+        node.remaining_energy_mj = 0.0
+        node.alive = False
+        assert node.sample(DAY) == []
+
+    def test_battery_drains_with_idle_time(self):
+        node = self.make_node()
+        node.sample(0.0)
+        node.sample(30 * DAY)
+        assert node.battery_fraction < 1.0
+
+    def test_permanent_failure(self):
+        node = self.make_node(failure_rate_per_day=1.0)
+        node.sample(0.0)
+        node.sample(5 * DAY)
+        assert not node.alive
+
+    def test_transmission_energy_accounting(self):
+        node = self.make_node()
+        before = node.remaining_energy_mj
+        node.spend_transmission(1000)
+        assert node.remaining_energy_mj < before
+
+
+class TestRadio:
+    def test_loss_grows_with_distance(self):
+        radio = RadioModel(seed=1)
+        assert radio.loss_probability(50.0) < radio.loss_probability(400.0)
+        assert radio.loss_probability(10_000.0) == 1.0
+
+    def test_fragmentation(self):
+        radio = RadioModel()
+        assert radio.fragment_count(0) == 0
+        assert radio.fragment_count(SIXLOWPAN_MTU) == 1
+        assert radio.fragment_count(SIXLOWPAN_MTU * 3) >= 3
+
+    def test_short_link_usually_delivers(self):
+        radio = RadioModel(seed=2)
+        outcomes = [radio.transmit(200, 50.0).delivered for _ in range(50)]
+        assert sum(outcomes) >= 45
+
+    def test_out_of_range_never_delivers(self):
+        radio = RadioModel(seed=3)
+        assert not radio.transmit(200, 2000.0).delivered
+
+    def test_transmission_accounting(self):
+        result = RadioModel(seed=4).transmit(500, 100.0)
+        assert result.fragments_sent >= 5
+        assert result.bytes_on_air > 500
+        assert result.latency_seconds > 0
+
+    def test_invalid_loss(self):
+        with pytest.raises(ValueError):
+            RadioModel(reference_loss=1.5)
+
+    def test_distance_metres(self):
+        assert distance_metres((-29.0, 26.0), (-29.0, 26.0)) == 0.0
+        assert 900 < distance_metres((-29.0, 26.0), (-29.01, 26.0)) < 1300
+
+
+class TestNetwork:
+    def build_network(self, motes=6):
+        network = WirelessSensorNetwork(sink_location=(-29.100, 26.200), max_link_range_m=600.0)
+        for index in range(motes):
+            network.add_node(SensorNode(
+                node_id=f"mote-{index}",
+                location=(-29.100 + 0.002 * (index + 1), 26.200),
+                modalities=["air_temperature"],
+                environment=ENVIRONMENT,
+                seed=index,
+            ))
+        return network
+
+    def test_duplicate_node_rejected(self):
+        network = self.build_network(1)
+        with pytest.raises(ValueError):
+            network.add_node(SensorNode("mote-0", (-29.1, 26.2), ["rainfall"], ENVIRONMENT))
+
+    def test_multi_hop_route_found(self):
+        network = self.build_network()
+        route = network.route_to_sink("mote-5")
+        assert route is not None
+        assert route[0] == "mote-5" and route[-1] == "sink"
+        assert len(route) > 2  # too far for one hop
+
+    def test_connectivity_full_when_alive(self):
+        network = self.build_network()
+        assert network.connectivity() == 1.0
+
+    def test_dead_relay_breaks_route(self):
+        network = self.build_network()
+        for node_id, node in network.nodes.items():
+            if node_id != "mote-5":
+                node.alive = False
+        assert network.route_to_sink("mote-5") is None
+
+    def test_sample_and_deliver_updates_statistics(self):
+        network = self.build_network()
+        outcomes = network.sample_and_deliver(0.0)
+        assert len(outcomes) == 6
+        assert network.statistics.batches_sent == 6
+        assert 0.0 <= network.statistics.delivery_ratio <= 1.0
+        assert network.statistics.total_bytes_on_air > 0
+
+    def test_energy_accounting(self):
+        network = self.build_network()
+        network.sample_and_deliver(0.0)
+        assert network.statistics.total_energy_mj > 0
+
+
+class TestGateway:
+    def test_batches_upload_to_cloud(self):
+        scheduler = SimulationScheduler()
+        uploads = []
+        gateway = SmsGateway(scheduler, lambda doc, t: uploads.append(doc),
+                             upload_interval=600.0, outage_probability=0.0, seed=1)
+        node = SensorNode("m", (-29.1, 26.2), ["air_temperature"], ENVIRONMENT)
+        gateway.receive(node.sample(0.0))
+        scheduler.run_until(2000.0)
+        assert len(uploads) == 1
+        assert gateway.statistics.records_uploaded == 1
+        assert SenMLCodec.decode(uploads[0])[0].source_id == "m"
+
+    def test_outage_defers_upload(self):
+        scheduler = SimulationScheduler()
+        uploads = []
+        gateway = SmsGateway(scheduler, lambda doc, t: uploads.append(doc),
+                             upload_interval=600.0, outage_probability=1.0, seed=1)
+        node = SensorNode("m", (-29.1, 26.2), ["air_temperature"], ENVIRONMENT)
+        gateway.receive(node.sample(0.0))
+        scheduler.run_until(5000.0)
+        assert uploads == []
+        assert gateway.statistics.failed_upload_attempts > 0
+        assert gateway.queued == 1
+
+    def test_queue_overflow_drops_oldest(self):
+        scheduler = SimulationScheduler()
+        gateway = SmsGateway(scheduler, lambda doc, t: None, queue_capacity=5)
+        node = SensorNode("m", (-29.1, 26.2), ["air_temperature"], ENVIRONMENT)
+        for i in range(10):
+            gateway.receive(node.sample(i * 3600.0))
+        assert gateway.queued == 5
+        assert gateway.statistics.records_dropped == 5
+
+
+class TestOtherSources:
+    def test_weather_station_schema_and_units(self):
+        station = WeatherStation("saws-1", (-29.0, 26.0), ENVIRONMENT, seed=1, availability=1.0)
+        records = station.report(0.0)
+        names = {record.property_name for record in records}
+        assert "Dry Bulb Temperature" in names and "PRCP" in names
+        units = {record.unit for record in records}
+        assert "degF" in units and "in" in units
+
+    def test_weather_station_availability(self):
+        station = WeatherStation("saws-2", (-29.0, 26.0), ENVIRONMENT, seed=1, availability=0.0)
+        assert station.report(0.0) == []
+        assert station.reports_missed == 1
+
+    def test_mobile_observer_conditions_report(self):
+        observer = MobileObserver("farmer-1", (-29.0, 26.0), ENVIRONMENT,
+                                  report_probability=1.0, seed=1)
+        records = observer.report_conditions(0.0)
+        assert len(records) == 2
+        assert all(record.source_kind == "mobile_report" for record in records)
+
+    def test_mobile_observer_sightings(self):
+        observer = MobileObserver(
+            "farmer-2", (-29.0, 26.0), ENVIRONMENT,
+            indicator_activity=lambda key, loc, t: 1.0,
+            indicators=["sifennefene_worms"], seed=1,
+        )
+        records = observer.report_sightings(0.0)
+        assert len(records) == 1
+        assert records[0].source_kind == "ik_sighting"
+        assert 0.0 <= records[0].value <= 1.0
+
+    def test_mobile_observer_without_activity_model(self):
+        observer = MobileObserver("farmer-3", (-29.0, 26.0), ENVIRONMENT, seed=1)
+        assert observer.report_sightings(0.0) == []
+
+
+class TestHeterogeneityMeasurement:
+    def test_profiles_assigned_deterministically(self):
+        assert [p.name for p in assign_profiles(4, seed=1)] == [
+            p.name for p in assign_profiles(4, seed=1)
+        ]
+
+    def test_measure_heterogeneity_groups_by_canonical(self):
+        from repro.ontologies.alignment import TermAligner
+
+        records = []
+        for profile_name in ("german_gauge", "czech_gauge", "libelium_en"):
+            node = SensorNode(
+                f"m-{profile_name}", (-29.1, 26.2), ["water_level"],
+                ENVIRONMENT, profile=VENDOR_PROFILES[profile_name], seed=1,
+            )
+            records.extend(node.sample(0.0))
+        report = measure_heterogeneity(records, aligner=TermAligner())
+        assert report.total_records == 3
+        assert report.distinct_terms == 3
+        assert report.terms_per_property.get("water_level") == 3
+        assert report.naming_heterogeneity >= 3.0

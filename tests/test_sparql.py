@@ -1,0 +1,197 @@
+"""Tests for the SPARQL-like query engine."""
+
+import pytest
+
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import Namespace, RDF
+from repro.semantics.rdf.term import IRI, Literal, Variable
+from repro.semantics.rdf.triple import Triple
+from repro.semantics.sparql.algebra import BGP, Filter, Join, LeftJoin, Projection, Union, numeric_filter
+from repro.semantics.sparql.bindings import Bindings
+from repro.semantics.sparql.evaluator import query, select
+from repro.semantics.sparql.parser import QueryParseError, parse_query
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.namespaces.bind("ex", EX)
+    for index, (prop, value) in enumerate(
+        [(EX.SoilMoisture, 11.0), (EX.SoilMoisture, 31.0), (EX.Rainfall, 2.0)]
+    ):
+        sensor = EX[f"sensor{index}"]
+        obs = EX[f"obs{index}"]
+        g.add(Triple(sensor, RDF.type, EX.Sensor))
+        g.add(Triple(obs, RDF.type, EX.Observation))
+        g.add(Triple(obs, EX.observedBy, sensor))
+        g.add(Triple(obs, EX.observedProperty, prop))
+        g.add(Triple(obs, EX.hasValue, Literal(value)))
+    g.add(Triple(EX.sensor0, EX.locatedIn, EX.Mangaung))
+    return g
+
+
+class TestBindings:
+    def test_merge_compatible(self):
+        a = Bindings({Variable("x"): EX.a})
+        b = Bindings({Variable("y"): EX.b})
+        merged = a.merge(b)
+        assert merged[Variable("x")] == EX.a and merged[Variable("y")] == EX.b
+
+    def test_merge_conflict_returns_none(self):
+        a = Bindings({Variable("x"): EX.a})
+        b = Bindings({Variable("x"): EX.b})
+        assert a.merge(b) is None
+
+    def test_extended_conflict(self):
+        a = Bindings({Variable("x"): EX.a})
+        assert a.extended(Variable("x"), EX.b) is None
+        assert a.extended(Variable("x"), EX.a) is a
+
+    def test_project(self):
+        a = Bindings({Variable("x"): EX.a, Variable("y"): EX.b})
+        projected = a.project([Variable("x")])
+        assert Variable("y") not in projected
+
+    def test_hashable(self):
+        assert hash(Bindings({Variable("x"): EX.a})) == hash(Bindings({Variable("x"): EX.a}))
+
+
+class TestAlgebra:
+    def test_bgp_single_pattern(self, graph):
+        bgp = BGP([Triple(Variable("s"), RDF.type, EX.Sensor)])
+        assert len(list(bgp.solutions(graph))) == 3
+
+    def test_bgp_join_across_patterns(self, graph):
+        bgp = BGP([
+            Triple(Variable("o"), EX.observedBy, Variable("s")),
+            Triple(Variable("o"), EX.observedProperty, EX.SoilMoisture),
+        ])
+        solutions = list(bgp.solutions(graph))
+        assert len(solutions) == 2
+
+    def test_empty_bgp_yields_empty_binding(self, graph):
+        assert len(list(BGP([]).solutions(graph))) == 1
+
+    def test_filter_numeric(self, graph):
+        bgp = BGP([Triple(Variable("o"), EX.hasValue, Variable("v"))])
+        filtered = Filter(bgp, numeric_filter(Variable("v"), ">", 10))
+        assert len(list(filtered.solutions(graph))) == 2
+
+    def test_numeric_filter_invalid_operator(self):
+        with pytest.raises(ValueError):
+            numeric_filter(Variable("v"), "~", 1)
+
+    def test_left_join_keeps_unmatched(self, graph):
+        left = BGP([Triple(Variable("s"), RDF.type, EX.Sensor)])
+        right = BGP([Triple(Variable("s"), EX.locatedIn, Variable("place"))])
+        solutions = list(LeftJoin(left, right).solutions(graph))
+        assert len(solutions) == 3
+        with_place = [s for s in solutions if Variable("place") in s]
+        assert len(with_place) == 1
+
+    def test_union_concatenates(self, graph):
+        a = BGP([Triple(Variable("x"), EX.observedProperty, EX.SoilMoisture)])
+        b = BGP([Triple(Variable("x"), EX.observedProperty, EX.Rainfall)])
+        assert len(list(Union(a, b).solutions(graph))) == 3
+
+    def test_join_shares_variables(self, graph):
+        a = BGP([Triple(Variable("o"), EX.observedBy, Variable("s"))])
+        b = BGP([Triple(Variable("o"), EX.hasValue, Variable("v"))])
+        assert len(list(Join(a, b).solutions(graph))) == 3
+
+    def test_projection_distinct_order_limit(self, graph):
+        bgp = BGP([Triple(Variable("o"), EX.hasValue, Variable("v"))])
+        projection = Projection(
+            bgp, variables=[Variable("v")], distinct=True,
+            order_by=Variable("v"), descending=True, limit=2,
+        )
+        values = [s[Variable("v")].to_python() for s in projection.solutions(graph)]
+        assert values == [31.0, 11.0]
+
+    def test_projection_offset(self, graph):
+        bgp = BGP([Triple(Variable("o"), EX.hasValue, Variable("v"))])
+        projection = Projection(bgp, order_by=Variable("v"), offset=1)
+        assert len(list(projection.solutions(graph))) == 2
+
+
+class TestQueryParser:
+    def test_basic_select(self):
+        parsed = parse_query("SELECT ?s WHERE { ?s a ex:Sensor . }")
+        assert parsed.form == "SELECT"
+        assert parsed.variables == ["s"]
+        assert len(parsed.patterns) == 1
+
+    def test_distinct_and_star(self):
+        parsed = parse_query("SELECT DISTINCT * WHERE { ?s ?p ?o . }")
+        assert parsed.distinct and parsed.variables == []
+
+    def test_ask_form(self):
+        assert parse_query("ASK WHERE { ?s a ex:Sensor . }").form == "ASK"
+
+    def test_filter_clause(self):
+        parsed = parse_query("SELECT ?v WHERE { ?o ex:hasValue ?v . FILTER (?v > 5) }")
+        assert parsed.filters[0].op == ">"
+        assert parsed.filters[0].value == "5"
+
+    def test_optional_clause(self):
+        parsed = parse_query(
+            "SELECT ?s WHERE { ?s a ex:Sensor . OPTIONAL { ?s ex:locatedIn ?p . } }"
+        )
+        assert len(parsed.optional_patterns) == 1
+
+    def test_modifiers(self):
+        parsed = parse_query(
+            "SELECT ?v WHERE { ?o ex:hasValue ?v . } ORDER BY DESC(?v) LIMIT 5 OFFSET 2"
+        )
+        assert parsed.order_by == "v" and parsed.descending
+        assert parsed.limit == 5 and parsed.offset == 2
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("   ")
+
+    def test_missing_where_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?s { ?s ?p ?o }")
+
+
+class TestEndToEndQueries:
+    def test_select_rows(self, graph):
+        result = query(graph, """
+            SELECT ?sensor ?value WHERE {
+                ?obs ex:observedBy ?sensor .
+                ?obs ex:hasValue ?value .
+            } ORDER BY DESC(?value)
+        """)
+        assert len(result) == 3
+        assert result.rows[0]["value"].to_python() == 31.0
+
+    def test_select_with_filter(self, graph):
+        result = query(graph, """
+            SELECT ?obs WHERE {
+                ?obs ex:hasValue ?v .
+                FILTER (?v > 10)
+            }
+        """)
+        assert len(result) == 2
+
+    def test_ask_true_false(self, graph):
+        assert query(graph, "ASK WHERE { ?s a ex:Sensor . }").ask
+        assert not query(graph, "ASK WHERE { ?s a ex:Nonexistent . }").ask
+
+    def test_scalars_helper(self, graph):
+        result = query(graph, "SELECT ?v WHERE { ?o ex:hasValue ?v . FILTER (?v < 5) }")
+        assert result.scalars == [2.0]
+
+    def test_programmatic_select(self, graph):
+        result = select(graph, [Triple(Variable("s"), RDF.type, EX.Sensor)])
+        assert len(result) == 3
+
+    def test_query_with_explicit_iri(self, graph):
+        result = query(
+            graph,
+            "SELECT ?o WHERE { ?o ex:observedProperty <http://example.org/Rainfall> . }",
+        )
+        assert len(result) == 1

@@ -1,0 +1,309 @@
+"""Tests for the scheduler, broker, windows, operators and codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.streams.broker import Broker, topic_matches
+from repro.streams.messages import Message, ObservationRecord, SenMLCodec
+from repro.streams.operators import StreamPipeline
+from repro.streams.scheduler import DAY, HOUR, SimulationClock, SimulationScheduler
+from repro.streams.window import CountWindow, SlidingWindow, TumblingWindow
+
+
+class TestClockAndScheduler:
+    def test_clock_monotonic(self):
+        clock = SimulationClock()
+        clock.advance_to(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock().advance_by(-1)
+
+    def test_events_run_in_time_order(self):
+        scheduler = SimulationScheduler()
+        order = []
+        scheduler.schedule(5.0, lambda: order.append("b"))
+        scheduler.schedule(1.0, lambda: order.append("a"))
+        scheduler.schedule(9.0, lambda: order.append("c"))
+        scheduler.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_insertion_order(self):
+        scheduler = SimulationScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda: order.append(1))
+        scheduler.schedule(1.0, lambda: order.append(2))
+        scheduler.run_all()
+        assert order == [1, 2]
+
+    def test_run_until_advances_clock_even_when_idle(self):
+        scheduler = SimulationScheduler()
+        scheduler.run_until(100.0)
+        assert scheduler.clock.now == 100.0
+
+    def test_cancelled_events_do_not_fire(self):
+        scheduler = SimulationScheduler()
+        fired = []
+        handle = scheduler.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        scheduler.run_all()
+        assert not fired
+
+    def test_cannot_schedule_in_past(self):
+        scheduler = SimulationScheduler()
+        scheduler.run_until(10.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(5.0, lambda: None)
+
+    def test_repeating_with_count(self):
+        scheduler = SimulationScheduler()
+        fired = []
+        scheduler.schedule_repeating(2.0, lambda: fired.append(scheduler.clock.now), count=3)
+        scheduler.run_until(20.0)
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_repeating_cancellation(self):
+        scheduler = SimulationScheduler()
+        fired = []
+        handle = scheduler.schedule_repeating(1.0, lambda: fired.append(1))
+        scheduler.run_until(3.5)
+        handle.cancel()
+        scheduler.run_until(10.0)
+        assert len(fired) <= 4
+
+    def test_invalid_intervals(self):
+        scheduler = SimulationScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule_repeating(0.0, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.schedule(-1.0, lambda: None)
+
+    def test_time_constants(self):
+        assert DAY == 24 * HOUR
+
+
+class TestTopicMatching:
+    @pytest.mark.parametrize("pattern,topic,expected", [
+        ("raw/wsn/+", "raw/wsn/mote-1", True),
+        ("raw/wsn/+", "raw/wsn/mote-1/extra", False),
+        ("raw/#", "raw/wsn/mote-1/extra", True),
+        ("raw/#", "raw", True),
+        ("canonical/rainfall/+", "canonical/rainfall/Mangaung", True),
+        ("canonical/rainfall/+", "canonical/soil_moisture/Mangaung", False),
+        ("a/b", "a/b", True),
+        ("a/b", "a/b/c", False),
+    ])
+    def test_patterns(self, pattern, topic, expected):
+        assert topic_matches(pattern, topic) is expected
+
+    def test_hash_must_be_last(self):
+        with pytest.raises(ValueError):
+            topic_matches("a/#/b", "a/x/b")
+
+
+class TestBroker:
+    def test_publish_delivers_to_matching_subscribers(self):
+        broker = Broker()
+        received = []
+        broker.subscribe("raw/+/+", lambda m: received.append(m.topic))
+        broker.publish("raw/wsn/mote-1", {"v": 1})
+        broker.publish("derived/x/y", {"v": 2})
+        assert received == ["raw/wsn/mote-1"]
+        assert broker.statistics.published == 2
+        assert broker.statistics.dropped_no_subscriber == 1
+
+    def test_unsubscribe_stops_delivery(self):
+        broker = Broker()
+        received = []
+        subscription = broker.subscribe("a/#", lambda m: received.append(1))
+        broker.publish("a/b", None)
+        broker.unsubscribe(subscription)
+        broker.publish("a/b", None)
+        assert len(received) == 1
+
+    def test_retained_messages_replay_to_new_subscribers(self):
+        broker = Broker()
+        broker.publish("status/gateway", "up", retain=True)
+        received = []
+        broker.subscribe("status/#", lambda m: received.append(m.payload))
+        assert received == ["up"]
+
+    def test_latency_with_scheduler(self):
+        scheduler = SimulationScheduler()
+        broker = Broker(scheduler=scheduler, delivery_latency=5.0)
+        received_at = []
+        broker.subscribe("a", lambda m: received_at.append(scheduler.clock.now))
+        broker.publish("a", None, timestamp=0.0)
+        scheduler.run_until(10.0)
+        assert received_at == [5.0]
+
+    def test_fanout_statistics(self):
+        broker = Broker()
+        broker.subscribe("a", lambda m: None)
+        broker.subscribe("a", lambda m: None)
+        broker.publish("a", None)
+        assert broker.statistics.fanout == 2.0
+
+
+class TestWindows:
+    def test_sliding_window_eviction(self):
+        class Item:
+            def __init__(self, t): self.timestamp = t
+        window = SlidingWindow(10.0)
+        window.add(Item(0.0))
+        window.add(Item(5.0))
+        evicted = window.add(Item(12.0))
+        assert len(evicted) == 1
+        assert len(window) == 2
+
+    def test_sliding_window_snapshot(self):
+        class Item:
+            def __init__(self, t): self.timestamp = t
+        window = SlidingWindow(10.0)
+        window.add(Item(1.0)); window.add(Item(2.0))
+        snapshot = window.snapshot()
+        assert snapshot.start == 1.0 and snapshot.end == 2.0 and len(snapshot) == 2
+
+    def test_sliding_window_requires_timestamp(self):
+        window = SlidingWindow(10.0)
+        with pytest.raises(TypeError):
+            window.add(object())
+
+    def test_tumbling_window_closes_on_boundary(self):
+        class Item:
+            def __init__(self, t): self.timestamp = t
+        window = TumblingWindow(10.0)
+        window.add(Item(1.0))
+        window.add(Item(9.0))
+        closed = window.add(Item(11.0))
+        assert len(closed) == 1
+        assert len(closed[0].items) == 2
+        assert closed[0].start == 0.0 and closed[0].end == 10.0
+
+    def test_tumbling_window_skips_empty_windows(self):
+        class Item:
+            def __init__(self, t): self.timestamp = t
+        window = TumblingWindow(10.0)
+        window.add(Item(1.0))
+        closed = window.add(Item(35.0))
+        assert len(closed) == 3
+        assert sum(len(c.items) for c in closed) == 1
+
+    def test_count_window(self):
+        window = CountWindow(3)
+        for i in range(5):
+            window.add(i)
+        assert window.items == [2, 3, 4]
+        assert window.full
+
+    def test_invalid_window_sizes(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+        with pytest.raises(ValueError):
+            TumblingWindow(-1)
+        with pytest.raises(ValueError):
+            CountWindow(0)
+
+
+class TestPipeline:
+    def test_map_filter_sink(self):
+        outputs = []
+        pipeline = (
+            StreamPipeline()
+            .filter(lambda x: x % 2 == 0)
+            .map(lambda x: x * 10)
+            .sink(outputs.append)
+        )
+        pipeline.push_many(range(6))
+        assert outputs == [0, 20, 40]
+        assert pipeline.statistics.consumed == 6
+        assert pipeline.statistics.emitted == 3
+
+    def test_flat_map(self):
+        pipeline = StreamPipeline().flat_map(lambda x: [x, x])
+        assert pipeline.push(3) == [3, 3]
+
+    def test_deduplicate(self):
+        pipeline = StreamPipeline().deduplicate(lambda x: x)
+        outputs = pipeline.push_many([1, 1, 2, 2, 1])
+        assert outputs == [1, 2]
+
+    def test_moving_aggregate(self):
+        pipeline = StreamPipeline().moving_aggregate(lambda x: float(x), size=2, aggregate="mean")
+        outputs = pipeline.push_many([2, 4, 6])
+        assert [aggregate for _, aggregate in outputs] == [2.0, 3.0, 5.0]
+
+    def test_moving_aggregate_invalid_name(self):
+        with pytest.raises(ValueError):
+            StreamPipeline().moving_aggregate(lambda x: x, aggregate="p99")
+
+    def test_attach_to_broker(self):
+        broker = Broker()
+        outputs = []
+        pipeline = StreamPipeline().map(lambda r: r).sink(outputs.append)
+        pipeline.attach(broker, "raw/#")
+        broker.publish("raw/x", 42)
+        assert outputs == [42]
+
+
+class TestCodecs:
+    def make_record(self, **overrides):
+        defaults = dict(
+            source_id="mote-1",
+            source_kind="wsn_mote",
+            property_name="Bodenfeuchte",
+            value=17.5,
+            unit="percent",
+            timestamp=3600.0,
+            location=(-29.1, 26.2),
+            feature_of_interest="field-7",
+            metadata={"battery_mj": 100.0},
+        )
+        defaults.update(overrides)
+        return ObservationRecord(**defaults)
+
+    def test_record_dict_round_trip(self):
+        record = self.make_record()
+        assert ObservationRecord.from_dict(record.to_dict()) == record
+
+    def test_senml_round_trip(self):
+        records = [self.make_record(), self.make_record(property_name="Hoehe", unit="cm", value=120.0)]
+        decoded = SenMLCodec.decode(SenMLCodec.encode(records))
+        assert len(decoded) == 2
+        assert decoded[0].property_name == "Bodenfeuchte"
+        assert decoded[1].unit == "cm"
+        assert decoded[0].location == (-29.1, 26.2)
+
+    def test_senml_empty_batch(self):
+        assert SenMLCodec.decode(SenMLCodec.encode([])) == []
+
+    def test_encoded_size_positive(self):
+        assert SenMLCodec.encoded_size([self.make_record()]) > 50
+
+    def test_message_with_header(self):
+        message = Message(topic="a", payload=1, timestamp=0.0)
+        augmented = message.with_header("layer", "ontology")
+        assert augmented.headers["layer"] == "ontology"
+        assert message.headers == {}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=-50, max_value=5000, allow_nan=False)), min_size=1, max_size=30))
+def test_property_senml_round_trip(pairs):
+    """Arbitrary numeric batches survive the SenML encode/decode cycle."""
+    records = [
+        ObservationRecord(
+            source_id="mote", source_kind="wsn_mote", property_name="temp",
+            value=value, unit="degC", timestamp=timestamp,
+        )
+        for timestamp, value in pairs
+    ]
+    decoded = SenMLCodec.decode(SenMLCodec.encode(records))
+    assert len(decoded) == len(records)
+    for original, restored in zip(records, decoded):
+        assert restored.value == pytest.approx(original.value)
+        assert restored.timestamp == pytest.approx(original.timestamp)

@@ -1,0 +1,154 @@
+"""Tests for the climate generator and deployment scenarios."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.climate import ClimateGenerator, DroughtEpisode
+from repro.workloads.scenario import FREE_STATE_DISTRICTS, build_free_state_scenario
+from repro.streams.scheduler import DAY
+
+
+class TestDroughtEpisode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DroughtEpisode(100, 50)
+        with pytest.raises(ValueError):
+            DroughtEpisode(0, 10, severity=0.0)
+
+    def test_intensity_ramps(self):
+        episode = DroughtEpisode(100, 200, severity=0.8, ramp_days=20)
+        assert episode.intensity(50) == 0.0
+        assert episode.intensity(105) < episode.intensity(150)
+        assert episode.intensity(150) == pytest.approx(0.8)
+        assert episode.intensity(250) == 0.0
+
+    def test_contains(self):
+        episode = DroughtEpisode(100, 200)
+        assert episode.contains(150) and not episode.contains(99)
+
+
+class TestClimateGenerator:
+    def test_deterministic_for_seed(self):
+        a = ClimateGenerator(seed=4).daily_series("rainfall", 200)
+        b = ClimateGenerator(seed=4).daily_series("rainfall", 200)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ClimateGenerator(seed=4).daily_series("rainfall", 200)
+        b = ClimateGenerator(seed=5).daily_series("rainfall", 200)
+        assert not np.array_equal(a, b)
+
+    def test_summer_wetter_than_winter(self):
+        climate = ClimateGenerator(seed=1)
+        rain = climate.daily_series("rainfall", 365)
+        winter = rain[0:150].mean()       # starts in July (dry season)
+        summer = rain[170:280].mean()     # December - March
+        assert summer > winter
+
+    def test_drought_suppresses_rainfall(self):
+        normal = ClimateGenerator(seed=2)
+        drought = ClimateGenerator(seed=2, episodes=[DroughtEpisode(170, 290, 0.9)])
+        assert drought.daily_series("rainfall", 300)[180:280].sum() < \
+            normal.daily_series("rainfall", 300)[180:280].sum()
+
+    def test_drought_depletes_soil_moisture(self):
+        normal = ClimateGenerator(seed=2)
+        drought = ClimateGenerator(seed=2, episodes=[DroughtEpisode(170, 290, 0.9)])
+        assert drought.daily_series("soil_moisture", 300)[250:290].mean() < \
+            normal.daily_series("soil_moisture", 300)[250:290].mean()
+
+    def test_identical_outside_episodes(self):
+        normal = ClimateGenerator(seed=2)
+        drought = ClimateGenerator(seed=2, episodes=[DroughtEpisode(500, 600, 0.9)])
+        assert np.allclose(
+            normal.daily_series("rainfall", 300), drought.daily_series("rainfall", 300)
+        )
+
+    def test_temperature_diurnal_cycle(self):
+        climate = ClimateGenerator(seed=3)
+        noon = climate.true_value("air_temperature", (-29.1, 26.2), 200 * DAY + 13 * 3600)
+        night = climate.true_value("air_temperature", (-29.1, 26.2), 200 * DAY + 2 * 3600)
+        assert noon > night
+
+    def test_solar_radiation_zero_at_night(self):
+        climate = ClimateGenerator(seed=3)
+        assert climate.true_value("solar_radiation", (-29.1, 26.2), 100 * DAY + 1 * 3600) == 0.0
+        assert climate.true_value("solar_radiation", (-29.1, 26.2), 200 * DAY + 12 * 3600) > 0.0
+
+    def test_all_properties_finite_and_in_range(self):
+        climate = ClimateGenerator(seed=5, episodes=[DroughtEpisode(50, 120)])
+        for prop, low, high in [
+            ("air_temperature", -20, 55), ("soil_moisture", 0, 60),
+            ("relative_humidity", 0, 100), ("rainfall", 0, 200),
+            ("wind_speed", 0, 50), ("barometric_pressure", 900, 1100),
+            ("water_level", 0, 7000), ("vegetation_index", 0, 1),
+            ("solar_radiation", 0, 1400), ("evapotranspiration", 0, 30),
+            ("soil_temperature", -10, 50), ("wind_direction", 0, 360),
+        ]:
+            for day in (10, 80, 200, 300):
+                value = climate.true_value(prop, (-29.1, 26.2), day * DAY + 12 * 3600)
+                assert low <= value <= high, (prop, day, value)
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(KeyError):
+            ClimateGenerator().true_value("ozone", (-29.1, 26.2), 0.0)
+
+    def test_drought_truth_mask(self):
+        climate = ClimateGenerator(seed=1, episodes=[DroughtEpisode(100, 150)])
+        truth = climate.drought_truth(200)
+        assert truth[120] and not truth[50]
+        assert truth.sum() == 51
+
+    def test_spatial_variation(self):
+        climate = ClimateGenerator(seed=1)
+        here = climate.daily_series("rainfall", 120, (-29.1, 26.2))
+        there = climate.daily_series("rainfall", 120, (-28.0, 27.5))
+        assert not np.array_equal(here, there)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=360))
+    def test_property_rainfall_non_negative(self, seed, day):
+        climate = ClimateGenerator(seed=seed % 50)
+        assert climate.daily_rainfall(float(day)) >= 0.0
+
+
+class TestScenario:
+    def test_default_scenario_structure(self):
+        scenario = build_free_state_scenario(motes_per_district=4, observers_per_district=3,
+                                             stations_per_district=1, seed=1)
+        assert len(scenario.districts) == 3
+        assert scenario.total_motes == 12
+        assert scenario.total_observers == 9
+        for district in scenario.districts:
+            assert district.name in FREE_STATE_DISTRICTS
+            assert district.network.alive_count == 4
+            assert len(district.stations) == 1
+
+    def test_district_lookup(self):
+        scenario = build_free_state_scenario(districts=["Mangaung"], motes_per_district=2,
+                                             observers_per_district=1, seed=1)
+        assert scenario.district("Mangaung").name == "Mangaung"
+        with pytest.raises(KeyError):
+            scenario.district("Atlantis")
+
+    def test_every_fourth_mote_has_extended_modalities(self):
+        scenario = build_free_state_scenario(districts=["Mangaung"], motes_per_district=8,
+                                             observers_per_district=1, seed=1)
+        network = scenario.district("Mangaung").network
+        extended = [node for node in network.nodes.values() if "water_level" in node.sensors]
+        assert len(extended) == 2
+
+    def test_mote_profiles_are_heterogeneous(self):
+        scenario = build_free_state_scenario(districts=["Mangaung"], motes_per_district=8,
+                                             observers_per_district=1, seed=1)
+        profiles = {node.profile.name for node in scenario.district("Mangaung").network.nodes.values()}
+        assert len(profiles) >= 3
+
+    def test_scenario_wiring_produces_heterogeneous_records(self):
+        scenario = build_free_state_scenario(districts=["Mangaung"], motes_per_district=6,
+                                             observers_per_district=2, seed=1)
+        outcomes = scenario.district("Mangaung").network.sample_and_deliver(12 * 3600.0)
+        records = [record for outcome in outcomes for record in outcome.records]
+        names = {record.property_name for record in records}
+        assert len(names) > 6  # several spellings for a handful of properties
