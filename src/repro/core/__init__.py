@@ -25,6 +25,13 @@ Fig. 3:
 
 from repro.core.annotation import SemanticAnnotator
 from repro.core.mediator import MediationOutcome, Mediator
+from repro.core.pipeline import (
+    IngestionContext,
+    IngestionPipelineStatistics,
+    Pipeline,
+    Stage,
+    StageStatistics,
+)
 from repro.core.application_layer import ApplicationAbstractionLayer
 from repro.core.interface_layer import InterfaceProtocolLayer
 from repro.core.ontology_layer import OntologySegmentLayer
@@ -35,6 +42,11 @@ __all__ = [
     "SemanticAnnotator",
     "Mediator",
     "MediationOutcome",
+    "Pipeline",
+    "Stage",
+    "IngestionContext",
+    "IngestionPipelineStatistics",
+    "StageStatistics",
     "OntologySegmentLayer",
     "ApplicationAbstractionLayer",
     "InterfaceProtocolLayer",

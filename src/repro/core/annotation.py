@@ -8,13 +8,17 @@ result (value + unit) and timestamps; IK sightings become
 middleware's data "machine readable ... for easy integration and
 interoperability" -- they land in the middleware's annotation graph, are
 queryable through the application layer and feed the reasoner.
+
+Annotation is split into triple *generation* and graph *insertion* so the
+batch path of the ingestion pipeline can accumulate the triples of a whole
+batch and commit them with a single :meth:`Graph.add_all` call.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.mediator import CanonicalObservation
 from repro.ontologies.environment import CANONICAL_PROPERTIES
@@ -28,7 +32,13 @@ from repro.semantics.rdf.triple import Triple
 
 @dataclass
 class AnnotationResult:
-    """The IRIs minted while annotating one observation."""
+    """The IRIs minted while annotating one observation.
+
+    ``triples_added`` is the graph growth for a single :meth:`annotate`
+    call; on the batch path it is the number of generated triples (the
+    whole batch is committed at once, so per-observation deduplicated
+    growth is not individually observable).
+    """
 
     observation_iri: IRI
     sensor_iri: IRI
@@ -69,15 +79,12 @@ class SemanticAnnotator:
         return AFRICRID[f"feature/{area.replace(' ', '_')}"]
 
     # ------------------------------------------------------------------ #
-    # annotation
+    # triple generation
     # ------------------------------------------------------------------ #
 
-    def annotate(self, observation: CanonicalObservation) -> AnnotationResult:
-        """Annotate one canonical observation, returning the minted IRIs."""
-        if observation.is_indicator_sighting:
-            return self._annotate_sighting(observation)
-
-        before = len(self.graph)
+    def _observation_triples(
+        self, observation: CanonicalObservation
+    ) -> Tuple[IRI, IRI, Optional[IRI], List[Triple]]:
         index = next(self._counter)
         obs_iri = AFRICRID[f"observation/{index}"]
         sensor_iri = self.sensor_iri(observation.source_id)
@@ -85,73 +92,116 @@ class SemanticAnnotator:
         property_iri = CANONICAL_PROPERTIES.get(observation.property_key)
         feature_iri = self.feature_iri(observation)
 
-        graph = self.graph
-        graph.add(Triple(obs_iri, RDF.type, SSN.Observation))
-        graph.add(Triple(obs_iri, SSN.observedBy, sensor_iri))
+        triples = [
+            Triple(obs_iri, RDF.type, SSN.Observation),
+            Triple(obs_iri, SSN.observedBy, sensor_iri),
+        ]
         if property_iri is not None:
-            graph.add(Triple(obs_iri, SSN.observedProperty, property_iri))
-        graph.add(Triple(obs_iri, SSN.featureOfInterest, feature_iri))
-        graph.add(Triple(obs_iri, SSN.hasResult, result_iri))
-        graph.add(Triple(obs_iri, SSN.observationResultTime, Literal(observation.timestamp)))
-
-        graph.add(Triple(result_iri, RDF.type, SSN.SensorOutput))
-        graph.add(Triple(result_iri, SSN.hasValue, Literal(float(observation.value))))
+            triples.append(Triple(obs_iri, SSN.observedProperty, property_iri))
+        triples.extend(
+            [
+                Triple(obs_iri, SSN.featureOfInterest, feature_iri),
+                Triple(obs_iri, SSN.hasResult, result_iri),
+                Triple(obs_iri, SSN.observationResultTime, Literal(observation.timestamp)),
+                Triple(result_iri, RDF.type, SSN.SensorOutput),
+                Triple(result_iri, SSN.hasValue, Literal(float(observation.value))),
+            ]
+        )
         unit_definition = UNIT_DEFINITIONS.get(observation.unit)
         if unit_definition is not None:
-            graph.add(Triple(result_iri, SSN.hasUnit, unit_definition.iri))
+            triples.append(Triple(result_iri, SSN.hasUnit, unit_definition.iri))
 
         sensor_class = (
             SSN.HumanSensor if observation.source_kind == "mobile_report" else SSN.SensingDevice
         )
-        graph.add(Triple(sensor_iri, RDF.type, sensor_class))
-        graph.add(Triple(sensor_iri, RDFS.label, Literal(observation.source_id)))
+        triples.append(Triple(sensor_iri, RDF.type, sensor_class))
+        triples.append(Triple(sensor_iri, RDFS.label, Literal(observation.source_id)))
         if property_iri is not None:
-            graph.add(Triple(sensor_iri, SSN.observes, property_iri))
+            triples.append(Triple(sensor_iri, SSN.observes, property_iri))
         if observation.location is not None:
             platform_iri = AFRICRID[f"platform/{observation.source_id}"]
-            graph.add(Triple(sensor_iri, SSN.onPlatform, platform_iri))
-            graph.add(Triple(platform_iri, RDF.type, SSN.Platform))
-            graph.add(Triple(platform_iri, GEO.lat, Literal(float(observation.location[0]))))
-            graph.add(Triple(platform_iri, GEO.long, Literal(float(observation.location[1]))))
+            triples.extend(
+                [
+                    Triple(sensor_iri, SSN.onPlatform, platform_iri),
+                    Triple(platform_iri, RDF.type, SSN.Platform),
+                    Triple(platform_iri, GEO.lat, Literal(float(observation.location[0]))),
+                    Triple(platform_iri, GEO.long, Literal(float(observation.location[1]))),
+                ]
+            )
 
         # provenance of the mediation step (how the raw term was resolved)
-        graph.add(
+        triples.append(
             Triple(obs_iri, AFRICRID.mediatedFromTerm, Literal(observation.original_term))
         )
-        graph.add(
-            Triple(
-                obs_iri,
-                AFRICRID.alignmentMethod,
-                Literal(observation.alignment_method),
-            )
+        triples.append(
+            Triple(obs_iri, AFRICRID.alignmentMethod, Literal(observation.alignment_method))
         )
-        self.annotated += 1
-        return AnnotationResult(obs_iri, sensor_iri, property_iri, len(self.graph) - before)
+        return obs_iri, sensor_iri, property_iri, triples
 
-    def _annotate_sighting(self, observation: CanonicalObservation) -> AnnotationResult:
-        before = len(self.graph)
+    def _sighting_triples(
+        self, observation: CanonicalObservation
+    ) -> Tuple[IRI, IRI, IRI, List[Triple]]:
         index = next(self._counter)
         sighting_iri = AFRICRID[f"sighting/{index}"]
         observer_iri = AFRICRID[f"observer/{observation.source_id}"]
         indicator_iri = AFRICRID[f"indicator/{observation.property_key}"]
 
-        graph = self.graph
-        graph.add(Triple(sighting_iri, RDF.type, IK.IndicatorSighting))
-        graph.add(Triple(sighting_iri, IK.sightedIndicator, indicator_iri))
-        graph.add(Triple(sighting_iri, IK.reportedBy, observer_iri))
-        graph.add(Triple(sighting_iri, IK.sightingIntensity, Literal(float(observation.value))))
-        graph.add(Triple(sighting_iri, SSN.observationResultTime, Literal(observation.timestamp)))
-        graph.add(Triple(observer_iri, RDF.type, IK.CommunityObserver))
+        triples = [
+            Triple(sighting_iri, RDF.type, IK.IndicatorSighting),
+            Triple(sighting_iri, IK.sightedIndicator, indicator_iri),
+            Triple(sighting_iri, IK.reportedBy, observer_iri),
+            Triple(sighting_iri, IK.sightingIntensity, Literal(float(observation.value))),
+            Triple(sighting_iri, SSN.observationResultTime, Literal(observation.timestamp)),
+            Triple(observer_iri, RDF.type, IK.CommunityObserver),
+        ]
         if self.knowledge_base is not None:
             definition = self.knowledge_base.get(observation.property_key)
             if definition is not None:
-                graph.add(
+                triples.append(
                     Triple(indicator_iri, IK.hasReliability, Literal(definition.reliability))
                 )
+        return sighting_iri, observer_iri, indicator_iri, triples
+
+    def _generate(self, observation: CanonicalObservation) -> Tuple[AnnotationResult, List[Triple]]:
+        if observation.is_indicator_sighting:
+            sighting_iri, observer_iri, indicator_iri, triples = self._sighting_triples(
+                observation
+            )
+            self.annotated_sightings += 1
+            result = AnnotationResult(sighting_iri, observer_iri, indicator_iri, len(triples))
+        else:
+            obs_iri, sensor_iri, property_iri, triples = self._observation_triples(observation)
+            result = AnnotationResult(obs_iri, sensor_iri, property_iri, len(triples))
         self.annotated += 1
-        self.annotated_sightings += 1
-        return AnnotationResult(sighting_iri, observer_iri, indicator_iri, len(self.graph) - before)
+        return result, triples
+
+    # ------------------------------------------------------------------ #
+    # annotation
+    # ------------------------------------------------------------------ #
+
+    def annotate(self, observation: CanonicalObservation) -> AnnotationResult:
+        """Annotate one canonical observation, returning the minted IRIs."""
+        before = len(self.graph)
+        result, triples = self._generate(observation)
+        self.graph.add_all(triples)
+        result.triples_added = len(self.graph) - before
+        return result
 
     def annotate_many(self, observations: List[CanonicalObservation]) -> List[AnnotationResult]:
-        """Annotate a batch of observations."""
+        """Annotate a batch of observations one by one."""
         return [self.annotate(observation) for observation in observations]
+
+    def annotate_batch(self, observations: List[CanonicalObservation]) -> List[AnnotationResult]:
+        """Annotate a batch with a single ``graph.add_all`` commit.
+
+        Per-result ``triples_added`` reports generated (pre-deduplication)
+        triples; read the graph size around the call for exact growth.
+        """
+        results: List[AnnotationResult] = []
+        triples: List[Triple] = []
+        for observation in observations:
+            result, observation_triples = self._generate(observation)
+            results.append(result)
+            triples.extend(observation_triples)
+        self.graph.add_all(triples)
+        return results

@@ -65,6 +65,11 @@ class ApplicationAbstractionLayer:
         )
         self.statistics.events_published += 1
 
+    def publish_events(self, events: List[Event]) -> None:
+        """Publish a batch of canonical events in order."""
+        for event in events:
+            self.publish_event(event)
+
     def _publish_derived(self, event: DerivedEvent) -> None:
         area = event.area or "unknown"
         self.broker.publish(

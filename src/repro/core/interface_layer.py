@@ -6,6 +6,11 @@ semi-processed sensory reading".  Concretely this layer polls the simulated
 cloud store for newly uploaded SenML documents, decodes them back into raw
 observation records and hands them to the ontology segment layer (or
 publishes them on the ``raw/...`` broker topics).
+
+When a ``batch_sink`` is attached, each poll forwards all of its decoded
+records in one call so the ontology segment layer's staged pipeline can
+amortise per-record overhead (batched mediation and annotation, deferred
+CEP flush); ``sink`` remains available for per-record dispatch.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.streams.messages import ObservationRecord, SenMLCodec
 from repro.streams.scheduler import SimulationScheduler
 
 RecordSink = Callable[[ObservationRecord], None]
+RecordBatchSink = Callable[[List[ObservationRecord]], None]
 
 
 @dataclass
@@ -28,6 +34,7 @@ class InterfaceLayerStatistics:
     records_decoded: int = 0
     decode_failures: int = 0
     polls: int = 0
+    batches_forwarded: int = 0
 
 
 class InterfaceProtocolLayer:
@@ -39,8 +46,11 @@ class InterfaceProtocolLayer:
         An object exposing ``fetch_since(cursor) -> (documents, new_cursor)``
         -- normally :class:`repro.dews.cloud.CloudStore`.
     sink:
-        Callback receiving each decoded raw record (normally the ontology
-        segment layer's ``process_record``).
+        Callback receiving each decoded raw record individually.
+    batch_sink:
+        Callback receiving all records of one poll at once (normally the
+        middleware facade's ``ingest_batch``).  Takes precedence over
+        ``sink`` when both are given.
     broker / raw_topic_prefix:
         When given, every decoded record is also published on
         ``<prefix>/<source_kind>/<source_id>`` so other subscribers (e.g.
@@ -54,6 +64,7 @@ class InterfaceProtocolLayer:
         self,
         cloud_store,
         sink: Optional[RecordSink] = None,
+        batch_sink: Optional[RecordBatchSink] = None,
         broker: Optional[Broker] = None,
         raw_topic_prefix: str = "raw",
         scheduler: Optional[SimulationScheduler] = None,
@@ -61,6 +72,7 @@ class InterfaceProtocolLayer:
     ):
         self.cloud_store = cloud_store
         self.sink = sink
+        self.batch_sink = batch_sink
         self.broker = broker
         self.raw_topic_prefix = raw_topic_prefix
         self.scheduler = scheduler
@@ -82,17 +94,20 @@ class InterfaceProtocolLayer:
                 self.statistics.decode_failures += 1
                 continue
             records.extend(decoded)
-        for record in records:
-            self.statistics.records_decoded += 1
-            self._dispatch(record)
-        return records
-
-    def _dispatch(self, record: ObservationRecord) -> None:
+        if not records:
+            return records
+        self.statistics.records_decoded += len(records)
         if self.broker is not None:
-            topic = f"{self.raw_topic_prefix}/{record.source_kind}/{record.source_id}"
-            self.broker.publish(topic, record, timestamp=record.timestamp)
-        if self.sink is not None:
-            self.sink(record)
+            for record in records:
+                topic = f"{self.raw_topic_prefix}/{record.source_kind}/{record.source_id}"
+                self.broker.publish(topic, record, timestamp=record.timestamp)
+        if self.batch_sink is not None:
+            self.statistics.batches_forwarded += 1
+            self.batch_sink(records)
+        elif self.sink is not None:
+            for record in records:
+                self.sink(record)
+        return records
 
     def __repr__(self) -> str:
         return (

@@ -148,7 +148,12 @@ class Mediator:
         if record.source_kind == "ik_sighting":
             return self._mediate_sighting(record)
 
-        alignment = self.aligner.align(record.property_name)
+        return self._mediate_aligned(record, self.aligner.align(record.property_name))
+
+    def _mediate_aligned(
+        self, record: ObservationRecord, alignment: AlignmentResult
+    ) -> MediationOutcome:
+        """Resolve units, range and schema given an already-aligned term."""
         if not alignment.resolved:
             self.statistics.unresolved_term += 1
             return MediationOutcome(
@@ -238,8 +243,29 @@ class Mediator:
         )
 
     def mediate_many(self, records: Iterable[ObservationRecord]) -> List[MediationOutcome]:
-        """Mediate a batch of records."""
-        return [self.mediate(record) for record in records]
+        """Mediate a batch of records, aligning each distinct term once.
+
+        Term alignment (unicode normalisation, synonym and fuzzy lookup) is
+        by far the most expensive mediation step and is a pure function of
+        the vendor spelling, so a batch resolves every distinct
+        ``property_name`` once and reuses the alignment for all records
+        carrying it.  Outcomes and :class:`MediatorStatistics` are
+        identical to calling :meth:`mediate` per record; the aligner's own
+        counters see one ``align`` call per distinct term, not per record.
+        """
+        alignments: Dict[str, AlignmentResult] = {}
+        outcomes: List[MediationOutcome] = []
+        for record in records:
+            self.statistics.records_seen += 1
+            if record.source_kind == "ik_sighting":
+                outcomes.append(self._mediate_sighting(record))
+                continue
+            alignment = alignments.get(record.property_name)
+            if alignment is None:
+                alignment = self.aligner.align(record.property_name)
+                alignments[record.property_name] = alignment
+            outcomes.append(self._mediate_aligned(record, alignment))
+        return outcomes
 
 
 def passthrough_mediator() -> Mediator:

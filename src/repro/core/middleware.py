@@ -100,6 +100,9 @@ class SemanticMiddleware:
         self.application_layer = ApplicationAbstractionLayer(
             self.ontology_layer, self.broker
         )
+        # the pipeline's publish stage hands canonical events to the
+        # application abstraction layer
+        self.ontology_layer.set_publisher(self.application_layer.publish_event)
         self.interface_layer: Optional[InterfaceProtocolLayer] = None
 
         if self.config.install_sensor_rules:
@@ -116,10 +119,14 @@ class SemanticMiddleware:
     # ------------------------------------------------------------------ #
 
     def attach_cloud_store(self, cloud_store) -> InterfaceProtocolLayer:
-        """Attach a cloud store; the interface layer polls it periodically."""
+        """Attach a cloud store; the interface layer polls it periodically.
+
+        Each poll's records are ingested as one batch so the staged
+        pipeline can amortise mediation, annotation and CEP work.
+        """
         self.interface_layer = InterfaceProtocolLayer(
             cloud_store,
-            sink=self.ingest_record,
+            batch_sink=self.ingest_batch,
             broker=self.broker,
             scheduler=self.scheduler,
             poll_interval=self.config.cloud_poll_interval,
@@ -131,20 +138,31 @@ class SemanticMiddleware:
     # ------------------------------------------------------------------ #
 
     def ingest_record(self, record: ObservationRecord) -> Optional[Event]:
-        """Push one raw record through mediation, annotation and the CEP engine."""
-        event = self.ontology_layer.process_record(record)
-        if event is not None:
-            self.application_layer.publish_event(event)
-        return event
+        """Push one raw record through the staged ingestion pipeline.
+
+        The pipeline mediates, validates, annotates, publishes the
+        canonical event on the broker and feeds the CEP engine.
+        """
+        return self.ontology_layer.process_record(record)
 
     def ingest_records(self, records: Iterable[ObservationRecord]) -> List[Event]:
-        """Push a batch of raw records through the middleware."""
+        """Push raw records through the pipeline one at a time."""
         events = []
         for record in records:
             event = self.ingest_record(record)
             if event is not None:
                 events.append(event)
         return events
+
+    def ingest_batch(self, records: Iterable[ObservationRecord]) -> List[Event]:
+        """Push a batch of raw records through the pipeline stage-major.
+
+        Produces the same events as :meth:`ingest_records` while amortising
+        per-record overhead: one batched mediation call, one
+        ``graph.add_all`` annotation commit and a deferred CEP flush after
+        every record of the batch has been published.
+        """
+        return self.ontology_layer.process_batch(records)
 
     def inject_event(self, event: Event) -> List[DerivedEvent]:
         """Feed an already-canonical event directly to the CEP engine.
@@ -153,6 +171,10 @@ class SemanticMiddleware:
         daily per-district means) before pattern detection.
         """
         return self.ontology_layer.cep.process(event)
+
+    def inject_events(self, events: Iterable[Event]) -> List[DerivedEvent]:
+        """Feed a batch of already-canonical events to the CEP engine."""
+        return self.ontology_layer.cep.process_many(events)
 
     # ------------------------------------------------------------------ #
     # the API applications use (delegates to the application layer)
@@ -192,6 +214,7 @@ class SemanticMiddleware:
         stats = {
             "mediation": self.ontology_layer.mediator.statistics,
             "ontology_layer": self.ontology_layer.statistics,
+            "pipeline": self.ontology_layer.pipeline.statistics,
             "application_layer": self.application_layer.statistics,
             "broker": self.broker.statistics,
             "cep": self.ontology_layer.cep.statistics,

@@ -13,7 +13,12 @@ description module".  Concretely it owns
 
 Raw records come in from the interface protocol layer (or directly from a
 broker topic); canonical events and derived events go out to the
-application abstraction layer.
+application abstraction layer.  The processing path itself is a staged
+:class:`~repro.core.pipeline.Pipeline` (mediate → validate → annotate →
+publish → cep), which gives every record the same treatment whether it
+arrives alone (:meth:`process_record`) or in a batch
+(:meth:`process_batch`, stage-major with batched annotation and a deferred
+CEP flush).
 """
 
 from __future__ import annotations
@@ -26,6 +31,16 @@ from repro.cep.event import DerivedEvent, Event
 from repro.cep.rules import CepRule
 from repro.core.annotation import SemanticAnnotator
 from repro.core.mediator import CanonicalObservation, MediationOutcome, Mediator
+from repro.core.pipeline import (
+    AnnotateStage,
+    CepStage,
+    EventPublisher,
+    IngestionContext,
+    MediateStage,
+    Pipeline,
+    PublishStage,
+    ValidateStage,
+)
 from repro.core.services import SemanticService, ServiceRegistry
 from repro.ik.knowledge_base import IndigenousKnowledgeBase
 from repro.ontologies.environment import CANONICAL_PROPERTIES
@@ -88,6 +103,18 @@ class OntologySegmentLayer:
         self.cep = cep_engine or CepEngine()
         self.services = ServiceRegistry(self.graph)
         self.statistics = OntologyLayerStatistics()
+        self._publish_stage = PublishStage(self.knowledge_base, self.statistics)
+        self.pipeline = Pipeline(
+            [
+                MediateStage(self.mediator),
+                ValidateStage(),
+                AnnotateStage(
+                    self.annotator, self.statistics, enabled=self.annotate_observations
+                ),
+                self._publish_stage,
+                CepStage(self.cep, self.statistics, per_record=self.cep_per_record),
+            ]
+        )
         self._register_default_services()
 
     def _register_default_services(self) -> None:
@@ -128,57 +155,46 @@ class OntologySegmentLayer:
     # the processing path
     # ------------------------------------------------------------------ #
 
+    def set_publisher(self, publisher: Optional[EventPublisher]) -> None:
+        """Attach the callable receiving canonical events (publish stage).
+
+        Called by the middleware facade once the application abstraction
+        layer exists; a stand-alone layer keeps ``None`` and skips broker
+        publication.
+        """
+        self._publish_stage.publisher = publisher
+
     def process_record(self, record: ObservationRecord) -> Optional[Event]:
-        """Mediate, annotate and route one raw record.
+        """Run one raw record through the staged pipeline.
 
         Returns the canonical :class:`~repro.cep.event.Event` fed to the CEP
-        engine, or ``None`` when mediation failed.
+        engine, or ``None`` when a stage dropped the record.
         """
         self.statistics.records_in += 1
-        outcome: MediationOutcome = self.mediator.mediate(record)
-        if not outcome.resolved:
-            return None
-        observation = outcome.observation
-
-        if self.annotate_observations:
-            annotation = self.annotator.annotate(observation)
-            self.statistics.annotation_triples += annotation.triples_added
-            annotation_iri = annotation.observation_iri.value
-        else:
-            annotation_iri = None
-
-        if observation.is_indicator_sighting:
-            self.statistics.sightings_out += 1
-            self.knowledge_base.register_sighting(record)
-        else:
-            self.statistics.observations_out += 1
-
-        event = Event(
-            event_type=observation.property_key,
-            value=observation.value,
-            timestamp=observation.timestamp,
-            source_id=observation.source_id,
-            source_kind=observation.source_kind,
-            location=observation.location,
-            area=observation.area,
-            annotation_iri=annotation_iri,
-            attributes={"alignment_method": observation.alignment_method},
-        )
-        # IK sightings are sparse and always reach the inference engine;
-        # dense sensor streams only do when per-record CEP feeding is on.
-        if self.cep_per_record or observation.is_indicator_sighting:
-            derived = self.cep.process(event)
-            self.statistics.derived_events += len(derived)
-        return event
+        context = self.pipeline.run(IngestionContext(record))
+        return context.event if context.dropped_by is None else None
 
     def process_records(self, records: Iterable[ObservationRecord]) -> List[Event]:
-        """Process a batch of raw records, returning the canonical events."""
+        """Process records one by one, returning the canonical events."""
         events = []
         for record in records:
             event = self.process_record(record)
             if event is not None:
                 events.append(event)
         return events
+
+    def process_batch(self, records: Iterable[ObservationRecord]) -> List[Event]:
+        """Process a batch stage-major through the pipeline.
+
+        Equivalent output to :meth:`process_records`, but mediation runs as
+        one batch call, annotation triples are committed with a single
+        ``graph.add_all`` and the CEP engine is flushed once after all
+        records have been published.
+        """
+        contexts = [IngestionContext(record) for record in records]
+        self.statistics.records_in += len(contexts)
+        survivors = self.pipeline.run_batch(contexts)
+        return [context.event for context in survivors]
 
     # ------------------------------------------------------------------ #
     # reasoning and querying

@@ -1,0 +1,292 @@
+"""The staged ingestion pipeline of the ontology segment layer.
+
+Every raw record crossing the middleware passes the same five stages:
+
+``mediate``
+    Heterogeneity resolution: vendor terms, units and schemas are aligned
+    to the unified vocabulary (drops unresolvable records).
+``validate``
+    Sanity checks on the mediated observation (non-finite values or
+    timestamps are dropped before they can poison the graph or the CEP
+    windows).
+``annotate``
+    SSN/DOLCE RDF annotation into the shared graph (optional).
+``publish``
+    Registers IK sightings with the knowledge base, builds the canonical
+    :class:`~repro.cep.event.Event` and hands it to the application
+    abstraction layer's publisher.
+``cep``
+    Feeds the canonical event to the inference (CEP) engine.
+
+The :class:`Pipeline` runs a record through all stages (``run``) or a
+whole batch stage-major (``run_batch``): every surviving record passes
+stage *n* before any record enters stage *n + 1*.  Stage-major execution
+is what lets batches amortise per-record overhead — mediation runs as one
+``mediate_many`` call, annotation accumulates triples for a single
+``graph.add_all``, and the CEP engine is flushed once at the end instead
+of being interleaved with graph writes and broker publishes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cep.engine import CepEngine
+from repro.cep.event import DerivedEvent, Event
+from repro.core.annotation import SemanticAnnotator
+from repro.core.mediator import CanonicalObservation, Mediator
+from repro.streams.messages import ObservationRecord
+
+EventPublisher = Callable[[Event], None]
+
+
+@dataclass
+class IngestionContext:
+    """Mutable per-record state threaded through the pipeline stages."""
+
+    record: ObservationRecord
+    observation: Optional[CanonicalObservation] = None
+    annotation_iri: Optional[str] = None
+    event: Optional[Event] = None
+    derived: List[DerivedEvent] = field(default_factory=list)
+    #: Name of the stage that dropped the record, or ``None`` if it survived.
+    dropped_by: Optional[str] = None
+
+
+@dataclass
+class StageStatistics:
+    """Per-stage throughput accounting."""
+
+    name: str
+    entered: int = 0
+    dropped: int = 0
+
+
+@dataclass
+class IngestionPipelineStatistics:
+    """Counters the middleware statistics snapshot exposes.
+
+    Distinct from :class:`repro.streams.operators.PipelineStatistics`,
+    which counts items through a functional stream pipeline.
+    """
+
+    records: int = 0
+    batches: int = 0
+    stages: Dict[str, StageStatistics] = field(default_factory=dict)
+
+
+class Stage:
+    """One composable step of the ingestion pipeline."""
+
+    name = "stage"
+
+    def process(self, context: IngestionContext) -> bool:
+        """Process one record; return ``False`` to drop it."""
+        raise NotImplementedError
+
+    def process_batch(self, contexts: List[IngestionContext]) -> List[IngestionContext]:
+        """Process a batch, returning the surviving contexts.
+
+        The default runs :meth:`process` per record; stages with a cheaper
+        amortised path (batched mediation, ``graph.add_all`` annotation,
+        deferred CEP flush) override this.
+        """
+        survivors = []
+        for context in contexts:
+            if self.process(context):
+                survivors.append(context)
+            else:
+                context.dropped_by = self.name
+        return survivors
+
+
+class Pipeline:
+    """An ordered chain of :class:`Stage` objects with drop accounting."""
+
+    def __init__(self, stages: List[Stage]):
+        self.stages = list(stages)
+        self.statistics = IngestionPipelineStatistics(
+            stages={stage.name: StageStatistics(stage.name) for stage in self.stages}
+        )
+
+    def run(self, context: IngestionContext) -> IngestionContext:
+        """Run one record through every stage (record-major)."""
+        self.statistics.records += 1
+        for stage in self.stages:
+            stats = self.statistics.stages[stage.name]
+            stats.entered += 1
+            if not stage.process(context):
+                stats.dropped += 1
+                context.dropped_by = stage.name
+                break
+        return context
+
+    def run_batch(self, contexts: List[IngestionContext]) -> List[IngestionContext]:
+        """Run a batch through every stage (stage-major).
+
+        Returns the contexts that survived all stages; dropped contexts are
+        marked with ``dropped_by`` but not returned.
+        """
+        self.statistics.records += len(contexts)
+        self.statistics.batches += 1
+        for stage in self.stages:
+            if not contexts:
+                break
+            stats = self.statistics.stages[stage.name]
+            stats.entered += len(contexts)
+            survivors = stage.process_batch(contexts)
+            stats.dropped += len(contexts) - len(survivors)
+            contexts = survivors
+        return contexts
+
+    def __repr__(self) -> str:
+        names = " -> ".join(stage.name for stage in self.stages)
+        return f"<Pipeline {names} records={self.statistics.records}>"
+
+
+# --------------------------------------------------------------------- #
+# the concrete stages of the ontology segment layer
+# --------------------------------------------------------------------- #
+
+
+class MediateStage(Stage):
+    """Resolve naming / unit / schema heterogeneity."""
+
+    name = "mediate"
+
+    def __init__(self, mediator: Mediator):
+        self.mediator = mediator
+
+    def process(self, context: IngestionContext) -> bool:
+        outcome = self.mediator.mediate(context.record)
+        if not outcome.resolved:
+            return False
+        context.observation = outcome.observation
+        return True
+
+    def process_batch(self, contexts: List[IngestionContext]) -> List[IngestionContext]:
+        outcomes = self.mediator.mediate_many([context.record for context in contexts])
+        survivors = []
+        for context, outcome in zip(contexts, outcomes):
+            if outcome.resolved:
+                context.observation = outcome.observation
+                survivors.append(context)
+            else:
+                context.dropped_by = self.name
+        return survivors
+
+
+class ValidateStage(Stage):
+    """Drop observations whose value or timestamp is not a finite number."""
+
+    name = "validate"
+
+    def process(self, context: IngestionContext) -> bool:
+        observation = context.observation
+        if observation is None:
+            return False
+        return math.isfinite(observation.value) and math.isfinite(observation.timestamp)
+
+
+class AnnotateStage(Stage):
+    """Write SSN/DOLCE RDF annotations into the shared graph."""
+
+    name = "annotate"
+
+    def __init__(self, annotator: SemanticAnnotator, layer_statistics, enabled: bool = True):
+        self.annotator = annotator
+        self.layer_statistics = layer_statistics
+        self.enabled = enabled
+
+    def process(self, context: IngestionContext) -> bool:
+        if not self.enabled:
+            return True
+        result = self.annotator.annotate(context.observation)
+        self.layer_statistics.annotation_triples += result.triples_added
+        context.annotation_iri = result.observation_iri.value
+        return True
+
+    def process_batch(self, contexts: List[IngestionContext]) -> List[IngestionContext]:
+        if not self.enabled:
+            return contexts
+        before = len(self.annotator.graph)
+        results = self.annotator.annotate_batch(
+            [context.observation for context in contexts]
+        )
+        for context, result in zip(contexts, results):
+            context.annotation_iri = result.observation_iri.value
+        self.layer_statistics.annotation_triples += len(self.annotator.graph) - before
+        return contexts
+
+
+class PublishStage(Stage):
+    """Build the canonical event and publish it upward.
+
+    The publisher is attached late (by the middleware facade, once the
+    application abstraction layer exists); a stand-alone ontology segment
+    layer runs with ``publisher=None`` and simply skips broker publication.
+    """
+
+    name = "publish"
+
+    def __init__(self, knowledge_base, layer_statistics, publisher: Optional[EventPublisher] = None):
+        self.knowledge_base = knowledge_base
+        self.layer_statistics = layer_statistics
+        self.publisher = publisher
+
+    def process(self, context: IngestionContext) -> bool:
+        observation = context.observation
+        if observation.is_indicator_sighting:
+            self.layer_statistics.sightings_out += 1
+            self.knowledge_base.register_sighting(context.record)
+        else:
+            self.layer_statistics.observations_out += 1
+        context.event = Event(
+            event_type=observation.property_key,
+            value=observation.value,
+            timestamp=observation.timestamp,
+            source_id=observation.source_id,
+            source_kind=observation.source_kind,
+            location=observation.location,
+            area=observation.area,
+            annotation_iri=context.annotation_iri,
+            attributes={"alignment_method": observation.alignment_method},
+        )
+        if self.publisher is not None:
+            self.publisher(context.event)
+        return True
+
+
+class CepStage(Stage):
+    """Feed canonical events to the inference (CEP) engine.
+
+    Dense sensor streams only reach the engine when per-record feeding is
+    on; IK sightings always do.  In batch mode the whole batch is flushed
+    through the engine in arrival order after every record has been
+    published (deferred CEP flush).
+    """
+
+    name = "cep"
+
+    def __init__(self, cep: CepEngine, layer_statistics, per_record: bool = True):
+        self.cep = cep
+        self.layer_statistics = layer_statistics
+        self.per_record = per_record
+
+    def _wants(self, context: IngestionContext) -> bool:
+        return self.per_record or context.observation.is_indicator_sighting
+
+    def process(self, context: IngestionContext) -> bool:
+        if self._wants(context):
+            context.derived = self.cep.process(context.event)
+            self.layer_statistics.derived_events += len(context.derived)
+        return True
+
+    def process_batch(self, contexts: List[IngestionContext]) -> List[IngestionContext]:
+        for context in contexts:
+            if self._wants(context):
+                context.derived = self.cep.process(context.event)
+                self.layer_statistics.derived_events += len(context.derived)
+        return contexts

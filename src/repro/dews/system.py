@@ -242,14 +242,16 @@ class DroughtEarlyWarningSystem:
         The raw aggregate keeps the canonical property key; the anomaly
         event (``<property>_anomaly``, standardised against the seasonal
         climatology) is what the sensor-side process-detection rules watch.
+        The whole day's events go to the CEP engine as one batch.
         """
+        daily_events: List[Event] = []
         for district in self.scenario.districts:
             for key in AGGREGATED_PROPERTIES:
                 value = self.aggregator.value(district.name, key, day)
                 if np.isnan(value):
                     continue
                 timestamp = (day + 1) * DAY - 1.0
-                self.middleware.inject_event(
+                daily_events.append(
                     Event(
                         event_type=key,
                         value=float(value),
@@ -259,7 +261,7 @@ class DroughtEarlyWarningSystem:
                         area=district.name,
                     )
                 )
-                self.middleware.inject_event(
+                daily_events.append(
                     Event(
                         event_type=f"{key}_anomaly",
                         value=self._anomaly(key, day, value),
@@ -269,6 +271,7 @@ class DroughtEarlyWarningSystem:
                         area=district.name,
                     )
                 )
+        self.middleware.inject_events(daily_events)
 
     # ------------------------------------------------------------------ #
     # the simulated day loop

@@ -19,7 +19,7 @@ segment layer and onwards to the CEP engine and output channels.
     processing pipelines.
 """
 
-from repro.streams.broker import Broker, Subscription
+from repro.streams.broker import Broker, Subscription, SubscriptionTrie, topic_matches
 from repro.streams.messages import Message, ObservationRecord, SenMLCodec
 from repro.streams.operators import StreamPipeline
 from repro.streams.scheduler import SimulationClock, SimulationScheduler
@@ -30,6 +30,8 @@ __all__ = [
     "SimulationScheduler",
     "Broker",
     "Subscription",
+    "SubscriptionTrie",
+    "topic_matches",
     "Message",
     "ObservationRecord",
     "SenMLCodec",

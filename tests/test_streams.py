@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.streams.broker import Broker, topic_matches
+from repro.streams.broker import Broker, SubscriptionTrie, topic_matches
 from repro.streams.messages import Message, ObservationRecord, SenMLCodec
 from repro.streams.operators import StreamPipeline
 from repro.streams.scheduler import DAY, HOUR, SimulationClock, SimulationScheduler
@@ -145,6 +145,152 @@ class TestBroker:
         broker.subscribe("a", lambda m: None)
         broker.publish("a", None)
         assert broker.statistics.fanout == 2.0
+
+    def test_invalid_pattern_rejected_at_subscribe_time(self):
+        broker = Broker()
+        with pytest.raises(ValueError):
+            broker.subscribe("a/#/b", lambda m: None)
+        # nothing was registered by the failed subscribe
+        assert broker.subscriptions == []
+        assert len(broker._trie) == 0
+
+    def test_cancel_prunes_subscription_from_broker(self):
+        broker = Broker()
+        baseline_nodes = broker._trie.node_count()
+        subscription = broker.subscribe("deep/a/b/c/+/#", lambda m: None)
+        assert len(broker._trie) == 1
+        subscription.cancel()
+        assert len(broker._trie) == 0
+        assert broker.subscriptions == []
+        # the trie branches created for the pattern were pruned away
+        assert broker._trie.node_count() == baseline_nodes
+
+    def test_subscription_churn_does_not_leak(self):
+        broker = Broker()
+        baseline_nodes = broker._trie.node_count()
+        for index in range(500):
+            subscription = broker.subscribe(f"churn/{index}/+", lambda m: None)
+            subscription.cancel()
+        assert len(broker._trie) == 0
+        assert broker._trie.node_count() == baseline_nodes
+        assert broker.subscriptions == []
+
+    def test_cancel_is_idempotent(self):
+        broker = Broker()
+        subscription = broker.subscribe("a/b", lambda m: None)
+        subscription.cancel()
+        subscription.cancel()
+        broker.unsubscribe(subscription)
+        assert len(broker._trie) == 0
+
+    def test_retained_delivered_to_late_wildcard_subscribers(self):
+        broker = Broker()
+        broker.publish("status/gateway/1", "g1", retain=True)
+        broker.publish("status/gateway/2", "g2", retain=True)
+        broker.publish("status/cloud", "c", retain=True)
+        plus_received, hash_received, exact_received = [], [], []
+        broker.subscribe("status/gateway/+", lambda m: plus_received.append(m.payload))
+        broker.subscribe("status/#", lambda m: hash_received.append(m.payload))
+        broker.subscribe("status/cloud", lambda m: exact_received.append(m.payload))
+        assert sorted(plus_received) == ["g1", "g2"]
+        assert sorted(hash_received) == ["c", "g1", "g2"]
+        assert exact_received == ["c"]
+
+    def test_retained_replaced_by_newer_message(self):
+        broker = Broker()
+        broker.publish("status/x", "old", retain=True)
+        broker.publish("status/x", "new", retain=True)
+        received = []
+        broker.subscribe("status/+", lambda m: received.append(m.payload))
+        assert received == ["new"]
+
+    def test_retained_can_be_skipped(self):
+        broker = Broker()
+        broker.publish("status/x", "old", retain=True)
+        received = []
+        broker.subscribe("status/+", lambda m: received.append(m.payload), receive_retained=False)
+        assert received == []
+
+    def test_hash_matches_parent_and_deep_topics(self):
+        broker = Broker()
+        received = []
+        broker.subscribe("raw/#", lambda m: received.append(m.topic))
+        broker.publish("raw", 1)
+        broker.publish("raw/a", 2)
+        broker.publish("raw/a/b/c/d/e", 3)
+        broker.publish("cooked/a", 4)
+        assert received == ["raw", "raw/a", "raw/a/b/c/d/e"]
+
+    def test_wildcards_against_empty_segments(self):
+        broker = Broker()
+        plus_received, hash_received = [], []
+        broker.subscribe("a/+/b", lambda m: plus_received.append(m.topic))
+        broker.subscribe("#", lambda m: hash_received.append(m.topic))
+        broker.publish("a//b", 1)
+        broker.publish("", 2)
+        assert plus_received == ["a//b"]
+        assert hash_received == ["a//b", ""]
+
+    def test_plus_does_not_match_missing_or_extra_segments(self):
+        broker = Broker()
+        received = []
+        broker.subscribe("a/+", lambda m: received.append(m.topic))
+        broker.publish("a", 1)
+        broker.publish("a/b/c", 2)
+        broker.publish("a/b", 3)
+        assert received == ["a/b"]
+
+    def test_unsubscribe_during_delivery(self):
+        broker = Broker()
+        received = []
+        subscriptions = {}
+
+        def first_handler(message):
+            received.append("first")
+            subscriptions["second"].cancel()
+
+        broker.subscribe("a/b", first_handler)
+        subscriptions["second"] = broker.subscribe(
+            "a/b", lambda m: received.append("second")
+        )
+        broker.publish("a/b", None)
+        assert received == ["first"]
+        # the cancelled subscription is gone for subsequent publishes too
+        broker.publish("a/b", None)
+        assert received == ["first", "first"]
+
+    def test_trie_equivalent_to_linear_matching(self):
+        patterns = [
+            "a/b/c", "a/+/c", "a/#", "+/b/c", "#", "a/b/+", "+/+/+",
+            "a/b", "x/y/z", "a/+/#",
+        ]
+        topics = ["a/b/c", "a/b", "a", "x/y/z", "a/z/c", "a/b/c/d", "q", ""]
+        broker = Broker()
+        by_pattern = {}
+        for pattern in patterns:
+            by_pattern[pattern] = broker.subscribe(pattern, lambda m: None)
+        for topic in topics:
+            expected = {p for p in patterns if topic_matches(p, topic)}
+            matched = {s.pattern for s in broker._trie.match(topic)}
+            assert matched == expected, topic
+
+
+class TestSubscriptionTrie:
+    def test_len_and_walk(self):
+        from repro.streams.broker import Subscription
+
+        trie = SubscriptionTrie()
+        subs = [
+            Subscription(i, pattern, lambda m: None)
+            for i, pattern in enumerate(["a/+", "a/#", "a/b"])
+        ]
+        for sub in subs:
+            trie.insert(sub)
+        assert len(trie) == 3
+        assert {s.pattern for s in trie.walk()} == {"a/+", "a/#", "a/b"}
+        assert trie.remove(subs[0])
+        assert not trie.remove(subs[0])
+        assert len(trie) == 2
 
 
 class TestWindows:
