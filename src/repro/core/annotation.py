@@ -11,7 +11,11 @@ queryable through the application layer and feed the reasoner.
 
 Annotation is split into triple *generation* and graph *insertion* so the
 batch path of the ingestion pipeline can accumulate the triples of a whole
-batch and commit them with a single :meth:`Graph.add_all` call.
+batch and commit them with a single :meth:`Graph.add_all` call.  That
+commit is also what drives *incremental reasoning*: the graph's change
+trackers record every inserted triple, so the reasoner's next
+materialisation refires only the rules the batch's annotations can touch
+instead of re-running the fixpoint over the accumulated graph.
 """
 
 from __future__ import annotations

@@ -50,6 +50,12 @@ class MiddlewareConfig:
     #: :meth:`SemanticMiddleware.inject_event`; IK sightings always reach
     #: the engine.
     cep_per_record: bool = True
+    #: Keep the reasoner's closure current inside the ingestion pipeline:
+    #: after each record / batch is annotated, the ``reason`` stage tops
+    #: the materialisation up incrementally (cost proportional to the
+    #: batch, not the graph).  Off by default — entailment queries top up
+    #: lazily, just as incrementally.
+    reason_per_batch: bool = False
     #: Per-hop broker delivery latency in simulated seconds.
     broker_latency: float = 0.05
     #: Cloud polling interval of the interface protocol layer.
@@ -96,6 +102,7 @@ class SemanticMiddleware:
             annotate=self.config.annotate_observations,
             cep_engine=CepEngine(),
             cep_per_record=self.config.cep_per_record,
+            reason_per_batch=self.config.reason_per_batch,
         )
         self.application_layer = ApplicationAbstractionLayer(
             self.ontology_layer, self.broker

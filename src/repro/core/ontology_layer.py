@@ -15,7 +15,8 @@ Raw records come in from the interface protocol layer (or directly from a
 broker topic); canonical events and derived events go out to the
 application abstraction layer.  The processing path itself is a staged
 :class:`~repro.core.pipeline.Pipeline` (mediate → validate → annotate →
-publish → cep), which gives every record the same treatment whether it
+reason → publish → cep), which gives every record the same treatment
+whether it
 arrives alone (:meth:`process_record`) or in a batch
 (:meth:`process_batch`, stage-major with batched annotation and a deferred
 CEP flush).
@@ -39,6 +40,7 @@ from repro.core.pipeline import (
     MediateStage,
     Pipeline,
     PublishStage,
+    ReasonStage,
     ValidateStage,
 )
 from repro.core.services import SemanticService, ServiceRegistry
@@ -80,6 +82,12 @@ class OntologySegmentLayer:
         need canonical events can disable it.
     cep_engine:
         Custom CEP engine; a fresh one is created if omitted.
+    reason_per_batch:
+        Keep the reasoner's closure current as part of the pipeline: the
+        ``reason`` stage tops up the materialisation incrementally right
+        after each record / batch is annotated.  Off by default — the
+        reasoner then tops up lazily on the first entailment query, which
+        is just as incremental.
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class OntologySegmentLayer:
         annotate: bool = True,
         cep_engine: Optional[CepEngine] = None,
         cep_per_record: bool = True,
+        reason_per_batch: bool = False,
     ):
         self.library = library or build_unified_ontology(materialize=True)
         self.graph = self.library.graph
@@ -104,6 +113,7 @@ class OntologySegmentLayer:
         self.services = ServiceRegistry(self.graph)
         self.statistics = OntologyLayerStatistics()
         self._publish_stage = PublishStage(self.knowledge_base, self.statistics)
+        self._reason_stage = ReasonStage(self.reasoner, enabled=reason_per_batch)
         self.pipeline = Pipeline(
             [
                 MediateStage(self.mediator),
@@ -111,6 +121,7 @@ class OntologySegmentLayer:
                 AnnotateStage(
                     self.annotator, self.statistics, enabled=self.annotate_observations
                 ),
+                self._reason_stage,
                 self._publish_stage,
                 CepStage(self.cep, self.statistics, per_record=self.cep_per_record),
             ]
@@ -200,9 +211,13 @@ class OntologySegmentLayer:
     # reasoning and querying
     # ------------------------------------------------------------------ #
 
-    def materialize_inferences(self):
-        """Run the OWL/RDFS reasoner over ontology + annotations."""
-        return self.reasoner.materialize()
+    def materialize_inferences(self, full: bool = False):
+        """Run the OWL/RDFS reasoner over ontology + annotations.
+
+        Incremental over the triples added since the last run;
+        ``full=True`` forces the from-scratch fixpoint.
+        """
+        return self.reasoner.materialize(full=full)
 
     def query(self, text: str) -> QueryResult:
         """Run a SPARQL-like query over the shared graph."""

@@ -1,6 +1,6 @@
 """The staged ingestion pipeline of the ontology segment layer.
 
-Every raw record crossing the middleware passes the same five stages:
+Every raw record crossing the middleware passes the same six stages:
 
 ``mediate``
     Heterogeneity resolution: vendor terms, units and schemas are aligned
@@ -11,6 +11,11 @@ Every raw record crossing the middleware passes the same five stages:
     windows).
 ``annotate``
     SSN/DOLCE RDF annotation into the shared graph (optional).
+``reason``
+    Incremental reasoning top-up over the freshly annotated triples
+    (optional): the graph's change tracker hands the reasoner exactly the
+    delta the ``annotate`` stage committed, so per-batch inference cost
+    tracks the batch size, not the accumulated graph.
 ``publish``
     Registers IK sightings with the knowledge base, builds the canonical
     :class:`~repro.cep.event.Event` and hands it to the application
@@ -218,6 +223,36 @@ class AnnotateStage(Stage):
         for context, result in zip(contexts, results):
             context.annotation_iri = result.observation_iri.value
         self.layer_statistics.annotation_triples += len(self.annotator.graph) - before
+        return contexts
+
+
+class ReasonStage(Stage):
+    """Top up the reasoner's closure over the annotations just committed.
+
+    Runs after ``annotate`` so that published events and downstream
+    queries observe the entailments (SSN/DOLCE typing, alignment axioms,
+    IK indicator rules) of the current record or batch.  The top-up is
+    incremental — ``ensure_materialized`` drains the graph's delta and
+    refires only the rules it can touch — and a no-op when annotation is
+    disabled or nothing changed.  Disabled by default: ingest-only
+    deployments that never query entailments skip the reasoning cost
+    entirely (the reasoner still tops up lazily on first query).
+    """
+
+    name = "reason"
+
+    def __init__(self, reasoner, enabled: bool = False):
+        self.reasoner = reasoner
+        self.enabled = enabled
+
+    def process(self, context: IngestionContext) -> bool:
+        if self.enabled:
+            self.reasoner.ensure_materialized()
+        return True
+
+    def process_batch(self, contexts: List[IngestionContext]) -> List[IngestionContext]:
+        if self.enabled and contexts:
+            self.reasoner.ensure_materialized()
         return contexts
 
 

@@ -3,7 +3,7 @@
 from repro.semantics.rdf.term import IRI, Literal, BlankNode, Variable, Term
 from repro.semantics.rdf.namespace import Namespace, NamespaceManager, RDF, RDFS, OWL, XSD
 from repro.semantics.rdf.triple import Triple
-from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.graph import ChangeTracker, Graph, GraphDelta
 
 __all__ = [
     "Term",
@@ -19,4 +19,6 @@ __all__ = [
     "XSD",
     "Triple",
     "Graph",
+    "ChangeTracker",
+    "GraphDelta",
 ]

@@ -5,11 +5,20 @@ pattern with at least one ground position is answered by dictionary lookups
 instead of a scan.  This is the storage layer the ontology segment layer of
 the middleware is built on: every annotated observation, ontology axiom and
 inferred statement ends up as triples in a :class:`Graph`.
+
+Mutations are observable: a consumer that needs to react to graph growth
+(the incremental reasoner, most importantly) registers a
+:class:`ChangeTracker` via :meth:`Graph.track_changes` and periodically
+drains it for the triples added — and whether anything was retracted —
+since the last drain.  Trackers are held by weak reference, so dropping
+the consumer drops its tracker without explicit deregistration.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import defaultdict
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.semantics.rdf.namespace import NamespaceManager, RDF
@@ -17,6 +26,87 @@ from repro.semantics.rdf.term import BlankNode, IRI, Literal, Term, Variable, as
 from repro.semantics.rdf.triple import Triple
 
 TriplePattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+
+@dataclass
+class GraphDelta:
+    """The mutations a :class:`ChangeTracker` observed between two drains.
+
+    ``added`` lists the triples inserted (in insertion order, without
+    duplicates — re-adding a present triple is not a mutation).
+    ``retracted`` is ``True`` when any triple was removed or the graph was
+    cleared; removals are not itemised because incremental consumers fall
+    back to a full recomputation on any retraction.  ``overflowed`` is
+    ``True`` when the tracker's buffer exceeded
+    :attr:`ChangeTracker.max_buffered` and the backlog was dropped —
+    consumers must likewise fall back to a full recomputation.
+    """
+
+    added: List[Triple] = field(default_factory=list)
+    retracted: bool = False
+    overflowed: bool = False
+
+    def __bool__(self) -> bool:
+        return bool(self.added) or self.retracted or self.overflowed
+
+    @property
+    def needs_full(self) -> bool:
+        """Whether an incremental consumer must recompute from scratch."""
+        return self.retracted or self.overflowed
+
+
+class ChangeTracker:
+    """Accumulates one consumer's view of graph mutations.
+
+    Obtained from :meth:`Graph.track_changes`; the graph only keeps a weak
+    reference, so the tracker lives exactly as long as its consumer.  A
+    consumer that never drains does not hoard memory forever: once more
+    than :attr:`max_buffered` adds pile up, the buffer collapses into an
+    ``overflowed`` flag (the consumer then recomputes from scratch, which
+    needs no backlog).
+    """
+
+    __slots__ = ("_added", "_retracted", "_overflowed", "__weakref__")
+
+    #: Buffered-adds bound before the backlog collapses into ``overflowed``.
+    max_buffered = 250_000
+
+    def __init__(self) -> None:
+        self._added: List[Triple] = []
+        self._retracted = False
+        self._overflowed = False
+
+    @property
+    def dirty(self) -> bool:
+        """Whether any mutation happened since the last :meth:`drain`."""
+        return self._retracted or self._overflowed or bool(self._added)
+
+    @property
+    def retracted(self) -> bool:
+        """Whether a removal / clear happened since the last drain."""
+        return self._retracted
+
+    def drain(self) -> GraphDelta:
+        """Return and reset the accumulated delta."""
+        delta = GraphDelta(self._added, self._retracted, self._overflowed)
+        self._added = []
+        self._retracted = False
+        self._overflowed = False
+        return delta
+
+    def requeue(self, delta: GraphDelta) -> None:
+        """Put a drained delta back in front of the buffer.
+
+        Used by consumers whose processing of the delta failed midway, so
+        the next drain sees the unconsumed mutations again.
+        """
+        if delta.added and not self._overflowed:
+            self._added = delta.added + self._added
+            if len(self._added) > self.max_buffered:
+                self._added = []
+                self._overflowed = True
+        self._retracted = self._retracted or delta.retracted
+        self._overflowed = self._overflowed or delta.overflowed
 
 
 class Graph:
@@ -43,6 +133,56 @@ class Graph:
         self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._size = 0
+        self._version = 0
+        self._trackers: List["weakref.ref[ChangeTracker]"] = []
+
+    # ------------------------------------------------------------------ #
+    # change tracking
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumps on every add / remove / clear)."""
+        return self._version
+
+    def track_changes(self) -> ChangeTracker:
+        """Register and return a fresh :class:`ChangeTracker`.
+
+        The tracker sees every mutation from this point on.  It is held by
+        weak reference: when the consumer drops it, the graph forgets it.
+        """
+        tracker = ChangeTracker()
+        self._trackers.append(weakref.ref(tracker, self._forget_tracker))
+        return tracker
+
+    def _forget_tracker(self, ref: "weakref.ref[ChangeTracker]") -> None:
+        # garbage-collection callback: prune the dead ref eagerly so the
+        # notify loops never iterate (or allocate for) dropped trackers
+        try:
+            self._trackers.remove(ref)
+        except ValueError:
+            pass
+
+    def _live_trackers(self) -> List[ChangeTracker]:
+        return [t for t in (ref() for ref in self._trackers) if t is not None]
+
+    def _notify_add(self, triple: Triple) -> None:
+        # snapshot: a GC-triggered _forget_tracker may prune the list while
+        # we iterate, which would make the index-based loop skip a tracker
+        for ref in tuple(self._trackers):
+            tracker = ref()
+            if tracker is None or tracker._overflowed:
+                continue
+            tracker._added.append(triple)
+            if len(tracker._added) > tracker.max_buffered:
+                tracker._added = []
+                tracker._overflowed = True
+
+    def _notify_retract(self) -> None:
+        for ref in tuple(self._trackers):
+            tracker = ref()
+            if tracker is not None:
+                tracker._retracted = True
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -62,6 +202,9 @@ class Graph:
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
         self._size += 1
+        self._version += 1
+        if self._trackers:
+            self._notify_add(triple)
         return True
 
     def add_all(self, triples: Iterable[Union[Triple, Tuple[Term, Term, Term]]]) -> int:
@@ -80,6 +223,9 @@ class Graph:
         self._pos[p][o].discard(s)
         self._osp[o][s].discard(p)
         self._size -= 1
+        self._version += 1
+        if self._trackers:
+            self._notify_retract()
         return True
 
     def remove_matching(
@@ -96,10 +242,15 @@ class Graph:
 
     def clear(self) -> None:
         """Remove every triple."""
+        had_triples = self._size > 0
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
         self._size = 0
+        if had_triples:
+            self._version += 1
+            if self._trackers:
+                self._notify_retract()
 
     # ------------------------------------------------------------------ #
     # access

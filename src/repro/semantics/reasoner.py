@@ -187,6 +187,18 @@ class Reasoner:
         reasoner = Reasoner(ontology.graph)
         trace = reasoner.materialize()
         assert reasoner.is_instance_of(obs, SSN.Observation)
+
+    The materialisation is **delta-driven**: the reasoner registers a
+    :class:`~repro.semantics.rdf.graph.ChangeTracker` on its graph, so any
+    mutation after a :meth:`materialize` marks the closure stale, and the
+    next entailment query (or :meth:`ensure_materialized` call) tops the
+    closure up *incrementally* — only rules whose body can touch the
+    added triples are refired, seeded from the delta.  Cost is therefore
+    proportional to the size of the added batch, not the whole graph.
+    ``materialize(full=True)`` forces a from-scratch naive fixpoint (the
+    correctness oracle the equivalence tests compare against); removals
+    and newly registered rules also fall back to a full run.  Inferred
+    triples are never retracted when their premises are removed.
     """
 
     def __init__(self, graph: Graph, extra_rules: Optional[Iterable[Rule]] = None):
@@ -194,7 +206,9 @@ class Reasoner:
         self._engine = RuleEngine(_rdfs_owl_rules())
         if extra_rules:
             self._engine.extend(extra_rules)
+        self._tracker = graph.track_changes()
         self._materialized = False
+        self._needs_full = True
         self.last_trace: Optional[InferenceTrace] = None
 
     @classmethod
@@ -203,20 +217,50 @@ class Reasoner:
         return cls(ontology.graph, extra_rules=extra_rules)
 
     def add_rules(self, rules: Iterable[Rule]) -> None:
-        """Register extra inference rules (e.g. IK-derived rules)."""
+        """Register extra inference rules (e.g. IK-derived rules).
+
+        New rules must be evaluated against the whole graph, so the next
+        materialisation runs from scratch.
+        """
         self._engine.extend(rules)
         self._materialized = False
+        self._needs_full = True
 
-    def materialize(self) -> InferenceTrace:
-        """Run forward chaining to fixpoint, adding inferred triples."""
-        trace = self._engine.run(self.graph)
+    def materialize(self, full: bool = False) -> InferenceTrace:
+        """Run forward chaining to fixpoint, adding inferred triples.
+
+        Incremental (semi-naive, seeded from the triples added since the
+        last run) whenever a previous closure exists and nothing was
+        retracted; pass ``full=True`` to force the from-scratch naive
+        fixpoint.
+        """
+        delta = self._tracker.drain()
+        try:
+            if full or self._needs_full or not self._materialized or delta.needs_full:
+                trace = self._engine.run(self.graph)
+            else:
+                trace = self._engine.run_incremental(self.graph, delta.added)
+        except BaseException:
+            # a failed run (e.g. a user rule's guard raising an unexpected
+            # exception) must not lose the delta, or the closure would stay
+            # silently stale forever; requeue it so the next call retries
+            self._tracker.requeue(delta)
+            raise
+        # the run's own insertions land in the tracker too; discard them
+        # so they are not replayed as a delta on the next call
+        self._tracker.drain()
         self.last_trace = trace
         self._materialized = True
+        self._needs_full = False
         return trace
 
     def ensure_materialized(self) -> None:
-        """Materialise once; cheap to call repeatedly."""
-        if not self._materialized:
+        """Bring the closure up to date; cheap to call when nothing changed.
+
+        First call runs the full fixpoint; afterwards graph mutations are
+        topped up incrementally (removals trigger a full re-run).
+        """
+        if not self._materialized or self._tracker.dirty:
             self.materialize()
 
     # ------------------------------------------------------------------ #

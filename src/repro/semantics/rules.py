@@ -2,8 +2,16 @@
 
 Rules are Horn clauses of triple patterns: when every pattern in the body
 matches the graph under some variable binding, the head patterns are
-instantiated and asserted.  The engine performs semi-naive forward chaining
-to a fixed point.
+instantiated and asserted.  The engine offers two evaluation modes:
+
+* :meth:`RuleEngine.run` — *naive* forward chaining to a fixed point:
+  every rule is re-derived against the whole graph each iteration.  This
+  is the from-scratch oracle; its cost grows with total graph size.
+* :meth:`RuleEngine.run_incremental` — *semi-naive* forward chaining from
+  a delta: only rules whose body can touch the delta are refired, and
+  each refiring seeds one body atom from a delta triple before joining
+  the remaining atoms against the full graph.  Per-round cost is
+  proportional to the delta, not the graph.
 
 Two clients use this module:
 
@@ -17,7 +25,7 @@ Two clients use this module:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from repro.semantics.rdf.graph import Graph
 from repro.semantics.rdf.term import Term, Variable
@@ -61,11 +69,82 @@ class Rule:
                         f"rule {self.name!r}: head variable {v} not bound in body"
                     )
 
+    def body_predicates(self) -> Optional[FrozenSet[Term]]:
+        """The ground predicates of the body atoms, for delta indexing.
+
+        ``None`` when any body atom has a variable in predicate position:
+        such a rule can match a delta triple of *any* predicate and must
+        always be considered by the incremental engine.
+        """
+        predicates = set()
+        for pattern in self.body:
+            if isinstance(pattern.predicate, Variable):
+                return None
+            predicates.add(pattern.predicate)
+        return frozenset(predicates)
+
     def derive(self, graph: Graph) -> Set[Triple]:
         """All head triples derivable from ``graph`` by this rule."""
         derived: Set[Triple] = set()
-        bgp = BGP(list(self.body))
-        for solution in bgp.solutions(graph):
+        self._instantiate(BGP(list(self.body)).solutions(graph), derived)
+        return derived
+
+    def derive_delta(self, graph: Graph, delta: Graph) -> Set[Triple]:
+        """Head triples of matches that use at least one ``delta`` triple.
+
+        Semi-naive evaluation: every new solution must bind some body atom
+        to a triple of the delta, so each atom in turn is seeded from the
+        delta triples matching it and the remaining atoms are joined
+        against the full ``graph`` (which already contains the delta).
+        Solutions using several delta triples are found more than once;
+        the returned set deduplicates them.
+        """
+        derived: Set[Triple] = set()
+        for index, seed_pattern in enumerate(self.body):
+            rest = BGP([p for i, p in enumerate(self.body) if i != index])
+            allowed = self._allowed_predicates(graph, index)
+            for triple in delta.triples(tuple(seed_pattern)):
+                if allowed is not None and triple.predicate not in allowed:
+                    continue
+                match = seed_pattern.matches(triple)
+                if match is None:
+                    continue
+                self._instantiate(
+                    rest.solutions_from(graph, Bindings(match)), derived
+                )
+        return derived
+
+    def _allowed_predicates(self, graph: Graph, seed_index: int) -> Optional[Set[Term]]:
+        """Semi-join bound for a variable-predicate seed atom.
+
+        When body atom ``seed_index`` has a variable in predicate position
+        that also occurs (in subject / object position) in another body
+        atom with a *ground* predicate — the schema atom, e.g. ``?p
+        rdfs:domain ?c`` alongside ``?x ?p ?y`` — only predicates the
+        schema atom can bind may ever complete a match.  Those sets (the
+        declared domains, sub-properties, inverses, …) are small, so
+        computing them per call is far cheaper than joining from every
+        delta triple.  ``None`` means unconstrained.
+        """
+        predicate = self.body[seed_index].predicate
+        if not isinstance(predicate, Variable):
+            return None
+        allowed: Optional[Set[Term]] = None
+        for index, other in enumerate(self.body):
+            if index == seed_index or isinstance(other.predicate, Variable):
+                continue
+            if other.subject == predicate:
+                values = {t.subject for t in graph.triples(tuple(other))}
+            elif other.object == predicate:
+                values = {t.object for t in graph.triples(tuple(other))}
+            else:
+                continue
+            allowed = values if allowed is None else allowed & values
+        return allowed
+
+    def _instantiate(self, solutions: Iterable[Bindings], out: Set[Triple]) -> None:
+        """Apply the guard and add the ground head triples of each solution."""
+        for solution in solutions:
             if self.guard is not None:
                 try:
                     if not self.guard(solution):
@@ -76,8 +155,7 @@ class Rule:
             for pattern in self.head:
                 triple = pattern.substitute(mapping)
                 if triple.is_ground():
-                    derived.add(triple)
-        return derived
+                    out.add(triple)
 
     def __repr__(self) -> str:
         return f"Rule({self.name!r}, body={len(self.body)}, head={len(self.head)})"
@@ -104,14 +182,39 @@ class RuleEngine:
     def __init__(self, rules: Optional[Iterable[Rule]] = None, max_iterations: int = 100):
         self.rules: List[Rule] = list(rules or [])
         self.max_iterations = max_iterations
+        self._predicate_index: Optional[Dict[Term, List[Rule]]] = None
+        self._wildcard_rules: List[Rule] = []
 
     def add_rule(self, rule: Rule) -> None:
         """Register an additional rule."""
         self.rules.append(rule)
+        self._predicate_index = None
 
     def extend(self, rules: Iterable[Rule]) -> None:
         """Register several rules."""
         self.rules.extend(rules)
+        self._predicate_index = None
+
+    def _body_index(self) -> Dict[Term, List[Rule]]:
+        """Map each ground body predicate to the rules mentioning it.
+
+        Rules with a variable-predicate body atom land in
+        ``_wildcard_rules`` instead: they can react to any delta triple.
+        The index is rebuilt lazily after rule registration.
+        """
+        if self._predicate_index is None:
+            index: Dict[Term, List[Rule]] = {}
+            wildcard: List[Rule] = []
+            for rule in self.rules:
+                predicates = rule.body_predicates()
+                if predicates is None:
+                    wildcard.append(rule)
+                    continue
+                for predicate in predicates:
+                    index.setdefault(predicate, []).append(rule)
+            self._predicate_index = index
+            self._wildcard_rules = wildcard
+        return self._predicate_index
 
     def run(self, graph: Graph) -> InferenceTrace:
         """Apply all rules repeatedly until no new triple is produced.
@@ -131,6 +234,45 @@ class RuleEngine:
             trace.iterations = iteration + 1
             if added_this_round == 0:
                 break
+        return trace
+
+    def run_incremental(self, graph: Graph, delta: Iterable[Triple]) -> InferenceTrace:
+        """Semi-naive fixpoint from a delta of recently added triples.
+
+        ``graph`` must already contain the delta triples (they are the
+        mutations since the caller's last run); only rules whose body
+        predicates intersect the current frontier are refired, and each
+        firing joins from a frontier triple instead of re-enumerating the
+        whole graph.  Produces the same fixpoint as :meth:`run` provided
+        ``graph`` was closed under the rules before the delta was added.
+        """
+        trace = InferenceTrace()
+        frontier: Set[Triple] = {t for t in delta if t in graph}
+        if not frontier:
+            return trace
+        index = self._body_index()
+        for iteration in range(self.max_iterations):
+            delta_graph = Graph()
+            for triple in frontier:
+                delta_graph.add(triple)
+            candidates = {id(rule) for rule in self._wildcard_rules}
+            for predicate in {t.predicate for t in frontier}:
+                candidates.update(id(rule) for rule in index.get(predicate, ()))
+            next_frontier: Set[Triple] = set()
+            for rule in self.rules:
+                if id(rule) not in candidates:
+                    continue
+                new_triples = [
+                    t for t in rule.derive_delta(graph, delta_graph) if t not in graph
+                ]
+                for triple in new_triples:
+                    graph.add(triple)
+                trace.record(rule.name, len(new_triples))
+                next_frontier.update(new_triples)
+            trace.iterations = iteration + 1
+            if not next_frontier:
+                break
+            frontier = next_frontier
         return trace
 
     def infer_only(self, graph: Graph) -> Graph:

@@ -59,10 +59,19 @@ class BGP(Operator):
         return score
 
     def solutions(self, graph: Graph) -> Iterator[Bindings]:
+        yield from self.solutions_from(graph, EMPTY_BINDINGS)
+
+    def solutions_from(self, graph: Graph, bindings: Bindings) -> Iterator[Bindings]:
+        """Solutions extending an initial partial solution mapping.
+
+        This is the join entry point the semi-naive rule engine uses: a
+        body atom is matched against a delta triple first and the
+        resulting bindings seed the join of the remaining atoms.
+        """
         if not self.patterns:
-            yield EMPTY_BINDINGS
+            yield bindings
             return
-        yield from self._match(graph, list(self.patterns), EMPTY_BINDINGS)
+        yield from self._match(graph, list(self.patterns), bindings)
 
     def _match(
         self, graph: Graph, remaining: List[Triple], bindings: Bindings

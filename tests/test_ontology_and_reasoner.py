@@ -251,3 +251,117 @@ class TestReasoner:
         trace = Reasoner.for_ontology(ontology).materialize()
         assert trace.inferred > 0
         assert any("rdfs9" in name for name in trace.by_rule)
+
+
+class TestReasonerInvalidation:
+    """Graph mutations must invalidate a previous materialisation."""
+
+    def make_reasoner(self):
+        g = Graph()
+        g.add(Triple(EX.Sensor, RDFS.subClassOf, EX.Device))
+        reasoner = Reasoner(g)
+        reasoner.materialize()
+        return g, reasoner
+
+    def test_is_instance_of_reflects_post_materialization_adds(self):
+        # regression: adding triples after materialize() used to leave the
+        # reasoner serving stale answers from the old closure
+        g, reasoner = self.make_reasoner()
+        assert not reasoner.is_instance_of(EX.mote9, EX.Device)
+        g.add(Triple(EX.mote9, RDF.type, EX.Sensor))
+        assert reasoner.is_instance_of(EX.mote9, EX.Device)
+
+    def test_instances_of_reflects_post_materialization_adds(self):
+        g, reasoner = self.make_reasoner()
+        assert reasoner.instances_of(EX.Device) == set()
+        g.add(Triple(EX.mote1, RDF.type, EX.Sensor))
+        g.add(Triple(EX.mote2, RDF.type, EX.Sensor))
+        assert reasoner.instances_of(EX.Device) == {EX.mote1, EX.mote2}
+
+    def test_post_materialization_axiom_add(self):
+        g, reasoner = self.make_reasoner()
+        g.add(Triple(EX.mote1, RDF.type, EX.Sensor))
+        assert reasoner.is_instance_of(EX.mote1, EX.Device)
+        # a new alignment axiom must propagate through existing instances
+        g.add(Triple(EX.Device, RDFS.subClassOf, EX.PhysicalEndurant))
+        assert reasoner.is_instance_of(EX.mote1, EX.PhysicalEndurant)
+
+    def test_top_up_is_incremental(self):
+        g, reasoner = self.make_reasoner()
+        g.add(Triple(EX.mote1, RDF.type, EX.Sensor))
+        reasoner.ensure_materialized()
+        trace = reasoner.last_trace
+        # the top-up refired only the delta-touched rules, and only over
+        # the delta: one new rdf:type triple via rdfs9
+        assert trace.inferred == 1
+        assert trace.by_rule == {"rdfs9-type-propagation": 1}
+
+    def test_materialize_full_is_oracle(self):
+        g, reasoner = self.make_reasoner()
+        g.add(Triple(EX.mote1, RDF.type, EX.Sensor))
+        reasoner.ensure_materialized()
+        oracle = Graph()
+        oracle.add(Triple(EX.Sensor, RDFS.subClassOf, EX.Device))
+        oracle.add(Triple(EX.mote1, RDF.type, EX.Sensor))
+        Reasoner(oracle).materialize(full=True)
+        assert set(g) == set(oracle)
+
+    def test_removal_falls_back_to_full_run(self):
+        g, reasoner = self.make_reasoner()
+        g.add(Triple(EX.mote1, RDF.type, EX.Sensor))
+        reasoner.ensure_materialized()
+        g.remove(Triple(EX.mote1, RDF.type, EX.Sensor))
+        g.add(Triple(EX.mote2, RDF.type, EX.Sensor))
+        # the retraction forces a full (naive) re-run; new adds still land
+        assert reasoner.is_instance_of(EX.mote2, EX.Device)
+
+    def test_add_rules_invalidates(self):
+        g, reasoner = self.make_reasoner()
+        g.add(Triple(EX.mote1, RDF.type, EX.Sensor))
+        reasoner.ensure_materialized()
+        reasoner.add_rules([
+            Rule(
+                "device-is-asset",
+                body=[Triple(Variable("x"), RDF.type, EX.Device)],
+                head=[Triple(Variable("x"), RDF.type, EX.Asset)],
+            )
+        ])
+        # the new rule must apply to triples that predate its registration
+        assert reasoner.is_instance_of(EX.mote1, EX.Asset)
+
+    def test_ensure_materialized_noop_when_clean(self):
+        g, reasoner = self.make_reasoner()
+        version = g.version
+        reasoner.ensure_materialized()
+        reasoner.is_instance_of(EX.mote9, EX.Device)
+        assert g.version == version
+
+
+class TestReasonerFailureRecovery:
+    def test_failed_run_requeues_the_delta(self):
+        """An exception mid-run must not leave the closure silently stale."""
+        g = Graph()
+        g.add(Triple(EX.Sensor, RDFS.subClassOf, EX.Device))
+        calls = {"n": 0}
+
+        def flaky_guard(bindings):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient failure")
+            return True
+
+        reasoner = Reasoner(g, extra_rules=[
+            Rule(
+                "flaky",
+                body=[Triple(Variable("x"), RDF.type, EX.Sensor)],
+                head=[Triple(Variable("x"), RDF.type, EX.Checked)],
+                guard=flaky_guard,
+            )
+        ])
+        reasoner.materialize()
+        g.add(Triple(EX.mote1, RDF.type, EX.Sensor))
+        with pytest.raises(RuntimeError):
+            reasoner.ensure_materialized()
+        # the delta was requeued, so a retry completes the closure
+        assert reasoner.is_instance_of(EX.mote1, EX.Checked)
+        assert reasoner.is_instance_of(EX.mote1, EX.Device)

@@ -193,3 +193,90 @@ def test_property_pattern_queries_consistent_with_scan(items):
         subject = EX[f"s{s}"]
         expected = {t for t in graph if t.subject == subject}
         assert set(graph.triples((subject, None, None))) == expected
+
+
+class TestChangeTracking:
+    def test_tracker_records_adds_in_order(self):
+        g = Graph()
+        tracker = g.track_changes()
+        first = Triple(EX.a, EX.p, EX.b)
+        second = Triple(EX.b, EX.p, EX.c)
+        g.add(first)
+        g.add(second)
+        delta = tracker.drain()
+        assert delta.added == [first, second]
+        assert not delta.retracted
+
+    def test_readding_present_triple_is_not_a_mutation(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        tracker = g.track_changes()
+        version = g.version
+        g.add(Triple(EX.a, EX.p, EX.b))
+        assert not tracker.dirty
+        assert g.version == version
+
+    def test_drain_resets(self):
+        g = Graph()
+        tracker = g.track_changes()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        assert tracker.dirty
+        tracker.drain()
+        assert not tracker.dirty
+        assert not tracker.drain()
+
+    def test_remove_and_clear_flag_retraction(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        tracker = g.track_changes()
+        g.remove(Triple(EX.a, EX.p, EX.b))
+        assert tracker.drain().retracted
+        g.add(Triple(EX.a, EX.p, EX.b))
+        g.clear()
+        delta = tracker.drain()
+        assert delta.retracted
+        # removing an absent triple is not a mutation
+        g.remove(Triple(EX.a, EX.p, EX.b))
+        assert not tracker.dirty
+
+    def test_trackers_are_independent(self):
+        g = Graph()
+        first = g.track_changes()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        second = g.track_changes()
+        g.add(Triple(EX.b, EX.p, EX.c))
+        assert len(first.drain().added) == 2
+        assert len(second.drain().added) == 1
+
+    def test_dropped_tracker_is_forgotten(self):
+        g = Graph()
+        tracker = g.track_changes()
+        assert len(g._live_trackers()) == 1
+        del tracker
+        g.add(Triple(EX.a, EX.p, EX.b))
+        assert g._live_trackers() == []
+
+    def test_overflowing_tracker_collapses_to_full_fallback(self, monkeypatch):
+        from repro.semantics.rdf.graph import ChangeTracker
+
+        monkeypatch.setattr(ChangeTracker, "max_buffered", 5)
+        g = Graph()
+        tracker = g.track_changes()
+        for index in range(10):
+            g.add(Triple(EX[f"s{index}"], EX.p, EX.o))
+        assert tracker.dirty
+        delta = tracker.drain()
+        # the backlog was dropped, but the consumer is told to recompute
+        assert delta.overflowed and delta.needs_full
+        assert delta.added == []
+
+    def test_requeue_restores_a_drained_delta(self):
+        g = Graph()
+        tracker = g.track_changes()
+        first = Triple(EX.a, EX.p, EX.b)
+        g.add(first)
+        delta = tracker.drain()
+        second = Triple(EX.b, EX.p, EX.c)
+        g.add(second)
+        tracker.requeue(delta)
+        assert tracker.drain().added == [first, second]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.semantics.rdf.graph import Graph
-from repro.semantics.rdf.namespace import Namespace, RDF
+from repro.semantics.rdf.namespace import Namespace, RDF, RDFS
 from repro.semantics.rdf.term import IRI, Literal, Variable
 from repro.semantics.rdf.triple import Triple
 from repro.semantics.sparql.algebra import BGP, Filter, Join, LeftJoin, Projection, Union, numeric_filter
@@ -195,3 +195,84 @@ class TestEndToEndQueries:
             "SELECT ?o WHERE { ?o ex:observedProperty <http://example.org/Rainfall> . }",
         )
         assert len(result) == 1
+
+
+class TestEvaluatorEdgeCases:
+    """Edge cases exercised by reasoner-backed queries."""
+
+    def test_repeated_variable_in_pattern_requires_same_binding(self, graph):
+        graph.add(Triple(EX.nodeA, EX.relatedTo, EX.nodeA))
+        graph.add(Triple(EX.nodeA, EX.relatedTo, EX.nodeB))
+        bgp = BGP([Triple(Variable("x"), EX.relatedTo, Variable("x"))])
+        solutions = list(bgp.solutions(graph))
+        assert len(solutions) == 1
+        assert solutions[0][Variable("x")] == EX.nodeA
+
+    def test_repeated_variable_across_subject_and_object_query_text(self, graph):
+        graph.add(Triple(EX.loop, EX.relatedTo, EX.loop))
+        result = query(graph, "SELECT ?x WHERE { ?x ex:relatedTo ?x }")
+        assert result.scalars == [EX.loop.value]
+
+    def test_variable_in_predicate_position(self, graph):
+        result = query(graph, "SELECT DISTINCT ?p WHERE { ex:obs0 ?p ?o }")
+        predicates = set(result.scalars)
+        assert EX.observedBy.value in predicates
+        assert EX.hasValue.value in predicates
+
+    def test_all_positions_unbound(self, graph):
+        result = query(graph, "SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+        assert len(result) == len(graph)
+
+    def test_empty_bgp_join_identity(self, graph):
+        # joining with the empty BGP (one empty solution) is the identity
+        bgp = BGP([Triple(Variable("s"), RDF.type, EX.Sensor)])
+        joined = Join(BGP([]), bgp)
+        assert len(list(joined.solutions(graph))) == 3
+
+    def test_unmatched_bgp_yields_no_solutions(self, graph):
+        bgp = BGP([Triple(Variable("s"), RDF.type, EX.Nonexistent)])
+        assert list(bgp.solutions(graph)) == []
+        # and it annihilates a join
+        joined = Join(bgp, BGP([Triple(Variable("s"), RDF.type, EX.Sensor)]))
+        assert list(joined.solutions(graph)) == []
+
+    def test_optional_leaves_variable_unbound(self, graph):
+        result = query(graph, """
+            SELECT ?s ?place WHERE {
+                ?s a ex:Sensor .
+                OPTIONAL { ?s ex:locatedIn ?place }
+            }
+        """)
+        rows = result.rows
+        assert len(rows) == 3
+        bound = [row for row in rows if "place" in row]
+        assert len(bound) == 1
+        assert bound[0]["place"] == EX.Mangaung
+
+    def test_solutions_from_seeds_join(self, graph):
+        # the semi-naive rule engine's entry point: a pre-bound variable
+        # restricts the BGP join
+        bgp = BGP([
+            Triple(Variable("o"), EX.observedBy, Variable("s")),
+            Triple(Variable("o"), EX.observedProperty, EX.SoilMoisture),
+        ])
+        seeded = list(bgp.solutions_from(graph, Bindings({Variable("s"): EX.sensor0})))
+        assert len(seeded) == 1
+        assert seeded[0][Variable("o")] == EX.obs0
+        # seeding with the empty binding is plain evaluation
+        assert len(list(bgp.solutions_from(graph, Bindings()))) == 2
+
+    def test_query_over_incrementally_reasoned_graph(self, graph):
+        from repro.semantics.reasoner import Reasoner
+
+        graph.add(Triple(EX.Sensor, RDFS.subClassOf, EX.Device))
+        reasoner = Reasoner(graph)
+        reasoner.materialize()
+        devices = query(graph, "SELECT ?s WHERE { ?s a ex:Device }")
+        assert len(devices) == 3
+        # grow the graph after materialisation; the reasoner's incremental
+        # top-up must make the new entailment queryable
+        graph.add(Triple(EX.sensor9, RDF.type, EX.Sensor))
+        reasoner.ensure_materialized()
+        devices = query(graph, "SELECT ?s WHERE { ?s a ex:Device }")
+        assert len(devices) == 4
