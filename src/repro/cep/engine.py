@@ -104,15 +104,28 @@ class CepEngine:
             self.add_rule(rule)
 
     def remove_rule(self, name: str) -> None:
-        """Unregister a rule by name."""
+        """Unregister a rule by name.
+
+        Only the index buckets the rule's pattern was routed to are
+        touched (no full index scan), and buckets emptied by the removal
+        are dropped so rule churn does not leak index entries.
+        """
         rule = self.rules.pop(name, None)
         if rule is None:
             return
-        for rules in self._index.values():
-            if rule in rules:
-                rules.remove(rule)
-        if rule in self._catch_all:
-            self._catch_all.remove(rule)
+        event_types = _pattern_event_types(rule.pattern)
+        if not event_types:
+            if rule in self._catch_all:
+                self._catch_all.remove(rule)
+            return
+        for event_type in event_types:
+            bucket = self._index.get(event_type)
+            if bucket is None:
+                continue
+            if rule in bucket:
+                bucket.remove(rule)
+            if not bucket:
+                del self._index[event_type]
 
     def on_derived_event(self, listener: DerivedEventListener) -> None:
         """Register a callback invoked for every derived event."""
@@ -142,18 +155,24 @@ class CepEngine:
     def _process(self, event: Event, depth: int) -> List[DerivedEvent]:
         self.statistics.events_processed += 1
         interested = self._index.get(event.event_type, []) + self._catch_all
-        derived: List[DerivedEvent] = []
+        matched: List[DerivedEvent] = []
         for rule in interested:
             self.statistics.rule_evaluations += 1
             result = rule.offer(event)
             if result is not None:
-                derived.append(result)
-        for derived_event in derived:
+                matched.append(result)
+        # feedback results are collected separately from the events matched
+        # at this level: appending them to the list being iterated would
+        # revisit them here — emitting, counting and re-feeding each
+        # deeper-level derived event a second time
+        collected: List[DerivedEvent] = []
+        for derived_event in matched:
             self.statistics.derived_events += 1
             self._emit(derived_event)
+            collected.append(derived_event)
             if self.feedback and depth < self.max_feedback_depth:
-                derived.extend(self._process(derived_event, depth + 1))
-        return derived
+                collected.extend(self._process(derived_event, depth + 1))
+        return collected
 
     def _emit(self, derived_event: DerivedEvent) -> None:
         for listener in self._listeners:

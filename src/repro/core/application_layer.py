@@ -111,10 +111,15 @@ class ApplicationAbstractionLayer:
         """Register an application-supplied CEP rule."""
         self.ontology_layer.cep.add_rule(rule)
 
-    def query(self, text: str) -> QueryResult:
-        """Run a SPARQL-like query over the unified ontology + annotations."""
+    def query(self, text: str, entail: bool = False) -> QueryResult:
+        """Run a SPARQL-like query over the unified ontology + annotations.
+
+        Served through the graph's shared cost-based planner; ``entail``
+        additionally tops up the reasoner's closure so inferred triples
+        are visible to the query.
+        """
         self.statistics.queries_answered += 1
-        return self.ontology_layer.query(text)
+        return self.ontology_layer.query(text, entail=entail)
 
     def services(self) -> List[SemanticService]:
         """The registered semantic services."""

@@ -199,9 +199,16 @@ class SemanticMiddleware:
         """Register an additional CEP rule."""
         self.application_layer.register_rule(rule)
 
-    def query(self, text: str):
-        """Run a SPARQL-like query over the unified ontology + annotations."""
-        return self.application_layer.query(text)
+    def query(self, text: str, entail: bool = False):
+        """Run a SPARQL-like query over the unified ontology + annotations.
+
+        Queries are planned cost-based (join ordering from graph
+        statistics, filter pushdown) and cached: a repeated query over an
+        unchanged graph is served straight from the version-keyed result
+        cache.  ``entail`` tops up the reasoner's closure first so the
+        answers include inferred triples.
+        """
+        return self.application_layer.query(text, entail=entail)
 
     def services(self):
         """The registered semantic services."""
@@ -225,6 +232,7 @@ class SemanticMiddleware:
             "application_layer": self.application_layer.statistics,
             "broker": self.broker.statistics,
             "cep": self.ontology_layer.cep.statistics,
+            "query_planner": self.ontology_layer.query_planner.statistics,
             "graph_triples": len(self.graph),
         }
         if self.interface_layer is not None:

@@ -50,6 +50,7 @@ from repro.ontologies.library import OntologyLibrary, build_unified_ontology
 from repro.ontologies.vocabulary import DROUGHT
 from repro.semantics.reasoner import Reasoner
 from repro.semantics.sparql.evaluator import QueryResult, query
+from repro.semantics.sparql.planner import QueryPlanner, planner_for
 from repro.streams.messages import ObservationRecord
 
 
@@ -219,9 +220,24 @@ class OntologySegmentLayer:
         """
         return self.reasoner.materialize(full=full)
 
-    def query(self, text: str) -> QueryResult:
-        """Run a SPARQL-like query over the shared graph."""
+    def query(self, text: str, entail: bool = False) -> QueryResult:
+        """Run a SPARQL-like query over the shared graph.
+
+        Evaluation goes through the graph's shared cost-based planner
+        (join-order selection, filter pushdown, version-keyed plan / result
+        caches), so repeated dashboard and DEWS queries over an unchanged
+        graph skip parse, plan and evaluation entirely.  With ``entail``
+        the reasoner's closure is topped up (incrementally) first, so the
+        answers also reflect inferred triples.
+        """
+        if entail:
+            return self.reasoner.query(text)
         return query(self.graph, text)
+
+    @property
+    def query_planner(self) -> QueryPlanner:
+        """The shared planner (and its caches / statistics) for the graph."""
+        return planner_for(self.graph)
 
     def __repr__(self) -> str:
         return (

@@ -371,6 +371,20 @@ class DroughtEarlyWarningSystem:
         return alerts
 
     # ------------------------------------------------------------------ #
+    # semantic queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, text: str, entail: bool = False):
+        """Run a SPARQL-like query over the middleware's semantic graph.
+
+        Dashboards and post-run analyses ask the same handful of queries
+        repeatedly; they are served through the middleware's cost-based
+        planner with version-keyed plan / result caching, and with
+        ``entail`` the answers also include reasoner-inferred triples.
+        """
+        return self.middleware.query(text, entail=entail)
+
+    # ------------------------------------------------------------------ #
     # the run
     # ------------------------------------------------------------------ #
 

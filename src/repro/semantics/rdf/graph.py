@@ -12,6 +12,14 @@ Mutations are observable: a consumer that needs to react to graph growth
 drains it for the triples added — and whether anything was retracted —
 since the last drain.  Trackers are held by weak reference, so dropping
 the consumer drops its tracker without explicit deregistration.
+
+The graph also maintains cheap cardinality statistics (triples per
+predicate, distinct subjects per predicate) alongside the indexes, so the
+SPARQL query planner can estimate the result size of any triple pattern in
+O(1)–O(small dict) without enumerating matches — see
+:meth:`Graph.pattern_cardinality` and the ``distinct_*_count`` accessors.
+Empty index buckets are pruned on removal so the ``len``-based statistics
+stay exact under churn.
 """
 
 from __future__ import annotations
@@ -86,6 +94,15 @@ class ChangeTracker:
         """Whether a removal / clear happened since the last drain."""
         return self._retracted
 
+    def record_add(self, triple: Triple) -> None:
+        """Buffer one added triple, collapsing to overflow past the bound."""
+        if self._overflowed:
+            return
+        self._added.append(triple)
+        if len(self._added) > self.max_buffered:
+            self._added = []
+            self._overflowed = True
+
     def drain(self) -> GraphDelta:
         """Return and reset the accumulated delta."""
         delta = GraphDelta(self._added, self._retracted, self._overflowed)
@@ -135,6 +152,9 @@ class Graph:
         self._size = 0
         self._version = 0
         self._trackers: List["weakref.ref[ChangeTracker]"] = []
+        # cardinality statistics maintained incrementally for the planner
+        self._pred_counts: Dict[Term, int] = {}
+        self._pred_subjects: Dict[Term, int] = {}
 
     # ------------------------------------------------------------------ #
     # change tracking
@@ -171,12 +191,8 @@ class Graph:
         # we iterate, which would make the index-based loop skip a tracker
         for ref in tuple(self._trackers):
             tracker = ref()
-            if tracker is None or tracker._overflowed:
-                continue
-            tracker._added.append(triple)
-            if len(tracker._added) > tracker.max_buffered:
-                tracker._added = []
-                tracker._overflowed = True
+            if tracker is not None:
+                tracker.record_add(triple)
 
     def _notify_retract(self) -> None:
         for ref in tuple(self._trackers):
@@ -196,12 +212,17 @@ class Graph:
         if not triple.is_ground():
             raise ValueError("cannot add a triple containing variables")
         s, p, o = triple.subject, triple.predicate, triple.object
-        if o in self._spo[s][p]:
+        sp_objects = self._spo[s][p]
+        if o in sp_objects:
             return False
-        self._spo[s][p].add(o)
+        if not sp_objects:
+            # first (s, p, *) triple: s becomes a distinct subject of p
+            self._pred_subjects[p] = self._pred_subjects.get(p, 0) + 1
+        sp_objects.add(o)
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
         self._size += 1
+        self._pred_counts[p] = self._pred_counts.get(p, 0) + 1
         self._version += 1
         if self._trackers:
             self._notify_add(triple)
@@ -219,10 +240,37 @@ class Graph:
         s, p, o = triple.subject, triple.predicate, triple.object
         if o not in self._spo.get(s, {}).get(p, set()):
             return False
-        self._spo[s][p].discard(o)
-        self._pos[p][o].discard(s)
-        self._osp[o][s].discard(p)
+        # discard from all three permutations, pruning emptied buckets so
+        # the len()-based distinct-count statistics stay exact
+        sp_map = self._spo[s]
+        sp_map[p].discard(o)
+        if not sp_map[p]:
+            del sp_map[p]
+            if not sp_map:
+                del self._spo[s]
+            remaining = self._pred_subjects.get(p, 0) - 1
+            if remaining > 0:
+                self._pred_subjects[p] = remaining
+            else:
+                self._pred_subjects.pop(p, None)
+        po_map = self._pos[p]
+        po_map[o].discard(s)
+        if not po_map[o]:
+            del po_map[o]
+            if not po_map:
+                del self._pos[p]
+        os_map = self._osp[o]
+        os_map[s].discard(p)
+        if not os_map[s]:
+            del os_map[s]
+            if not os_map:
+                del self._osp[o]
         self._size -= 1
+        count = self._pred_counts.get(p, 0) - 1
+        if count > 0:
+            self._pred_counts[p] = count
+        else:
+            self._pred_counts.pop(p, None)
         self._version += 1
         if self._trackers:
             self._notify_retract()
@@ -246,6 +294,8 @@ class Graph:
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+        self._pred_counts.clear()
+        self._pred_subjects.clear()
         self._size = 0
         if had_triples:
             self._version += 1
@@ -364,6 +414,56 @@ class Graph:
                 return t.predicate
             return t.object
         return default
+
+    # ------------------------------------------------------------------ #
+    # cardinality statistics (consumed by the SPARQL query planner)
+    # ------------------------------------------------------------------ #
+
+    def predicate_cardinality(self, predicate: Term) -> int:
+        """Exact number of triples carrying ``predicate``."""
+        return self._pred_counts.get(predicate, 0)
+
+    def distinct_subjects_count(self, predicate: Optional[Term] = None) -> int:
+        """Distinct subjects of triples with ``predicate`` (or of any triple)."""
+        if predicate is None:
+            return len(self._spo)
+        return self._pred_subjects.get(predicate, 0)
+
+    def distinct_objects_count(self, predicate: Optional[Term] = None) -> int:
+        """Distinct objects of triples with ``predicate`` (or of any triple)."""
+        if predicate is None:
+            return len(self._osp)
+        return len(self._pos.get(predicate, ()))
+
+    def distinct_predicates_count(self) -> int:
+        """Number of distinct predicates in the graph."""
+        return len(self._pos)
+
+    def pattern_cardinality(self, pattern: TriplePattern) -> int:
+        """Exact number of triples matching ``pattern``.
+
+        ``None`` (or a :class:`~repro.semantics.rdf.term.Variable`) is a
+        wildcard.  Answered from the permutation indexes and the maintained
+        per-predicate counters without enumerating matches; the worst cases
+        — one fixed subject or one fixed object — iterate a single small
+        inner dictionary.
+        """
+        s, p, o = (None if isinstance(t, Variable) else t for t in pattern)
+        if s is not None:
+            if p is not None:
+                if o is not None:
+                    return 1 if o in self._spo.get(s, {}).get(p, ()) else 0
+                return len(self._spo.get(s, {}).get(p, ()))
+            if o is not None:
+                return len(self._osp.get(o, {}).get(s, ()))
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if p is not None:
+            if o is not None:
+                return len(self._pos.get(p, {}).get(o, ()))
+            return self._pred_counts.get(p, 0)
+        if o is not None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        return self._size
 
     # ------------------------------------------------------------------ #
     # conveniences used heavily by the ontology layer

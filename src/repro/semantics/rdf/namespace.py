@@ -82,26 +82,46 @@ DEFAULT_PREFIXES: Dict[str, Namespace] = {
 
 
 class NamespaceManager:
-    """Bidirectional prefix <-> namespace registry used by serialisers."""
+    """Bidirectional prefix <-> namespace registry used by serialisers.
+
+    :attr:`generation` is a monotonic counter bumped whenever a binding
+    actually changes; query-plan and result caches include it in their
+    validity checks, since rebinding a prefix changes how CURIEs in cached
+    query text resolve without touching any triple (or the graph version).
+    """
 
     def __init__(self, initial: Optional[Dict[str, Namespace]] = None):
         self._by_prefix: Dict[str, Namespace] = {}
         self._by_base: Dict[str, str] = {}
+        self._generation = 0
         for prefix, ns in (initial or DEFAULT_PREFIXES).items():
             self.bind(prefix, ns)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic binding counter (bumps when a binding changes)."""
+        return self._generation
 
     def bind(self, prefix: str, namespace: Namespace, replace: bool = True) -> None:
         """Associate ``prefix`` with ``namespace``.
 
         With ``replace=False`` an existing binding for the prefix is kept.
         """
-        if not replace and prefix in self._by_prefix:
-            return
         old = self._by_prefix.get(prefix)
         if old is not None:
+            if not replace:
+                return
+            if old == namespace:
+                # re-asserted binding: the most recent bind wins the
+                # reverse (base -> prefix) map used by compact() and the
+                # serialisers, but CURIE resolution is unchanged, so the
+                # generation (and the query caches keyed on it) stays put
+                self._by_base[namespace.base] = prefix
+                return
             self._by_base.pop(old.base, None)
         self._by_prefix[prefix] = namespace
         self._by_base[namespace.base] = prefix
+        self._generation += 1
 
     def namespace(self, prefix: str) -> Optional[Namespace]:
         """Look up the namespace bound to ``prefix`` (or ``None``)."""

@@ -96,3 +96,18 @@ class Triple:
             return term
 
         return Triple(_sub(self.subject), _sub(self.predicate), _sub(self.object))
+
+    def try_substitute(self, bindings: Dict[Variable, Term]) -> Optional["Triple"]:
+        """Substitute, or ``None`` when the result is not a valid pattern.
+
+        A join step can bind a variable to a literal and then meet that
+        variable again in subject (or predicate) position of a later
+        pattern.  No stored triple has a literal subject, so such a step
+        matches nothing — the join operators treat ``None`` as "no
+        solutions" rather than letting the :class:`Triple` constructor
+        raise.
+        """
+        try:
+            return self.substitute(bindings)
+        except TypeError:
+            return None

@@ -297,6 +297,19 @@ class Reasoner:
         result.update(self.graph.objects(individual, OWL.sameAs))
         return result
 
+    def query(self, text: str):
+        """Run a SPARQL-like query over the *entailed* graph.
+
+        Brings the closure up to date first (incremental top-up), then
+        evaluates through the graph's shared cost-based planner, so the
+        answers include inferred triples and repeated queries over an
+        unchanged closure are served from the version-keyed result cache.
+        """
+        from repro.semantics.sparql.evaluator import query as _query
+
+        self.ensure_materialized()
+        return _query(self.graph, text)
+
     def classify_with_restrictions(self, ontology: Ontology) -> int:
         """Type individuals into classes whose restrictions they satisfy.
 

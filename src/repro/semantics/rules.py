@@ -153,8 +153,10 @@ class Rule:
                     continue
             mapping = solution.as_dict()
             for pattern in self.head:
-                triple = pattern.substitute(mapping)
-                if triple.is_ground():
+                # a head that would place a bound literal in subject or
+                # predicate position derives nothing from this solution
+                triple = pattern.try_substitute(mapping)
+                if triple is not None and triple.is_ground():
                     out.add(triple)
 
     def __repr__(self) -> str:

@@ -3,6 +3,12 @@
 Supports the algebra the middleware actually needs: basic graph patterns,
 FILTER expressions, OPTIONAL, UNION, DISTINCT, ORDER BY, LIMIT/OFFSET and
 the SELECT / ASK query forms, with a small textual parser for convenience.
+
+Queries are executed through the cost-based planner in
+:mod:`repro.semantics.sparql.planner` by default: join orders are chosen
+from the graph's cardinality statistics, filters are pushed down, and plans
+and results are cached keyed by query text and invalidated by the graph's
+version counter.
 """
 
 from repro.semantics.sparql.algebra import (
@@ -14,8 +20,18 @@ from repro.semantics.sparql.algebra import (
     Union,
 )
 from repro.semantics.sparql.bindings import Bindings
-from repro.semantics.sparql.evaluator import QueryResult, evaluate, query
+from repro.semantics.sparql.evaluator import QueryResult, evaluate, query, select
 from repro.semantics.sparql.parser import parse_query
+from repro.semantics.sparql.planner import (
+    PlannedBGP,
+    QueryPlan,
+    QueryPlanner,
+    build_plan,
+    estimate_pattern,
+    order_patterns,
+    plan_patterns,
+    planner_for,
+)
 
 __all__ = [
     "BGP",
@@ -28,5 +44,14 @@ __all__ = [
     "QueryResult",
     "evaluate",
     "query",
+    "select",
     "parse_query",
+    "PlannedBGP",
+    "QueryPlan",
+    "QueryPlanner",
+    "build_plan",
+    "estimate_pattern",
+    "order_patterns",
+    "plan_patterns",
+    "planner_for",
 ]

@@ -31,12 +31,27 @@ class Operator:
         return []
 
 
+def apply_filter(predicate: FilterFunction, solution: Bindings) -> bool:
+    """Evaluate a FILTER predicate; an erroring predicate drops the solution.
+
+    Shared by :class:`Filter` and the planner's pushed-down per-join-step
+    filters so both placements have identical error semantics.
+    """
+    try:
+        return bool(predicate(solution))
+    except (TypeError, ValueError, KeyError):
+        return False
+
+
 class BGP(Operator):
     """A basic graph pattern: a conjunction of triple patterns.
 
     Patterns are reordered greedily at evaluation time so that the most
     selective pattern (fewest wildcard positions, respecting already-bound
-    variables) is matched first.
+    variables) is matched first.  This positional heuristic is the naive
+    baseline: the default query path instead compiles a
+    :class:`~repro.semantics.sparql.planner.PlannedBGP`, whose join order
+    is chosen once from the graph's cardinality statistics.
     """
 
     def __init__(self, patterns: Sequence[Triple]):
@@ -87,7 +102,11 @@ class BGP(Operator):
         )
         pattern = remaining[best_idx]
         rest = remaining[:best_idx] + remaining[best_idx + 1:]
-        concrete = pattern.substitute(bindings.as_dict())
+        concrete = pattern.try_substitute(bindings.as_dict())
+        if concrete is None:
+            # a bound literal landed in subject/predicate position: this
+            # conjunction branch can match nothing
+            return
         for triple in graph.triples(tuple(concrete)):
             match = concrete.matches(triple)
             if match is None:
@@ -179,11 +198,7 @@ class Filter(Operator):
 
     def solutions(self, graph: Graph) -> Iterator[Bindings]:
         for solution in self.child.solutions(graph):
-            try:
-                keep = self.predicate(solution)
-            except (TypeError, ValueError, KeyError):
-                keep = False
-            if keep:
+            if apply_filter(self.predicate, solution):
                 yield solution
 
 

@@ -1,8 +1,15 @@
-"""Query evaluation: turning parsed queries into algebra and executing them."""
+"""Query evaluation: turning parsed queries into algebra and executing them.
+
+By default :func:`query` and :func:`select` route through the cost-based
+planner in :mod:`repro.semantics.sparql.planner` (join-order selection from
+graph cardinality statistics, filter pushdown, version-keyed plan / result
+caches); pass ``use_planner=False`` for the naive written-order evaluation,
+which the randomized equivalence tests use as the correctness oracle.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.semantics.rdf.graph import Graph
 from repro.semantics.rdf.namespace import RDF
@@ -17,7 +24,14 @@ from repro.semantics.sparql.algebra import (
     numeric_filter,
 )
 from repro.semantics.sparql.bindings import Bindings
-from repro.semantics.sparql.parser import ParsedPattern, ParsedQuery, parse_query
+from repro.semantics.sparql.parser import (
+    DECIMAL_LITERAL_RE,
+    INTEGER_LITERAL_RE,
+    ParsedFilter,
+    ParsedPattern,
+    ParsedQuery,
+    parse_query,
+)
 
 
 class QueryResult:
@@ -68,6 +82,21 @@ class QueryResult:
         return bool(self.solutions)
 
 
+def _numeric_literal(text: str) -> Optional[Literal]:
+    """Parse ``text`` as a numeric literal, or ``None`` if it is not one.
+
+    Only the parser's canonical numeric-token syntax counts.  Python's
+    int()/float() accept far more (``nan``, ``inf``, ``1e3``, ``1_000``),
+    which would silently turn bare tokens into numbers instead of letting
+    them resolve (or loudly fail to resolve) as prefixed names.
+    """
+    if INTEGER_LITERAL_RE.match(text):
+        return Literal(int(text))
+    if DECIMAL_LITERAL_RE.match(text):
+        return Literal(float(text))
+    return None
+
+
 def _resolve_term(text: str, graph: Graph) -> Term:
     """Resolve a textual query term against the graph's namespaces."""
     text = text.strip()
@@ -81,14 +110,9 @@ def _resolve_term(text: str, graph: Graph) -> Term:
         from repro.semantics.rdf.parser import _parse_literal
 
         return _parse_literal(text)
-    try:
-        return Literal(int(text))
-    except ValueError:
-        pass
-    try:
-        return Literal(float(text))
-    except ValueError:
-        pass
+    numeric = _numeric_literal(text)
+    if numeric is not None:
+        return numeric
     return graph.namespaces.expand(text)
 
 
@@ -104,28 +128,39 @@ def _build_bgp(patterns: Sequence[ParsedPattern], graph: Graph) -> BGP:
     return BGP(triples)
 
 
+def _build_filter(flt: ParsedFilter, graph: Graph) -> Tuple[Variable, Callable[[Bindings], bool]]:
+    """Build a FILTER predicate, returning the variable it constrains.
+
+    Shared with the planner, which uses the variable to decide where the
+    predicate can be pushed down to.  Values with proper numeric-literal
+    syntax become numeric comparisons; everything else resolves as a term
+    and supports (in)equality only.
+    """
+    var = Variable(flt.variable)
+    value_text = flt.value.strip()
+    numeric = _numeric_literal(value_text)
+    if numeric is not None:
+        return var, numeric_filter(var, flt.op, numeric.to_python())
+    target = _resolve_term(value_text, graph)
+
+    def equality(bindings: Bindings, _var=var, _target=target, _op=flt.op) -> bool:
+        bound = bindings.get(_var)
+        if _op in ("=", "=="):
+            return bound == _target
+        if _op == "!=":
+            return bound != _target
+        return False
+
+    return var, equality
+
+
 def _build_algebra(parsed: ParsedQuery, graph: Graph) -> Operator:
     root: Operator = _build_bgp(parsed.patterns, graph)
     for optional in parsed.optional_patterns:
         root = LeftJoin(root, _build_bgp(optional, graph))
     for flt in parsed.filters:
-        var = Variable(flt.variable)
-        value_text = flt.value.strip()
-        try:
-            value = float(value_text)
-            root = Filter(root, numeric_filter(var, flt.op, value))
-        except ValueError:
-            target = _resolve_term(value_text, graph)
-
-            def equality(bindings: Bindings, _var=var, _target=target, _op=flt.op) -> bool:
-                bound = bindings.get(_var)
-                if _op in ("=", "=="):
-                    return bound == _target
-                if _op == "!=":
-                    return bound != _target
-                return False
-
-            root = Filter(root, equality)
+        _, predicate = _build_filter(flt, graph)
+        root = Filter(root, predicate)
     projection_vars = [Variable(name) for name in parsed.variables] or None
     return Projection(
         root,
@@ -143,8 +178,21 @@ def evaluate(graph: Graph, operator: Operator) -> List[Bindings]:
     return list(operator.solutions(graph))
 
 
-def query(graph: Graph, text: str) -> QueryResult:
-    """Parse and evaluate a SELECT or ASK query against ``graph``."""
+def query(graph: Graph, text: str, use_planner: bool = True) -> QueryResult:
+    """Parse and evaluate a SELECT or ASK query against ``graph``.
+
+    With ``use_planner`` (the default) the query runs through the graph's
+    shared :class:`~repro.semantics.sparql.planner.QueryPlanner`: triple
+    patterns are join-ordered by estimated selectivity, filters are pushed
+    down, and both the plan and (bounded) results are cached keyed on the
+    query text and invalidated by :attr:`Graph.version`.  Pass
+    ``use_planner=False`` for the naive written-order evaluation — the
+    correctness oracle of the equivalence tests and the benchmark baseline.
+    """
+    if use_planner:
+        from repro.semantics.sparql.planner import planner_for
+
+        return planner_for(graph).query(graph, text)
     parsed = parse_query(text)
     algebra = _build_algebra(parsed, graph)
     solutions = evaluate(graph, algebra)
@@ -159,8 +207,20 @@ def select(
     patterns: Sequence[Triple],
     variables: Optional[Sequence[Variable]] = None,
     distinct: bool = False,
+    use_planner: bool = True,
 ) -> QueryResult:
-    """Programmatic SELECT over explicit triple patterns (no text parsing)."""
-    algebra = Projection(BGP(list(patterns)), variables=variables, distinct=distinct)
+    """Programmatic SELECT over explicit triple patterns (no text parsing).
+
+    With ``use_planner`` (the default) the patterns are join-ordered by the
+    cost-based planner before evaluation; results are not cached (callers
+    holding explicit patterns typically vary them per call).
+    """
+    if use_planner:
+        from repro.semantics.sparql.planner import plan_patterns
+
+        bgp: Operator = plan_patterns(graph, list(patterns))
+    else:
+        bgp = BGP(list(patterns))
+    algebra = Projection(bgp, variables=variables, distinct=distinct)
     solutions = evaluate(graph, algebra)
     return QueryResult("SELECT", solutions, algebra.variables())

@@ -65,9 +65,19 @@ class ParsedQuery:
     offset: int = 0
 
 
+# Canonical numeric-literal token syntax: an optional sign, digits,
+# optionally a decimal point with digits.  The evaluator's term / FILTER
+# value resolution imports these so the grammar is defined exactly once
+# (note: inside a triple pattern the tokenizer's word boundary cannot see a
+# sign after whitespace, so pattern terms are effectively unsigned; FILTER
+# values accept the full signed syntax).
+NUMERIC_TOKEN = r"[-+]?\d+(?:\.\d+)?"
+INTEGER_LITERAL_RE = re.compile(r"[-+]?\d+\Z")
+DECIMAL_LITERAL_RE = re.compile(r"[-+]?\d+\.\d+\Z")
+
 _TERM_RE = (
     r'(?:<[^>]*>|\?[A-Za-z_]\w*|[A-Za-z_][\w\-]*:[\w\-.]+|"(?:[^"\\]|\\.)*"'
-    r'(?:@[A-Za-z\-]+|\^\^[^\s]+)?|\b[-+]?\d+(?:\.\d+)?\b|\ba\b)'
+    rf'(?:@[A-Za-z\-]+|\^\^[^\s]+)?|\b{NUMERIC_TOKEN}\b|\ba\b)'
 )
 _PATTERN_RE = re.compile(
     rf"\s*(?P<s>{_TERM_RE})\s+(?P<p>{_TERM_RE})\s+(?P<o>{_TERM_RE})\s*\.?\s*"

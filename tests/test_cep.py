@@ -280,6 +280,109 @@ class TestCepEngine:
         assert engine.statistics.events_processed == 0
 
 
+class TestFeedbackEmission:
+    """Each derived event must be emitted and counted exactly once,
+    regardless of the feedback depth it was derived at (regression: the
+    engine used to iterate its derived list while extending it with
+    feedback results, double-emitting and over-counting second-level
+    events)."""
+
+    @staticmethod
+    def _chained_engine(levels, broker=None):
+        engine = CepEngine(broker=broker, feedback=True)
+        for level in range(1, levels + 1):
+            source = "lvl0" if level == 1 else f"lvl{level - 1}"
+            engine.add_rule(CepRule(
+                f"rule{level}", CountPattern(source, 1), 30 * DAY, f"lvl{level}",
+            ))
+        return engine
+
+    def test_two_chained_threshold_rules_emit_each_event_once(self):
+        # the confirmed repro: two chained rules with feedback on used to
+        # hand `very_hot` to listeners twice and report 3 derived events
+        engine = CepEngine(feedback=True)
+        engine.add_rule(CepRule(
+            "hot", ThresholdPattern("air_temperature", 30, "above", min_count=1, min_fraction=0.5),
+            14 * DAY, "hot",
+        ))
+        engine.add_rule(CepRule(
+            "very_hot", CountPattern("hot", 1), 14 * DAY, "very_hot",
+        ))
+        received = []
+        engine.on_derived_event(received.append)
+        derived = engine.process(Event("air_temperature", 35.0, DAY))
+        assert sorted(d.event_type for d in derived) == ["hot", "very_hot"]
+        assert sorted(d.event_type for d in received) == ["hot", "very_hot"]
+        assert engine.statistics.derived_events == 2
+
+    @pytest.mark.parametrize("levels", [1, 2, 3, 4])
+    def test_every_feedback_depth_emits_exactly_once(self, levels):
+        broker = Broker()
+        on_broker = []
+        broker.subscribe("derived/#", lambda m: on_broker.append(m.payload))
+        engine = self._chained_engine(levels, broker=broker)
+        on_listener = []
+        engine.on_derived_event(on_listener.append)
+
+        derived = engine.process(Event("lvl0", 1.0, DAY))
+
+        expected_types = [f"lvl{level}" for level in range(1, levels + 1)]
+        for collection in (derived, on_listener, on_broker):
+            assert sorted(d.event_type for d in collection) == expected_types
+            # exactly once: no object delivered twice either
+            assert len({id(d) for d in collection}) == len(collection)
+        assert engine.statistics.derived_events == levels
+
+    def test_feedback_depth_limit_still_enforced(self):
+        engine = self._chained_engine(4)
+        engine.max_feedback_depth = 2
+        derived = engine.process(Event("lvl0", 1.0, DAY))
+        # depth 0 processes lvl0 -> lvl1; depths 1 and 2 derive lvl2, lvl3;
+        # the lvl3 event is emitted but not re-injected past the limit
+        assert sorted(d.event_type for d in derived) == ["lvl1", "lvl2", "lvl3"]
+        assert engine.statistics.derived_events == 3
+
+
+class TestRemoveRuleIndex:
+    def test_remove_rule_drops_emptied_buckets(self):
+        engine = CepEngine()
+        engine.add_rule(CepRule("r1", AbsencePattern("rainfall"), DAY, "d1"))
+        engine.add_rule(CepRule("r2", AbsencePattern("rainfall"), DAY, "d2"))
+        engine.add_rule(CepRule(
+            "r3",
+            ConjunctionPattern([
+                AbsencePattern("rainfall"),
+                ThresholdPattern("air_temperature", 30, "above", min_count=1),
+            ]),
+            DAY, "d3",
+        ))
+        assert set(engine._index) == {"rainfall", "air_temperature"}
+        engine.remove_rule("r1")
+        # the bucket still serves r2 / r3
+        assert set(engine._index) == {"rainfall", "air_temperature"}
+        engine.remove_rule("r3")
+        assert set(engine._index) == {"rainfall"}
+        engine.remove_rule("r2")
+        # no empty lists left behind after churn
+        assert engine._index == {}
+
+    def test_remove_catch_all_rule(self):
+        class AnyPattern:
+            def evaluate(self, events, now):
+                return None
+
+        engine = CepEngine()
+        engine.add_rule(CepRule("wild", AnyPattern(), DAY, "d"))
+        assert engine._catch_all and engine._index == {}
+        engine.remove_rule("wild")
+        assert engine._catch_all == [] and engine.rules == {}
+
+    def test_remove_missing_rule_is_noop(self):
+        engine = CepEngine()
+        engine.remove_rule("ghost")
+        assert engine.rules == {}
+
+
 class TestRuleDsl:
     def test_threshold_rule(self):
         rule = parse_rule("""

@@ -8,7 +8,7 @@ from repro.semantics.rdf.term import IRI, Literal, Variable
 from repro.semantics.rdf.triple import Triple
 from repro.semantics.sparql.algebra import BGP, Filter, Join, LeftJoin, Projection, Union, numeric_filter
 from repro.semantics.sparql.bindings import Bindings
-from repro.semantics.sparql.evaluator import query, select
+from repro.semantics.sparql.evaluator import _resolve_term, query, select
 from repro.semantics.sparql.parser import QueryParseError, parse_query
 
 EX = Namespace("http://example.org/")
@@ -195,6 +195,55 @@ class TestEndToEndQueries:
             "SELECT ?o WHERE { ?o ex:observedProperty <http://example.org/Rainfall> . }",
         )
         assert len(result) == 1
+
+
+class TestNumericTermResolution:
+    """Only proper numeric-literal syntax may become a number (regression:
+    int()/float() ran before namespace expansion, so bare tokens such as
+    ``nan``, ``inf`` or ``1e3`` silently became numeric literals instead of
+    resolving — or loudly failing to resolve — as prefixed names)."""
+
+    @pytest.mark.parametrize("text,value", [
+        ("30", 30), ("+3", 3), ("-7", -7), ("30.5", 30.5), ("-2.25", -2.25),
+    ])
+    def test_proper_numeric_literals(self, graph, text, value):
+        term = _resolve_term(text, graph)
+        assert isinstance(term, Literal)
+        assert term.to_python() == value
+
+    @pytest.mark.parametrize("text", [
+        "nan", "NaN", "inf", "Infinity", "-inf", "1e3", "1E3", "1_000", "2.",
+    ])
+    def test_ambiguous_tokens_are_not_numbers(self, graph, text):
+        # none of these is a prefixed name either, so resolution fails
+        # loudly instead of silently inventing a float
+        with pytest.raises(KeyError):
+            _resolve_term(text, graph)
+
+    def test_ambiguous_token_with_bound_prefix_expands(self, graph):
+        # a CURIE whose local part parses numerically must still expand
+        term = _resolve_term("ex:123", graph)
+        assert term == EX["123"]
+
+    def test_filter_value_numeric_syntax_only(self, graph):
+        # FILTER values get the same treatment: 1e3 is not numeric-literal
+        # syntax, and it is not a resolvable prefixed name either
+        with pytest.raises(KeyError):
+            query(graph, "SELECT ?v WHERE { ?o ex:hasValue ?v . FILTER (?v < 1e3) }")
+        with pytest.raises(KeyError):
+            query(graph, "SELECT ?v WHERE { ?o ex:hasValue ?v . FILTER (?v < nan) }")
+
+    def test_filter_decimal_and_signed_values_still_work(self, graph):
+        result = query(graph, "SELECT ?v WHERE { ?o ex:hasValue ?v . FILTER (?v > 10.5) }")
+        assert sorted(result.scalars) == [11.0, 31.0]
+        result = query(graph, "SELECT ?v WHERE { ?o ex:hasValue ?v . FILTER (?v > +10) }")
+        assert sorted(result.scalars) == [11.0, 31.0]
+
+    def test_filter_equality_against_resolved_term(self, graph):
+        result = query(graph, """
+            SELECT ?s WHERE { ?o ex:observedBy ?s . FILTER (?s = ex:sensor1) }
+        """)
+        assert result.scalars == [EX.sensor1.value]
 
 
 class TestEvaluatorEdgeCases:
