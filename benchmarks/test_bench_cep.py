@@ -1,10 +1,15 @@
 """E3 -- CEP engine throughput and drought-precursor detection (paper §4, §5)."""
 
+import time
+
 import pytest
 
+import repro.cep.engine as cep_engine_module
 from benchmarks.conftest import print_table
 from repro.cep.engine import CepEngine
 from repro.cep.event import Event
+from repro.cep.patterns import ThresholdPattern
+from repro.cep.rules import CepRule
 from repro.ik.knowledge_base import IndigenousKnowledgeBase
 from repro.ik.rules import derive_cep_rules, sensor_process_rules
 from repro.streams.scheduler import DAY
@@ -35,6 +40,59 @@ def _event_stream(days=120, per_day=12, drought_from=60):
                 events.append(Event("sifennefene_worms", 0.8, day * DAY + observer,
                                     source_id=f"obs-{observer}", area="Mangaung"))
     return events
+
+
+def test_bench_cep_routing_precomputed_fingerprints(monkeypatch):
+    """Routing must reuse fingerprints precomputed at ``add_rule`` time.
+
+    Two properties, one micro-benchmark each:
+
+    * the pattern tree is never re-walked per ``process`` call —
+      ``_pattern_event_types`` is instrumented and must not fire during
+      event processing, and
+    * per-event routing cost stays flat as the registered-rule population
+      grows 10x, because the interest list per event type is a single
+      cached dict probe.
+    """
+    engine = _engine()
+    calls = {"count": 0}
+    original = cep_engine_module._pattern_event_types
+
+    def counting(pattern):
+        calls["count"] += 1
+        return original(pattern)
+
+    monkeypatch.setattr(cep_engine_module, "_pattern_event_types", counting)
+    events = _event_stream(days=30)
+    engine.process_many(events)
+    assert calls["count"] == 0, "pattern fingerprints recomputed during process()"
+
+    def unmatched_routing_seconds(extra_rules: int) -> float:
+        routed = CepEngine(feedback=False)
+        for index in range(extra_rules):
+            routed.add_rule(CepRule(
+                name=f"filler-{index}",
+                pattern=ThresholdPattern(f"filler_type_{index}", -1.0),
+                window_seconds=DAY,
+                derived_event_type=f"filler_derived_{index}",
+            ))
+        stream = [Event("unmatched_type", 0.0, float(i)) for i in range(20_000)]
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            routed.process_many(stream)
+            best = min(best, time.perf_counter() - start)
+        return best / len(stream)
+
+    small = unmatched_routing_seconds(17)
+    large = unmatched_routing_seconds(170)
+    print_table("CEP routing cost per unmatched event", [
+        {"rules": 17, "us_per_event": round(small * 1e6, 3)},
+        {"rules": 170, "us_per_event": round(large * 1e6, 3)},
+    ])
+    # 10x the rules must not translate into anywhere near 10x the per-event
+    # routing cost (generous slack for timer noise)
+    assert large < small * 3
 
 
 def test_bench_cep_throughput(benchmark):

@@ -9,9 +9,10 @@ for the DEWS and dissemination layers.
 
 from __future__ import annotations
 
+import sys
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.cep.event import DerivedEvent, Event
 from repro.cep.patterns import (
@@ -81,22 +82,42 @@ class CepEngine:
         self._listeners: List[DerivedEventListener] = []
         self._index: Dict[str, List[CepRule]] = defaultdict(list)
         self._catch_all: List[CepRule] = []
+        # per-rule pattern fingerprint, computed once at add_rule: the
+        # event types the rule's pattern inspects (walking the pattern
+        # tree per removal — or worse, per event — is avoidable work)
+        self._fingerprints: Dict[str, FrozenSet[str]] = {}
+        # event type -> ready-made "indexed rules + catch-alls" list, so
+        # the per-event hot path is one dict probe with no list
+        # concatenation; invalidated wholesale on rule churn and bounded
+        # so a stream of pathological one-off event types (dynamic or
+        # attacker-chosen strings) cannot grow it forever
+        self._interest: Dict[str, List[CepRule]] = {}
+        self._interest_cache_max = 1024
 
     # ------------------------------------------------------------------ #
     # configuration
     # ------------------------------------------------------------------ #
 
     def add_rule(self, rule: CepRule) -> None:
-        """Register a rule; its pattern's event types are indexed."""
+        """Register a rule; its pattern's event types are indexed.
+
+        The pattern's event-type fingerprint is computed (and its strings
+        interned) here, once: :meth:`process` and :meth:`remove_rule`
+        never re-walk the pattern tree.
+        """
         if rule.name in self.rules:
             raise ValueError(f"duplicate rule name: {rule.name!r}")
         self.rules[rule.name] = rule
-        event_types = _pattern_event_types(rule.pattern)
-        if not event_types:
+        fingerprint = frozenset(
+            sys.intern(event_type) for event_type in _pattern_event_types(rule.pattern)
+        )
+        self._fingerprints[rule.name] = fingerprint
+        if not fingerprint:
             self._catch_all.append(rule)
         else:
-            for event_type in event_types:
+            for event_type in fingerprint:
                 self._index[event_type].append(rule)
+        self._interest.clear()
 
     def add_rules(self, rules: Iterable[CepRule]) -> None:
         """Register several rules."""
@@ -113,7 +134,8 @@ class CepEngine:
         rule = self.rules.pop(name, None)
         if rule is None:
             return
-        event_types = _pattern_event_types(rule.pattern)
+        event_types = self._fingerprints.pop(name, frozenset())
+        self._interest.clear()
         if not event_types:
             if rule in self._catch_all:
                 self._catch_all.remove(rule)
@@ -154,7 +176,13 @@ class CepEngine:
 
     def _process(self, event: Event, depth: int) -> List[DerivedEvent]:
         self.statistics.events_processed += 1
-        interested = self._index.get(event.event_type, []) + self._catch_all
+        interested = self._interest.get(event.event_type)
+        if interested is None:
+            if len(self._interest) >= self._interest_cache_max:
+                self._interest.clear()
+            interested = self._interest[event.event_type] = (
+                self._index.get(event.event_type, []) + self._catch_all
+            )
         matched: List[DerivedEvent] = []
         for rule in interested:
             self.statistics.rule_evaluations += 1

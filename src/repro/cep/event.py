@@ -12,6 +12,7 @@ to decision makers.
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -36,6 +37,10 @@ class Event:
     def __post_init__(self) -> None:
         if self.timestamp < 0:
             raise ValueError("event timestamp must be non-negative")
+        # event types come from a small canonical vocabulary repeated
+        # across millions of events: interning makes every routing-index
+        # probe in the CEP engine a pointer comparison on the fast path
+        self.event_type = sys.intern(self.event_type)
 
     def age_at(self, now: float) -> float:
         """Seconds elapsed between this event and ``now``."""

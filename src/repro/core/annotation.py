@@ -68,6 +68,13 @@ class SemanticAnnotator:
         self._counter = itertools.count(1)
         self.annotated = 0
         self.annotated_sightings = 0
+        # batch-scoped intern memos (see annotate_batch): a 10k-record
+        # batch from 40 motes would otherwise construct and re-validate
+        # 10k equal sensor/platform/feature IRIs before the graph's term
+        # dictionary collapses them to one id
+        self._batch_sensor_iris: Optional[dict] = None
+        self._batch_feature_iris: Optional[dict] = None
+        self._batch_platform_iris: Optional[dict] = None
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -75,12 +82,24 @@ class SemanticAnnotator:
 
     def sensor_iri(self, source_id: str) -> IRI:
         """The IRI of the (possibly human) sensor with this source id."""
-        return AFRICRID[f"sensor/{source_id}"]
+        memo = self._batch_sensor_iris
+        if memo is None:
+            return AFRICRID[f"sensor/{source_id}"]
+        iri = memo.get(source_id)
+        if iri is None:
+            iri = memo[source_id] = AFRICRID[f"sensor/{source_id}"]
+        return iri
 
     def feature_iri(self, observation: CanonicalObservation) -> IRI:
         """The feature-of-interest IRI for an observation."""
         area = observation.area or "unknown-area"
-        return AFRICRID[f"feature/{area.replace(' ', '_')}"]
+        memo = self._batch_feature_iris
+        if memo is None:
+            return AFRICRID[f"feature/{area.replace(' ', '_')}"]
+        iri = memo.get(area)
+        if iri is None:
+            iri = memo[area] = AFRICRID[f"feature/{area.replace(' ', '_')}"]
+        return iri
 
     # ------------------------------------------------------------------ #
     # triple generation
@@ -123,7 +142,15 @@ class SemanticAnnotator:
         if property_iri is not None:
             triples.append(Triple(sensor_iri, SSN.observes, property_iri))
         if observation.location is not None:
-            platform_iri = AFRICRID[f"platform/{observation.source_id}"]
+            platform_memo = self._batch_platform_iris
+            if platform_memo is None:
+                platform_iri = AFRICRID[f"platform/{observation.source_id}"]
+            else:
+                platform_iri = platform_memo.get(observation.source_id)
+                if platform_iri is None:
+                    platform_iri = platform_memo[observation.source_id] = AFRICRID[
+                        f"platform/{observation.source_id}"
+                    ]
             triples.extend(
                 [
                     Triple(sensor_iri, SSN.onPlatform, platform_iri),
@@ -200,12 +227,27 @@ class SemanticAnnotator:
 
         Per-result ``triples_added`` reports generated (pre-deduplication)
         triples; read the graph size around the call for exact growth.
+
+        Term construction is interned per batch: the sensor, platform and
+        feature IRIs a batch repeats (a handful of motes and areas across
+        thousands of records) are built once and reused, so the graph's
+        dictionary encode of the committed triples hits already-hashed
+        term objects.  The memos are batch-scoped on purpose — they die
+        with the call, so an unbounded source-id population cannot leak.
         """
         results: List[AnnotationResult] = []
         triples: List[Triple] = []
-        for observation in observations:
-            result, observation_triples = self._generate(observation)
-            results.append(result)
-            triples.extend(observation_triples)
+        self._batch_sensor_iris = {}
+        self._batch_feature_iris = {}
+        self._batch_platform_iris = {}
+        try:
+            for observation in observations:
+                result, observation_triples = self._generate(observation)
+                results.append(result)
+                triples.extend(observation_triples)
+        finally:
+            self._batch_sensor_iris = None
+            self._batch_feature_iris = None
+            self._batch_platform_iris = None
         self.graph.add_all(triples)
         return results

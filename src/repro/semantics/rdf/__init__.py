@@ -3,10 +3,12 @@
 from repro.semantics.rdf.term import IRI, Literal, BlankNode, Variable, Term
 from repro.semantics.rdf.namespace import Namespace, NamespaceManager, RDF, RDFS, OWL, XSD
 from repro.semantics.rdf.triple import Triple
+from repro.semantics.rdf.dictionary import TermDictionary
 from repro.semantics.rdf.graph import ChangeTracker, Graph, GraphDelta
 
 __all__ = [
     "Term",
+    "TermDictionary",
     "IRI",
     "Literal",
     "BlankNode",

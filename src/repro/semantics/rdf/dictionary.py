@@ -1,0 +1,113 @@
+"""Dictionary encoding of RDF terms to dense integer ids.
+
+Every hot path of the middleware — batch ingestion, basic-graph-pattern
+joins, semi-naive rule firing — ultimately probes the triple indexes of a
+:class:`~repro.semantics.rdf.graph.Graph`.  Probing with full term objects
+pays for structural hashing and ``__eq__`` calls on every lookup; probing
+with small integers is a single C-level compare.  A :class:`TermDictionary`
+interns each distinct term once, assigning it a dense id (0, 1, 2, ...),
+so the graph can store and join ``(int, int, int)`` tuples and decode back
+to terms only at projection / serialisation / listener boundaries.
+
+Guarantees:
+
+* **Append-only / stable ids** — a term's id never changes and is never
+  reused, even when the graph is cleared.  Consumers may therefore hold
+  encoded triples (change-tracker journals, cached solutions) across
+  mutations and decode them later.
+* **Structural identity** — ids follow term *equality*, so two ``==``
+  -distinct literals that happen to be string-equal (``"5"^^xsd:integer``
+  vs ``"5"^^xsd:string`` vs ``"5"@en``) receive distinct ids, while equal
+  terms constructed independently share one id.
+* **Lookups never intern** — :meth:`lookup` is the read-side API; query
+  constants that are absent from the dictionary simply cannot match and
+  must not grow it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.semantics.rdf.term import Term
+from repro.semantics.rdf.triple import Triple
+
+#: An encoded triple.
+TripleIds = Tuple[int, int, int]
+
+
+class TermDictionary:
+    """A bidirectional, append-only mapping between terms and dense ids."""
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Term, int] = {}
+        self._terms: List[Term] = []
+
+    # -- encoding (write side) ----------------------------------------- #
+
+    def encode(self, term: Term) -> int:
+        """Intern ``term``, returning its (possibly fresh) id."""
+        term_id = self._ids.get(term)
+        if term_id is None:
+            term_id = len(self._terms)
+            self._ids[term] = term_id
+            self._terms.append(term)
+        return term_id
+
+    def encode_triple(self, triple: Triple) -> TripleIds:
+        """Intern all three positions of a ground triple."""
+        encode = self.encode
+        return (encode(triple.subject), encode(triple.predicate), encode(triple.object))
+
+    # -- lookup (read side, never interns) ----------------------------- #
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """The id of ``term``, or ``None`` when it was never interned."""
+        return self._ids.get(term)
+
+    def lookup_triple(self, triple: Triple) -> Optional[TripleIds]:
+        """Encode a ground triple without interning; ``None`` if any part is unknown."""
+        ids = self._ids
+        s = ids.get(triple.subject)
+        if s is None:
+            return None
+        p = ids.get(triple.predicate)
+        if p is None:
+            return None
+        o = ids.get(triple.object)
+        if o is None:
+            return None
+        return (s, p, o)
+
+    # -- decoding ------------------------------------------------------ #
+
+    @property
+    def terms(self) -> List[Term]:
+        """The id -> term table (treat as read-only; hot paths index it)."""
+        return self._terms
+
+    def decode(self, term_id: int) -> Term:
+        """The term interned under ``term_id``."""
+        return self._terms[term_id]
+
+    def decode_triple(self, ids: TripleIds) -> Triple:
+        """Rebuild a :class:`Triple` from an encoded triple."""
+        terms = self._terms
+        return Triple(terms[ids[0]], terms[ids[1]], terms[ids[2]])
+
+    def decode_triples(self, encoded: Iterable[TripleIds]) -> List[Triple]:
+        """Decode many encoded triples, preserving order."""
+        terms = self._terms
+        return [Triple(terms[s], terms[p], terms[o]) for s, p, o in encoded]
+
+    # -- introspection ------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._ids
+
+    def __repr__(self) -> str:
+        return f"<TermDictionary {len(self._terms)} terms>"

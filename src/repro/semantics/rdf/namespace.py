@@ -26,12 +26,13 @@ class Namespace:
     >>> EX["soil moisture"]          # doctest: +SKIP
     """
 
-    __slots__ = ("_base",)
+    __slots__ = ("_base", "_attr_cache")
 
     def __init__(self, base: str):
         if not base:
             raise ValueError("namespace base must be non-empty")
         self._base = base
+        self._attr_cache: Dict[str, IRI] = {}
 
     @property
     def base(self) -> str:
@@ -43,9 +44,17 @@ class Namespace:
         return IRI(self._base + name)
 
     def __getattr__(self, name: str) -> IRI:
+        # attribute access reaches a *fixed* vocabulary (``SSN.Observation``)
+        # spelled in source code, so memoising it is bounded — and it is on
+        # the annotation hot path, where rebuilding (and re-validating) the
+        # same IRI per record dominated triple generation.  Dynamic names
+        # (``ns[f"observation/{i}"]``) stay uncached: they are unbounded.
         if name.startswith("_"):
             raise AttributeError(name)
-        return self.term(name)
+        iri = self._attr_cache.get(name)
+        if iri is None:
+            iri = self._attr_cache[name] = self.term(name)
+        return iri
 
     def __getitem__(self, name: str) -> IRI:
         return self.term(name)

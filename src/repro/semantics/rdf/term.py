@@ -56,7 +56,7 @@ class IRI(Term):
         If the IRI contains characters that RDF forbids inside ``<...>``.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
     _ORDER = 0
 
     def __init__(self, value: str):
@@ -65,6 +65,7 @@ class IRI(Term):
         if _IRI_FORBIDDEN.search(value):
             raise ValueError(f"invalid character in IRI: {value!r}")
         object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("IRI", value)))
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("IRI is immutable")
@@ -79,7 +80,7 @@ class IRI(Term):
         return isinstance(other, IRI) and other.value == self.value
 
     def __hash__(self) -> int:
-        return hash(("IRI", self.value))
+        return self._hash
 
     def n3(self) -> str:
         """N-Triples / Turtle representation, e.g. ``<http://...>``."""
@@ -136,7 +137,7 @@ class Literal(Term):
     the query FILTER evaluation and the CEP engine use for comparisons.
     """
 
-    __slots__ = ("lexical", "datatype", "lang")
+    __slots__ = ("lexical", "datatype", "lang", "_hash")
     _ORDER = 2
 
     def __init__(
@@ -165,6 +166,7 @@ class Literal(Term):
         object.__setattr__(self, "lexical", lexical)
         object.__setattr__(self, "datatype", datatype)
         object.__setattr__(self, "lang", lang)
+        object.__setattr__(self, "_hash", hash(("Literal", lexical, datatype, lang)))
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Literal is immutable")
@@ -186,7 +188,7 @@ class Literal(Term):
         )
 
     def __hash__(self) -> int:
-        return hash(("Literal", self.lexical, self.datatype, self.lang))
+        return self._hash
 
     def n3(self) -> str:
         escaped = (
@@ -226,14 +228,16 @@ class BlankNode(Term):
     sequential one (``_:b0``, ``_:b1``, ...).
     """
 
-    __slots__ = ("id",)
+    __slots__ = ("id", "_hash")
     _ORDER = 1
     _counter = itertools.count()
 
     def __init__(self, node_id: Optional[str] = None):
         if node_id is None:
             node_id = f"b{next(BlankNode._counter)}"
-        object.__setattr__(self, "id", str(node_id))
+        node_id = str(node_id)
+        object.__setattr__(self, "id", node_id)
+        object.__setattr__(self, "_hash", hash(("BlankNode", node_id)))
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("BlankNode is immutable")
@@ -248,7 +252,7 @@ class BlankNode(Term):
         return isinstance(other, BlankNode) and other.id == self.id
 
     def __hash__(self) -> int:
-        return hash(("BlankNode", self.id))
+        return self._hash
 
     def n3(self) -> str:
         return f"_:{self.id}"
@@ -261,7 +265,7 @@ class Variable(Term):
     patterns used by the SPARQL evaluator and the rule engine.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
     _ORDER = 3
 
     def __init__(self, name: str):
@@ -269,6 +273,7 @@ class Variable(Term):
         if not name:
             raise ValueError("variable name must be non-empty")
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("Variable", name)))
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Variable is immutable")
@@ -283,7 +288,7 @@ class Variable(Term):
         return isinstance(other, Variable) and other.name == self.name
 
     def __hash__(self) -> int:
-        return hash(("Variable", self.name))
+        return self._hash
 
     def n3(self) -> str:
         return f"?{self.name}"
@@ -292,15 +297,29 @@ class Variable(Term):
         return False
 
 
+#: A whole string that is an absolute IRI: a URI scheme (RFC 3986: ALPHA
+#: then ALPHA / DIGIT / "+" / "-" / "."), ``://``, then at least one more
+#: character, none of which RDF forbids inside ``<...>``.  Anchored at both
+#: ends on purpose: free text that merely *embeds* a URL ("see http://x.org
+#: for details") must stay a literal.
+_ABSOLUTE_IRI_RE = re.compile(
+    r"\A[A-Za-z][A-Za-z0-9+.\-]*://[^<>\"{}|^`\\\s]+\Z"
+)
+
+
 def as_term(value: Any) -> Term:
     """Coerce a Python value into an RDF term.
 
-    Strings that look like IRIs (contain ``://``) become :class:`IRI`; other
-    native values become :class:`Literal`; existing terms pass through.
+    Strings whose *entire* text parses as an absolute IRI (scheme followed
+    by ``://`` and a non-empty remainder with no whitespace or characters
+    RDF forbids in ``<...>``) become :class:`IRI`.  Strings that merely
+    embed a URL somewhere inside free text — alert messages, descriptions —
+    stay :class:`Literal`.  Other native values become :class:`Literal`;
+    existing terms pass through.
     """
     if isinstance(value, Term):
         return value
-    if isinstance(value, str) and "://" in value:
+    if isinstance(value, str) and _ABSOLUTE_IRI_RE.match(value):
         return IRI(value)
     if isinstance(value, (str, int, float, bool)):
         return Literal(value)

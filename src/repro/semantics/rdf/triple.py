@@ -16,7 +16,7 @@ from repro.semantics.rdf.term import BlankNode, IRI, Literal, Term, Variable
 class Triple:
     """An immutable RDF triple or triple pattern."""
 
-    __slots__ = ("subject", "predicate", "object")
+    __slots__ = ("subject", "predicate", "object", "_hash")
 
     def __init__(self, subject: Term, predicate: Term, obj: Term):
         if not isinstance(subject, (IRI, BlankNode, Variable)):
@@ -28,6 +28,7 @@ class Triple:
         object.__setattr__(self, "subject", subject)
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "object", obj)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Triple is immutable")
@@ -47,7 +48,13 @@ class Triple:
         )
 
     def __hash__(self) -> int:
-        return hash((self.subject, self.predicate, self.object))
+        # computed lazily: most triples are encoded to id tuples at the
+        # graph boundary and never hashed as objects at all
+        cached = self._hash
+        if cached is None:
+            cached = hash((self.subject, self.predicate, self.object))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:
         return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"

@@ -201,9 +201,17 @@ class Reasoner:
     triples are never retracted when their premises are removed.
     """
 
-    def __init__(self, graph: Graph, extra_rules: Optional[Iterable[Rule]] = None):
+    def __init__(
+        self,
+        graph: Graph,
+        extra_rules: Optional[Iterable[Rule]] = None,
+        use_ids: bool = True,
+    ):
         self.graph = graph
-        self._engine = RuleEngine(_rdfs_owl_rules())
+        # use_ids selects the dictionary-encoded join loop for rule firing
+        # (the default); the decoded-object loop is kept as the oracle the
+        # randomized encoded-vs-decoded equivalence suite compares against
+        self._engine = RuleEngine(_rdfs_owl_rules(), use_ids=use_ids)
         if extra_rules:
             self._engine.extend(extra_rules)
         self._tracker = graph.track_changes()

@@ -83,13 +83,20 @@ class Rule:
             predicates.add(pattern.predicate)
         return frozenset(predicates)
 
-    def derive(self, graph: Graph) -> Set[Triple]:
-        """All head triples derivable from ``graph`` by this rule."""
+    def derive(self, graph: Graph, use_ids: bool = True) -> Set[Triple]:
+        """All head triples derivable from ``graph`` by this rule.
+
+        ``use_ids`` selects the dictionary-encoded join loop (variables
+        bound to integer ids, decoded only per solution); pass ``False``
+        for the decoded-object join, the equivalence oracle.
+        """
         derived: Set[Triple] = set()
-        self._instantiate(BGP(list(self.body)).solutions(graph), derived)
+        self._instantiate(
+            BGP(list(self.body), use_ids=use_ids).solutions(graph), derived
+        )
         return derived
 
-    def derive_delta(self, graph: Graph, delta: Graph) -> Set[Triple]:
+    def derive_delta(self, graph: Graph, delta: Graph, use_ids: bool = True) -> Set[Triple]:
         """Head triples of matches that use at least one ``delta`` triple.
 
         Semi-naive evaluation: every new solution must bind some body atom
@@ -101,7 +108,9 @@ class Rule:
         """
         derived: Set[Triple] = set()
         for index, seed_pattern in enumerate(self.body):
-            rest = BGP([p for i, p in enumerate(self.body) if i != index])
+            rest = BGP(
+                [p for i, p in enumerate(self.body) if i != index], use_ids=use_ids
+            )
             allowed = self._allowed_predicates(graph, index)
             for triple in delta.triples(tuple(seed_pattern)):
                 if allowed is not None and triple.predicate not in allowed:
@@ -181,9 +190,18 @@ class InferenceTrace:
 class RuleEngine:
     """Forward-chaining engine applying a rule set to a graph to fixpoint."""
 
-    def __init__(self, rules: Optional[Iterable[Rule]] = None, max_iterations: int = 100):
+    def __init__(
+        self,
+        rules: Optional[Iterable[Rule]] = None,
+        max_iterations: int = 100,
+        use_ids: bool = True,
+    ):
         self.rules: List[Rule] = list(rules or [])
         self.max_iterations = max_iterations
+        #: Join over dictionary-encoded ids (default) or decoded term
+        #: objects (the equivalence oracle used by the randomized
+        #: encoded-vs-decoded suite).
+        self.use_ids = use_ids
         self._predicate_index: Optional[Dict[Term, List[Rule]]] = None
         self._wildcard_rules: List[Rule] = []
 
@@ -228,7 +246,10 @@ class RuleEngine:
         for iteration in range(self.max_iterations):
             added_this_round = 0
             for rule in self.rules:
-                new_triples = [t for t in rule.derive(graph) if t not in graph]
+                new_triples = [
+                    t for t in rule.derive(graph, use_ids=self.use_ids)
+                    if t not in graph
+                ]
                 for triple in new_triples:
                     graph.add(triple)
                 trace.record(rule.name, len(new_triples))
@@ -254,7 +275,10 @@ class RuleEngine:
             return trace
         index = self._body_index()
         for iteration in range(self.max_iterations):
-            delta_graph = Graph()
+            # the delta graph shares the main graph's dictionary: frontier
+            # triples are already interned there, so seeding re-uses their
+            # ids instead of growing a private term table every round
+            delta_graph = Graph(dictionary=graph.dictionary)
             for triple in frontier:
                 delta_graph.add(triple)
             candidates = {id(rule) for rule in self._wildcard_rules}
@@ -265,7 +289,8 @@ class RuleEngine:
                 if id(rule) not in candidates:
                     continue
                 new_triples = [
-                    t for t in rule.derive_delta(graph, delta_graph) if t not in graph
+                    t for t in rule.derive_delta(graph, delta_graph, use_ids=self.use_ids)
+                    if t not in graph
                 ]
                 for triple in new_triples:
                     graph.add(triple)

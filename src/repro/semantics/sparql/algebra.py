@@ -9,14 +9,169 @@ the scale the middleware needs.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.semantics.rdf.graph import Graph
 from repro.semantics.rdf.term import Literal, Term, Variable
 from repro.semantics.rdf.triple import Triple
-from repro.semantics.sparql.bindings import EMPTY_BINDINGS, Bindings
+from repro.semantics.sparql.bindings import (
+    EMPTY_BINDINGS,
+    Bindings,
+    bindings_from_mapping,
+)
 
 FilterFunction = Callable[[Bindings], bool]
+
+#: One position of an id-encoded pattern: a ground term id or a variable.
+EncodedEntry = Union[int, Variable]
+EncodedPattern = Tuple[EncodedEntry, EncodedEntry, EncodedEntry]
+
+
+# --------------------------------------------------------------------- #
+# id-space join machinery (shared by BGP and the planner's PlannedBGP)
+# --------------------------------------------------------------------- #
+
+def encode_bgp_patterns(
+    graph: Graph, patterns: Sequence[Triple]
+) -> Optional[List[EncodedPattern]]:
+    """Encode pattern terms against the graph's dictionary.
+
+    Ground terms become ids (looked up, never interned); variables pass
+    through.  Returns ``None`` when any ground term is unknown to the
+    dictionary — no stored triple can match such a conjunction, so the
+    caller yields nothing.
+    """
+    lookup = graph.dictionary.lookup
+    encoded: List[EncodedPattern] = []
+    for pattern in patterns:
+        row = []
+        for term in pattern:
+            if isinstance(term, Variable):
+                row.append(term)
+            else:
+                term_id = lookup(term)
+                if term_id is None:
+                    return None
+                row.append(term_id)
+        encoded.append((row[0], row[1], row[2]))
+    return encoded
+
+
+def encode_initial_bindings(
+    graph: Graph, bindings: Bindings, pattern_vars: set
+) -> Optional[Tuple[Dict[Variable, int], Dict[Variable, Term]]]:
+    """Split an initial solution mapping for an id-space join.
+
+    Variables the conjunction mentions are encoded to ids (a binding to a
+    term the dictionary has never seen can match nothing: ``None`` is
+    returned and the join yields no solutions); variables the conjunction
+    never touches are kept decoded and re-attached verbatim to every
+    produced solution.
+    """
+    lookup = graph.dictionary.lookup
+    bound: Dict[Variable, int] = {}
+    passthrough: Dict[Variable, Term] = {}
+    for var, term in bindings.items():
+        if var in pattern_vars:
+            term_id = lookup(term)
+            if term_id is None:
+                return None
+            bound[var] = term_id
+        else:
+            passthrough[var] = term
+    return bound, passthrough
+
+
+def _free_positions(pattern: EncodedPattern, bound: Dict[Variable, int]) -> int:
+    count = 0
+    for entry in pattern:
+        if entry.__class__ is not int and entry not in bound:
+            count += 1
+    return count
+
+
+def match_encoded(
+    graph: Graph,
+    remaining: List[EncodedPattern],
+    bound: Dict[Variable, int],
+    step_filters: Optional[List[List]] = None,
+) -> Iterator[Dict[Variable, int]]:
+    """Join encoded patterns over the graph's int indexes.
+
+    The one id-space join loop shared by :class:`BGP` (dynamic order: most
+    selective pattern first, fewest unbound positions under the current
+    ``bound``) and the planner's ``PlannedBGP`` (``step_filters`` given:
+    patterns are joined in the planner's fixed order, and each step's
+    pushed-down ``(variable, predicate)`` filters run the moment a
+    candidate extends the binding, decoding only that one variable).
+
+    Yields the *same* ``bound`` dictionary at every solution, mutated in
+    place between yields — consumers must copy or decode it before
+    advancing the generator.  Binding, probing and the repeated-variable
+    consistency check are all integer operations.
+    """
+    if not remaining:
+        yield bound
+        return
+    if step_filters is None:
+        best_index = min(
+            range(len(remaining)), key=lambda i: _free_positions(remaining[i], bound)
+        )
+        pattern = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1:]
+        filters = None
+        rest_filters = None
+    else:
+        pattern = remaining[0]
+        rest = remaining[1:]
+        filters = step_filters[0]
+        rest_filters = step_filters[1:]
+    s, p, o = pattern
+    resolved_s = s if s.__class__ is int else bound.get(s)
+    resolved_p = p if p.__class__ is int else bound.get(p)
+    resolved_o = o if o.__class__ is int else bound.get(o)
+    get = bound.get
+    terms = graph.dictionary.terms if filters else None
+    # the three positions are unrolled (no zip/tuple iteration): this loop
+    # body runs once per join candidate and dominates BGP evaluation.  A
+    # position is "free" when its resolved id is None; a variable seen
+    # again later in the same pattern must re-bind to the same id.
+    for candidate in graph.triples_ids((resolved_s, resolved_p, resolved_o)):
+        newly: List[Variable] = []
+        consistent = True
+        if resolved_s is None:
+            current = get(s)
+            if current is None:
+                bound[s] = candidate[0]
+                newly.append(s)
+            elif current != candidate[0]:
+                consistent = False
+        if consistent and resolved_p is None:
+            current = get(p)
+            if current is None:
+                bound[p] = candidate[1]
+                newly.append(p)
+            elif current != candidate[1]:
+                consistent = False
+        if consistent and resolved_o is None:
+            current = get(o)
+            if current is None:
+                bound[o] = candidate[2]
+                newly.append(o)
+            elif current != candidate[2]:
+                consistent = False
+        if consistent and filters:
+            for filter_var, predicate in filters:
+                # the planner only pushes a filter to a step at which its
+                # variable is bound, so the lookup cannot miss
+                probe = bindings_from_mapping({filter_var: terms[bound[filter_var]]})
+                if not apply_filter(predicate, probe):
+                    consistent = False
+                    break
+        if consistent:
+            yield from match_encoded(graph, rest, bound, rest_filters)
+        for var in newly:
+            del bound[var]
 
 
 class Operator:
@@ -52,10 +207,18 @@ class BGP(Operator):
     baseline: the default query path instead compiles a
     :class:`~repro.semantics.sparql.planner.PlannedBGP`, whose join order
     is chosen once from the graph's cardinality statistics.
+
+    By default (``use_ids=True``) the join runs over the graph's
+    dictionary-encoded indexes: ground terms are resolved to integer ids
+    once per evaluation, variables bind to ids, and solutions are decoded
+    to terms only as they are yielded.  ``use_ids=False`` keeps the
+    original decoded-object join — the equivalence oracle, mirroring the
+    ``use_planner=False`` convention of the evaluator.
     """
 
-    def __init__(self, patterns: Sequence[Triple]):
+    def __init__(self, patterns: Sequence[Triple], use_ids: bool = True):
         self.patterns = list(patterns)
+        self.use_ids = use_ids
 
     def variables(self) -> List[Variable]:
         seen: List[Variable] = []
@@ -86,7 +249,28 @@ class BGP(Operator):
         if not self.patterns:
             yield bindings
             return
-        yield from self._match(graph, list(self.patterns), bindings)
+        if self.use_ids:
+            yield from self._solutions_from_ids(graph, bindings)
+        else:
+            yield from self._match(graph, list(self.patterns), bindings)
+
+    def _solutions_from_ids(self, graph: Graph, bindings: Bindings) -> Iterator[Bindings]:
+        encoded = encode_bgp_patterns(graph, self.patterns)
+        if encoded is None:
+            return
+        pattern_vars = {v for p in self.patterns for v in p.variables()}
+        split = encode_initial_bindings(graph, bindings, pattern_vars)
+        if split is None:
+            return
+        bound, passthrough = split
+        terms = graph.dictionary.terms
+        for solution in match_encoded(graph, encoded, bound):
+            mapping: Dict[Variable, Term] = {
+                var: terms[term_id] for var, term_id in solution.items()
+            }
+            if passthrough:
+                mapping.update(passthrough)
+            yield bindings_from_mapping(mapping)
 
     def _match(
         self, graph: Graph, remaining: List[Triple], bindings: Bindings

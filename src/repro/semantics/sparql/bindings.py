@@ -84,4 +84,18 @@ class Bindings:
         return f"Bindings({inner})"
 
 
+def bindings_from_mapping(mapping: Dict[Variable, Term]) -> Bindings:
+    """Wrap ``mapping`` in a :class:`Bindings` *without copying it*.
+
+    Fast-path constructor for the id-space join loops, which decode one
+    freshly built mapping per solution: the defensive copy in
+    ``Bindings.__init__`` would double the allocation on the hottest
+    decode boundary.  The caller must hand over ownership of ``mapping``
+    and never mutate it afterwards.
+    """
+    solution = object.__new__(Bindings)
+    object.__setattr__(solution, "_map", mapping)
+    return solution
+
+
 EMPTY_BINDINGS = Bindings()

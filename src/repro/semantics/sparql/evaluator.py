@@ -125,7 +125,10 @@ def _build_bgp(patterns: Sequence[ParsedPattern], graph: Graph) -> BGP:
         )
         for p in patterns
     ]
-    return BGP(triples)
+    # the naive evaluation path is the equivalence oracle for *both* the
+    # planner's join ordering and the dictionary-encoded join loop, so it
+    # deliberately joins decoded term objects
+    return BGP(triples, use_ids=False)
 
 
 def _build_filter(flt: ParsedFilter, graph: Graph) -> Tuple[Variable, Callable[[Bindings], bool]]:
@@ -220,7 +223,8 @@ def select(
 
         bgp: Operator = plan_patterns(graph, list(patterns))
     else:
-        bgp = BGP(list(patterns))
+        # written-order decoded-object join: the equivalence oracle
+        bgp = BGP(list(patterns), use_ids=False)
     algebra = Projection(bgp, variables=variables, distinct=distinct)
     solutions = evaluate(graph, algebra)
     return QueryResult("SELECT", solutions, algebra.variables())

@@ -47,7 +47,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.semantics.rdf.graph import Graph
-from repro.semantics.rdf.term import Variable
+from repro.semantics.rdf.term import Term, Variable
 from repro.semantics.rdf.triple import Triple
 from repro.semantics.sparql.algebra import (
     Filter,
@@ -55,9 +55,15 @@ from repro.semantics.sparql.algebra import (
     LeftJoin,
     Operator,
     Projection,
-    apply_filter,
+    encode_bgp_patterns,
+    encode_initial_bindings,
+    match_encoded,
 )
-from repro.semantics.sparql.bindings import EMPTY_BINDINGS, Bindings
+from repro.semantics.sparql.bindings import (
+    EMPTY_BINDINGS,
+    Bindings,
+    bindings_from_mapping,
+)
 from repro.semantics.sparql.evaluator import (
     QueryResult,
     _build_filter,
@@ -136,6 +142,11 @@ def order_patterns(
 # the planned BGP operator
 # --------------------------------------------------------------------- #
 
+#: A FILTER pushed into a join step: the variable it constrains (already
+#: bound at that step, by construction) plus the predicate itself.
+StepFilter = Tuple[Variable, FilterFunction]
+
+
 class PlannedBGP(Operator):
     """A basic graph pattern evaluated in a fixed pre-planned join order.
 
@@ -145,6 +156,13 @@ class PlannedBGP(Operator):
     FILTER predicates that are applied the moment their variable is bound,
     before the partial solution fans out into deeper steps.
 
+    The join itself runs in id space: ground pattern terms are resolved to
+    dictionary ids once per evaluation, variables bind to ids, and every
+    probe / extension / consistency check is an integer operation.  A
+    pushed-down filter decodes exactly the one variable it constrains (the
+    parser's FILTER syntax is single-variable); full solutions are decoded
+    to terms only as they leave the operator.
+
     ``source_patterns`` preserves the written pattern order purely for
     :meth:`variables`, so ``SELECT *`` projections list variables in the
     order the author introduced them regardless of the join order chosen.
@@ -153,7 +171,7 @@ class PlannedBGP(Operator):
     def __init__(
         self,
         patterns: Sequence[Triple],
-        step_filters: Optional[Sequence[Sequence[FilterFunction]]] = None,
+        step_filters: Optional[Sequence[Sequence[StepFilter]]] = None,
         source_patterns: Optional[Sequence[Triple]] = None,
     ):
         self.patterns = list(patterns)
@@ -179,30 +197,26 @@ class PlannedBGP(Operator):
         if not self.patterns:
             yield bindings
             return
-        yield from self._match(graph, 0, bindings)
-
-    def _match(self, graph: Graph, index: int, bindings: Bindings) -> Iterator[Bindings]:
-        if index == len(self.patterns):
-            yield bindings
+        encoded = encode_bgp_patterns(graph, self.patterns)
+        if encoded is None:
+            # a ground query term the graph has never interned: nothing
+            # stored can match the conjunction
             return
-        concrete = self.patterns[index].try_substitute(bindings.as_dict())
-        if concrete is None:
-            # a bound literal landed in subject/predicate position: this
-            # join branch can match nothing
+        pattern_vars = {v for p in self.patterns for v in p.variables()}
+        split = encode_initial_bindings(graph, bindings, pattern_vars)
+        if split is None:
             return
-        filters = self.step_filters[index]
-        for triple in graph.triples(tuple(concrete)):
-            match = concrete.matches(triple)
-            if match is None:
-                continue
-            extended = bindings.merge(Bindings(match))
-            if extended is None:
-                continue
-            if filters and not all(
-                apply_filter(predicate, extended) for predicate in filters
-            ):
-                continue
-            yield from self._match(graph, index + 1, extended)
+        bound, passthrough = split
+        terms = graph.dictionary.terms
+        # the shared id-join loop, in this plan's fixed order with the
+        # pushed-down per-step filters applied as variables bind
+        for solution in match_encoded(graph, encoded, bound, self.step_filters):
+            mapping: Dict[Variable, Term] = {
+                var: terms[term_id] for var, term_id in solution.items()
+            }
+            if passthrough:
+                mapping.update(passthrough)
+            yield bindings_from_mapping(mapping)
 
 
 def plan_patterns(
@@ -272,7 +286,7 @@ def build_plan(graph: Graph, parsed: ParsedQuery) -> QueryPlan:
     # filter over an OPTIONAL-only (or nowhere-bound) variable must keep
     # the naive placement above the left-joins to preserve semantics.
     filters = [_build_filter(flt, graph) for flt in parsed.filters]
-    step_filters: List[List[FilterFunction]] = [[] for _ in ordered]
+    step_filters: List[List[StepFilter]] = [[] for _ in ordered]
     outer_filters: List[FilterFunction] = []
     cumulative: Set[Variable] = set()
     bound_after: List[Set[Variable]] = []
@@ -283,7 +297,7 @@ def build_plan(graph: Graph, parsed: ParsedQuery) -> QueryPlan:
         if var in core_vars and ordered:
             for index, bound in enumerate(bound_after):
                 if var in bound:
-                    step_filters[index].append(predicate)
+                    step_filters[index].append((var, predicate))
                     break
         else:
             outer_filters.append(predicate)

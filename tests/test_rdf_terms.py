@@ -124,6 +124,39 @@ class TestAsTerm:
         with pytest.raises(TypeError):
             as_term(object())
 
+    def test_free_text_embedding_url_stays_literal(self):
+        # regression: strings that merely *contain* a URL (alert messages,
+        # descriptions) must not be silently coerced to IRI
+        for text in [
+            "Alert: see http://example.org/advisory for details",
+            "visit https://x.org or call",
+            "prefix http://x.org",
+            "http://x.org then more words",
+        ]:
+            term = as_term(text)
+            assert isinstance(term, Literal), text
+            assert term.lexical == text
+
+    def test_whole_string_iris_still_coerce(self):
+        for text in [
+            "http://example.org/x",
+            "https://example.org/path?q=1#frag",
+            "urn-like+scheme://host/path",
+            "coap://device-7/sensors/3",
+        ]:
+            term = as_term(text)
+            assert isinstance(term, IRI), text
+            assert term.value == text
+
+    def test_scheme_must_lead_with_alpha(self):
+        assert isinstance(as_term("1http://x.org"), Literal)
+        assert isinstance(as_term("://x.org"), Literal)
+
+    def test_forbidden_iri_characters_stay_literal(self):
+        # would be rejected by the IRI constructor; as_term must not raise
+        assert isinstance(as_term('http://x.org/"quoted"'), Literal)
+        assert isinstance(as_term("http://x.org/{tpl}"), Literal)
+
 
 class TestNamespace:
     def test_attribute_access(self):
