@@ -60,12 +60,18 @@ class SemanticAnnotator:
         shared with the unified ontology so reasoning spans both).
     knowledge_base:
         Optional IK knowledge base used to annotate indicator sightings.
+    counter:
+        Optional shared index allocator for minted observation / sighting
+        IRIs.  The sharded ontology layer hands every per-shard annotator
+        the *same* counter, so IRIs stay globally unique — and, with
+        batch indexes pre-assigned in arrival order, identical to what a
+        single-graph deployment would mint for the same stream.
     """
 
-    def __init__(self, graph: Graph, knowledge_base=None):
+    def __init__(self, graph: Graph, knowledge_base=None, counter=None):
         self.graph = graph
         self.knowledge_base = knowledge_base
-        self._counter = itertools.count(1)
+        self._counter = counter if counter is not None else itertools.count(1)
         self.annotated = 0
         self.annotated_sightings = 0
         # batch-scoped intern memos (see annotate_batch): a 10k-record
@@ -106,9 +112,10 @@ class SemanticAnnotator:
     # ------------------------------------------------------------------ #
 
     def _observation_triples(
-        self, observation: CanonicalObservation
+        self, observation: CanonicalObservation, index: Optional[int] = None
     ) -> Tuple[IRI, IRI, Optional[IRI], List[Triple]]:
-        index = next(self._counter)
+        if index is None:
+            index = next(self._counter)
         obs_iri = AFRICRID[f"observation/{index}"]
         sensor_iri = self.sensor_iri(observation.source_id)
         result_iri = AFRICRID[f"result/{index}"]
@@ -170,9 +177,10 @@ class SemanticAnnotator:
         return obs_iri, sensor_iri, property_iri, triples
 
     def _sighting_triples(
-        self, observation: CanonicalObservation
+        self, observation: CanonicalObservation, index: Optional[int] = None
     ) -> Tuple[IRI, IRI, IRI, List[Triple]]:
-        index = next(self._counter)
+        if index is None:
+            index = next(self._counter)
         sighting_iri = AFRICRID[f"sighting/{index}"]
         observer_iri = AFRICRID[f"observer/{observation.source_id}"]
         indicator_iri = AFRICRID[f"indicator/{observation.property_key}"]
@@ -193,15 +201,19 @@ class SemanticAnnotator:
                 )
         return sighting_iri, observer_iri, indicator_iri, triples
 
-    def _generate(self, observation: CanonicalObservation) -> Tuple[AnnotationResult, List[Triple]]:
+    def _generate(
+        self, observation: CanonicalObservation, index: Optional[int] = None
+    ) -> Tuple[AnnotationResult, List[Triple]]:
         if observation.is_indicator_sighting:
             sighting_iri, observer_iri, indicator_iri, triples = self._sighting_triples(
-                observation
+                observation, index
             )
             self.annotated_sightings += 1
             result = AnnotationResult(sighting_iri, observer_iri, indicator_iri, len(triples))
         else:
-            obs_iri, sensor_iri, property_iri, triples = self._observation_triples(observation)
+            obs_iri, sensor_iri, property_iri, triples = self._observation_triples(
+                observation, index
+            )
             result = AnnotationResult(obs_iri, sensor_iri, property_iri, len(triples))
         self.annotated += 1
         return result, triples
@@ -222,7 +234,11 @@ class SemanticAnnotator:
         """Annotate a batch of observations one by one."""
         return [self.annotate(observation) for observation in observations]
 
-    def annotate_batch(self, observations: List[CanonicalObservation]) -> List[AnnotationResult]:
+    def annotate_batch(
+        self,
+        observations: List[CanonicalObservation],
+        indexes: Optional[List[int]] = None,
+    ) -> List[AnnotationResult]:
         """Annotate a batch with a single ``graph.add_all`` commit.
 
         Per-result ``triples_added`` reports generated (pre-deduplication)
@@ -234,15 +250,24 @@ class SemanticAnnotator:
         dictionary encode of the committed triples hits already-hashed
         term objects.  The memos are batch-scoped on purpose — they die
         with the call, so an unbounded source-id population cannot leak.
+
+        ``indexes`` pre-assigns the minted IRI indexes (one per
+        observation, drawn from the shared counter by the caller): the
+        sharded ingest path allocates them for the *whole* batch in arrival
+        order before fanning sub-batches out to per-shard annotators, so
+        the IRIs match the single-graph run record for record.
         """
+        if indexes is not None and len(indexes) != len(observations):
+            raise ValueError("indexes must parallel observations")
         results: List[AnnotationResult] = []
         triples: List[Triple] = []
         self._batch_sensor_iris = {}
         self._batch_feature_iris = {}
         self._batch_platform_iris = {}
         try:
-            for observation in observations:
-                result, observation_triples = self._generate(observation)
+            for position, observation in enumerate(observations):
+                index = indexes[position] if indexes is not None else None
+                result, observation_triples = self._generate(observation, index)
                 results.append(result)
                 triples.extend(observation_triples)
         finally:

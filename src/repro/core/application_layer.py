@@ -116,7 +116,9 @@ class ApplicationAbstractionLayer:
 
         Served through the graph's shared cost-based planner; ``entail``
         additionally tops up the reasoner's closure so inferred triples
-        are visible to the query.
+        are visible to the query.  On a sharded ontology layer the query
+        scatter-gathers across the per-area partitions (oracle-equivalent
+        bag merge), with untouched partitions answering from their caches.
         """
         self.statistics.queries_answered += 1
         return self.ontology_layer.query(text, entail=entail)

@@ -60,6 +60,15 @@ class MiddlewareConfig:
     broker_latency: float = 0.05
     #: Cloud polling interval of the interface protocol layer.
     cloud_poll_interval: float = 900.0
+    #: Number of per-area graph partitions in the ontology segment layer.
+    #: ``1`` keeps the original single shared graph; with more, records are
+    #: routed by district to per-shard graphs (own dictionary, reasoner and
+    #: planner caches, ontology axioms replicated), batches fan out over a
+    #: worker pool, and queries federate scatter-gather across partitions.
+    shards: int = 1
+    #: Worker threads for the sharded batch fan-out (``None`` = one per
+    #: shard, capped at 8; ``0`` = run per-shard work inline).
+    shard_workers: Optional[int] = None
 
 
 class SemanticMiddleware:
@@ -103,6 +112,8 @@ class SemanticMiddleware:
             cep_engine=CepEngine(),
             cep_per_record=self.config.cep_per_record,
             reason_per_batch=self.config.reason_per_batch,
+            shards=self.config.shards,
+            shard_workers=self.config.shard_workers,
         )
         self.application_layer = ApplicationAbstractionLayer(
             self.ontology_layer, self.broker
@@ -206,7 +217,9 @@ class SemanticMiddleware:
         statistics, filter pushdown) and cached: a repeated query over an
         unchanged graph is served straight from the version-keyed result
         cache.  ``entail`` tops up the reasoner's closure first so the
-        answers include inferred triples.
+        answers include inferred triples.  Sharded deployments federate the
+        query scatter-gather across the per-area partitions, with untouched
+        partitions answering from their own result caches.
         """
         return self.application_layer.query(text, entail=entail)
 
@@ -215,12 +228,32 @@ class SemanticMiddleware:
         return self.application_layer.services()
 
     # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release owned resources (the sharded fan-out worker pool).
+
+        Idempotent, and a no-op for single-graph deployments.  Dropping the
+        middleware without calling this is safe too — the pool's worker
+        threads exit when the executor is garbage-collected — but
+        applications cycling many sharded instances should close
+        deterministically rather than wait for the collector.
+        """
+        self.ontology_layer.close()
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
 
     @property
     def graph(self):
-        """The shared RDF graph (ontology library + annotations)."""
+        """The shared RDF graph (ontology library + annotations).
+
+        Under sharding (``config.shards > 1``) this is the pristine
+        ontology axiom base: annotations live in the per-area partitions
+        (``ontology_layer.graphs``), and queries federate across them.
+        """
         return self.ontology_layer.graph
 
     def statistics(self) -> dict:
@@ -232,9 +265,12 @@ class SemanticMiddleware:
             "application_layer": self.application_layer.statistics,
             "broker": self.broker.statistics,
             "cep": self.ontology_layer.cep.statistics,
-            "query_planner": self.ontology_layer.query_planner.statistics,
-            "graph_triples": len(self.graph),
+            "query_planner": self.ontology_layer.planner_statistics(),
+            "graph_triples": self.ontology_layer.triple_count(),
         }
+        sharding = self.ontology_layer.sharding_statistics()
+        if sharding is not None:
+            stats["sharding"] = sharding
         if self.interface_layer is not None:
             stats["interface_layer"] = self.interface_layer.statistics
         return stats

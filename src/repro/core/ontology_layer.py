@@ -24,6 +24,8 @@ CEP flush).
 
 from __future__ import annotations
 
+import itertools
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -41,6 +43,8 @@ from repro.core.pipeline import (
     Pipeline,
     PublishStage,
     ReasonStage,
+    ShardedAnnotateStage,
+    ShardedReasonStage,
     ValidateStage,
 )
 from repro.core.services import SemanticService, ServiceRegistry
@@ -48,9 +52,16 @@ from repro.ik.knowledge_base import IndigenousKnowledgeBase
 from repro.ontologies.environment import CANONICAL_PROPERTIES
 from repro.ontologies.library import OntologyLibrary, build_unified_ontology
 from repro.ontologies.vocabulary import DROUGHT
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.sharding import ShardedGraphStore
 from repro.semantics.reasoner import Reasoner
 from repro.semantics.sparql.evaluator import QueryResult, query
-from repro.semantics.sparql.planner import QueryPlanner, planner_for
+from repro.semantics.sparql.planner import (
+    PlannerStatistics,
+    QueryPlanner,
+    federated_query,
+    planner_for,
+)
 from repro.streams.messages import ObservationRecord
 
 
@@ -89,6 +100,18 @@ class OntologySegmentLayer:
         after each record / batch is annotated.  Off by default — the
         reasoner then tops up lazily on the first entailment query, which
         is just as incremental.
+    shards:
+        Number of per-area graph partitions.  ``1`` (the default) keeps the
+        original single shared graph — the equivalence oracle of the
+        sharded path.  With more, annotations are routed by district into
+        per-shard graphs (each with its own term dictionary, indexes,
+        reasoner and planner caches, ontology axioms replicated), batch
+        annotation / reasoning fan out over a worker pool, and queries are
+        federated scatter-gather across the partitions.
+    shard_workers:
+        Worker-thread pool size for the sharded batch fan-out (defaults to
+        the shard count, capped at 8); ``0`` disables the pool and runs the
+        per-shard work inline, which is the right call on single-core hosts.
     """
 
     def __init__(
@@ -100,28 +123,85 @@ class OntologySegmentLayer:
         cep_engine: Optional[CepEngine] = None,
         cep_per_record: bool = True,
         reason_per_batch: bool = False,
+        shards: int = 1,
+        shard_workers: Optional[int] = None,
     ):
         self.library = library or build_unified_ontology(materialize=True)
         self.graph = self.library.graph
+        self.shards = max(1, int(shards))
         self.knowledge_base = knowledge_base or IndigenousKnowledgeBase()
-        self.knowledge_base.materialize(self.graph)
         self.mediator = mediator or Mediator()
         self.annotate_observations = annotate
         self.cep_per_record = cep_per_record
-        self.annotator = SemanticAnnotator(self.graph, knowledge_base=self.knowledge_base)
-        self.reasoner = Reasoner(self.graph)
         self.cep = cep_engine or CepEngine()
-        self.services = ServiceRegistry(self.graph)
         self.statistics = OntologyLayerStatistics()
         self._publish_stage = PublishStage(self.knowledge_base, self.statistics)
-        self._reason_stage = ReasonStage(self.reasoner, enabled=reason_per_batch)
+
+        if self.shards == 1:
+            # the original single-graph path: ontology axioms, IK catalogue,
+            # service descriptions and annotations all share one graph
+            self.store: Optional[ShardedGraphStore] = None
+            self.router = None
+            self._executor: Optional[ThreadPoolExecutor] = None
+            self.knowledge_base.materialize(self.graph)
+            self.annotator = SemanticAnnotator(
+                self.graph, knowledge_base=self.knowledge_base
+            )
+            self.reasoner = Reasoner(self.graph)
+            self.annotators = [self.annotator]
+            self.reasoners = [self.reasoner]
+            self.services = ServiceRegistry(self.graph)
+            self._annotate_stage = AnnotateStage(
+                self.annotator, self.statistics, enabled=self.annotate_observations
+            )
+            self._reason_stage = ReasonStage(self.reasoner, enabled=reason_per_batch)
+        else:
+            # per-area partitions: the library graph stays the pristine
+            # axiom base (replicated into every shard); annotations, the IK
+            # catalogue and the service catalogue live in the shards
+            self.store = ShardedGraphStore(self.shards, base_graph=self.library.graph)
+            self.router = self.store.router
+            self.store.replicate_with(self.knowledge_base.materialize)
+            if shard_workers is None:
+                shard_workers = min(self.shards, 8)
+            self._executor = (
+                ThreadPoolExecutor(
+                    max_workers=shard_workers, thread_name_prefix="shard-worker"
+                )
+                if shard_workers > 0
+                else None
+            )
+            self._annotation_counter = itertools.count(1)
+            self.annotators = [
+                SemanticAnnotator(
+                    shard_graph,
+                    knowledge_base=self.knowledge_base,
+                    counter=self._annotation_counter,
+                )
+                for shard_graph in self.store.graphs
+            ]
+            self.reasoners = [Reasoner(shard_graph) for shard_graph in self.store.graphs]
+            self.services = ServiceRegistry(self.store.graphs)
+            self._annotate_stage = ShardedAnnotateStage(
+                self.annotators,
+                self.router,
+                self._annotation_counter,
+                self.statistics,
+                executor=self._executor,
+                enabled=self.annotate_observations,
+            )
+            self._reason_stage = ShardedReasonStage(
+                self.reasoners,
+                self.router,
+                executor=self._executor,
+                enabled=reason_per_batch,
+            )
+
         self.pipeline = Pipeline(
             [
                 MediateStage(self.mediator),
                 ValidateStage(),
-                AnnotateStage(
-                    self.annotator, self.statistics, enabled=self.annotate_observations
-                ),
+                self._annotate_stage,
                 self._reason_stage,
                 self._publish_stage,
                 CepStage(self.cep, self.statistics, per_record=self.cep_per_record),
@@ -212,16 +292,37 @@ class OntologySegmentLayer:
     # reasoning and querying
     # ------------------------------------------------------------------ #
 
+    @property
+    def sharded(self) -> bool:
+        """Whether the layer runs per-area graph partitions."""
+        return self.store is not None
+
+    @property
+    def graphs(self) -> List[Graph]:
+        """The graphs holding annotations: the partitions, or ``[graph]``."""
+        if self.store is not None:
+            return self.store.graphs
+        return [self.graph]
+
+    def triple_count(self) -> int:
+        """Resident triples (summed across partitions when sharded)."""
+        if self.store is not None:
+            return self.store.triple_count()
+        return len(self.graph)
+
     def materialize_inferences(self, full: bool = False):
         """Run the OWL/RDFS reasoner over ontology + annotations.
 
         Incremental over the triples added since the last run;
-        ``full=True`` forces the from-scratch fixpoint.
+        ``full=True`` forces the from-scratch fixpoint.  Sharded layers
+        materialise every partition and return the list of traces.
         """
+        if self.store is not None:
+            return [reasoner.materialize(full=full) for reasoner in self.reasoners]
         return self.reasoner.materialize(full=full)
 
     def query(self, text: str, entail: bool = False) -> QueryResult:
-        """Run a SPARQL-like query over the shared graph.
+        """Run a SPARQL-like query over the shared graph / the partitions.
 
         Evaluation goes through the graph's shared cost-based planner
         (join-order selection, filter pushdown, version-keyed plan / result
@@ -229,18 +330,70 @@ class OntologySegmentLayer:
         graph skip parse, plan and evaluation entirely.  With ``entail``
         the reasoner's closure is topped up (incrementally) first, so the
         answers also reflect inferred triples.
+
+        A sharded layer scatter-gathers: the query is broadcast to every
+        partition (each served through its own planner and caches — an
+        untouched partition answers from its result cache) and the decoded
+        solutions are merged bag-exactly with the single-graph oracle for
+        in-contract queries; with ``entail`` every
+        partition's closure is topped up first, which only costs work on
+        the partitions that actually changed.
         """
+        if self.store is not None:
+            if entail:
+                for reasoner in self.reasoners:
+                    reasoner.ensure_materialized()
+            return federated_query(self.store.graphs, text)
         if entail:
             return self.reasoner.query(text)
         return query(self.graph, text)
 
     @property
     def query_planner(self) -> QueryPlanner:
-        """The shared planner (and its caches / statistics) for the graph."""
+        """The shared planner for the single graph (``shards == 1`` only)."""
+        if self.store is not None:
+            raise RuntimeError(
+                "a sharded layer has one planner per partition; "
+                "use planner_statistics() or planner_for(shard_graph)"
+            )
         return planner_for(self.graph)
+
+    def planner_statistics(self) -> PlannerStatistics:
+        """Aggregated planner / cache counters across the layer's graphs."""
+        totals = PlannerStatistics()
+        for shard_graph in self.graphs:
+            stats = planner_for(shard_graph).statistics
+            totals.queries += stats.queries
+            totals.parses += stats.parses
+            totals.plans_built += stats.plans_built
+            totals.plan_hits += stats.plan_hits
+            totals.plan_invalidations += stats.plan_invalidations
+            totals.result_hits += stats.result_hits
+            totals.result_invalidations += stats.result_invalidations
+        return totals
+
+    def sharding_statistics(self) -> Optional[Dict[str, object]]:
+        """Partition layout counters, or ``None`` for a single-graph layer."""
+        if self.store is None:
+            return None
+        return {
+            "shards": self.store.num_shards,
+            "replicated_triples": self.store.replicated_triples,
+            "shard_sizes": self.store.shard_sizes(),
+            "parallel_batches": self._annotate_stage.parallel_batches,
+        }
+
+    def close(self) -> None:
+        """Shut down the sharded fan-out worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._annotate_stage.executor = None
+            self._reason_stage.executor = None
 
     def __repr__(self) -> str:
         return (
-            f"<OntologySegmentLayer graph={len(self.graph)} triples, "
+            f"<OntologySegmentLayer shards={self.shards} "
+            f"triples={self.triple_count()}, "
             f"rules={len(self.cep.rules)}, services={len(self.services)}>"
         )

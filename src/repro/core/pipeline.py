@@ -294,6 +294,131 @@ class PublishStage(Stage):
         return True
 
 
+class ShardedAnnotateStage(Stage):
+    """Annotate into per-area graph partitions, fanning batches out.
+
+    Drop-in replacement for :class:`AnnotateStage` when the ontology
+    segment layer runs sharded: each record's observation is routed by area
+    to its partition's annotator, and a batch is split into per-shard
+    sub-batches annotated concurrently on the layer's worker pool (each
+    worker commits one ``add_all`` into its own graph — partitions are
+    single-writer, so no graph is ever touched by two threads).
+
+    Minted IRIs stay identical to the single-graph path: the stage draws
+    the whole batch's annotation indexes from the shared counter in
+    *arrival order* before fanning out, so thread scheduling cannot leak
+    into graph content.  The mutable per-record contexts are safe to fill
+    from workers because every context belongs to exactly one sub-batch and
+    the stage joins all workers before returning.
+    """
+
+    name = "annotate"
+
+    def __init__(
+        self,
+        annotators,
+        router,
+        counter,
+        layer_statistics,
+        executor=None,
+        enabled: bool = True,
+    ):
+        self.annotators = list(annotators)
+        self.router = router
+        self.counter = counter
+        self.layer_statistics = layer_statistics
+        self.executor = executor
+        self.enabled = enabled
+        #: Batches that actually ran on more than one partition worker.
+        self.parallel_batches = 0
+
+    def process(self, context: IngestionContext) -> bool:
+        if not self.enabled:
+            return True
+        annotator = self.annotators[self.router.shard_for(context.observation.area)]
+        result = annotator.annotate(context.observation)
+        self.layer_statistics.annotation_triples += result.triples_added
+        context.annotation_iri = result.observation_iri.value
+        return True
+
+    def _annotate_shard(self, shard: int, pairs) -> int:
+        """Annotate one partition's sub-batch; returns the graph growth."""
+        annotator = self.annotators[shard]
+        before = len(annotator.graph)
+        results = annotator.annotate_batch(
+            [context.observation for context, _ in pairs],
+            indexes=[index for _, index in pairs],
+        )
+        for (context, _), result in zip(pairs, results):
+            context.annotation_iri = result.observation_iri.value
+        return len(annotator.graph) - before
+
+    def process_batch(self, contexts: List[IngestionContext]) -> List[IngestionContext]:
+        if not self.enabled or not contexts:
+            return contexts
+        counter = self.counter
+        indexed = [(context, next(counter)) for context in contexts]
+        groups = self.router.split(
+            (pair[0].observation.area, pair) for pair in indexed
+        )
+        if self.executor is not None and len(groups) > 1:
+            self.parallel_batches += 1
+            futures = [
+                self.executor.submit(self._annotate_shard, shard, pairs)
+                for shard, pairs in groups.items()
+            ]
+            grown = sum(future.result() for future in futures)
+        else:
+            grown = sum(
+                self._annotate_shard(shard, pairs) for shard, pairs in groups.items()
+            )
+        self.layer_statistics.annotation_triples += grown
+        return contexts
+
+
+class ShardedReasonStage(Stage):
+    """Top up only the partitions the current record / batch touched.
+
+    The sharded counterpart of :class:`ReasonStage`: every partition has
+    its own reasoner over its own graph, so a batch confined to a few areas
+    re-materialises only those partitions' closures — the other shards'
+    closures (and the query caches keyed on their graph versions) survive
+    untouched.  Touched shards top up concurrently on the worker pool.
+    """
+
+    name = "reason"
+
+    def __init__(self, reasoners, router, executor=None, enabled: bool = False):
+        self.reasoners = list(reasoners)
+        self.router = router
+        self.executor = executor
+        self.enabled = enabled
+
+    def process(self, context: IngestionContext) -> bool:
+        if self.enabled:
+            shard = self.router.shard_for(context.observation.area)
+            self.reasoners[shard].ensure_materialized()
+        return True
+
+    def process_batch(self, contexts: List[IngestionContext]) -> List[IngestionContext]:
+        if not self.enabled or not contexts:
+            return contexts
+        touched = sorted(
+            {self.router.shard_for(context.observation.area) for context in contexts}
+        )
+        if self.executor is not None and len(touched) > 1:
+            futures = [
+                self.executor.submit(self.reasoners[shard].ensure_materialized)
+                for shard in touched
+            ]
+            for future in futures:
+                future.result()
+        else:
+            for shard in touched:
+                self.reasoners[shard].ensure_materialized()
+        return contexts
+
+
 class CepStage(Stage):
     """Feed canonical events to the inference (CEP) engine.
 

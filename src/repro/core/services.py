@@ -10,7 +10,7 @@ rather than on hard-coded endpoint names.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.ontologies.vocabulary import AFRICRID
 from repro.semantics.rdf.graph import Graph
@@ -50,23 +50,37 @@ class SemanticService:
 
 
 class ServiceRegistry:
-    """Registry of semantic services, materialised into the shared graph."""
+    """Registry of semantic services, materialised into the shared graph(s).
 
-    def __init__(self, graph: Optional[Graph] = None):
-        self.graph = graph
+    A sharded ontology segment layer passes every partition graph: the
+    catalogue triples are replicated, like the ontology axioms, so a
+    service description is discoverable from any partition a federated
+    query lands on.
+    """
+
+    def __init__(self, graph: Optional[Union[Graph, Sequence[Graph]]] = None):
+        if graph is None:
+            graphs: List[Graph] = []
+        elif isinstance(graph, Graph):
+            graphs = [graph]
+        else:
+            graphs = list(graph)
+        self.graphs = graphs
+        #: The primary graph (kept for existing single-graph callers).
+        self.graph = graphs[0] if graphs else None
         self._services: Dict[str, SemanticService] = {}
 
     def register(self, service: SemanticService) -> SemanticService:
         """Register (or replace) a service description."""
         self._services[service.name] = service
-        if self.graph is not None:
-            iri = service.iri()
-            self.graph.add(Triple(iri, RDF.type, AFRICRID.SemanticService))
-            self.graph.add(Triple(iri, RDFS.label, Literal(service.name)))
-            self.graph.add(Triple(iri, RDFS.comment, Literal(service.description)))
-            self.graph.add(Triple(iri, AFRICRID.publishesOn, Literal(service.topic)))
+        iri = service.iri()
+        for graph in self.graphs:
+            graph.add(Triple(iri, RDF.type, AFRICRID.SemanticService))
+            graph.add(Triple(iri, RDFS.label, Literal(service.name)))
+            graph.add(Triple(iri, RDFS.comment, Literal(service.description)))
+            graph.add(Triple(iri, AFRICRID.publishesOn, Literal(service.topic)))
             for provided in service.provides:
-                self.graph.add(Triple(iri, AFRICRID.providesConcept, provided))
+                graph.add(Triple(iri, AFRICRID.providesConcept, provided))
         return service
 
     def unregister(self, name: str) -> bool:
@@ -74,8 +88,8 @@ class ServiceRegistry:
         service = self._services.pop(name, None)
         if service is None:
             return False
-        if self.graph is not None:
-            self.graph.remove_matching(subject=service.iri())
+        for graph in self.graphs:
+            graph.remove_matching(subject=service.iri())
         return True
 
     def get(self, name: str) -> Optional[SemanticService]:

@@ -75,6 +75,10 @@ class DewsConfig:
     climatology_years: int = 5
     drought_threshold: float = 0.5
     seed: int = 0
+    #: Per-district graph partitions in the middleware (1 = single graph).
+    #: Districts are natural shard keys: each gateway's uploads touch one
+    #: partition, so other districts' caches and closures stay warm.
+    shards: int = 1
 
 
 @dataclass
@@ -157,6 +161,7 @@ class DroughtEarlyWarningSystem:
             install_sensor_rules=True,
             install_ik_rules=self.config.use_indigenous_knowledge,
             cep_per_record=False,
+            shards=self.config.shards,
         )
         self.middleware = SemanticMiddleware(
             scheduler=self.scheduler,

@@ -22,6 +22,14 @@ Guarantees:
 * **Lookups never intern** — :meth:`lookup` is the read-side API; query
   constants that are absent from the dictionary simply cannot match and
   must not grow it.
+* **Ids are dictionary-local** — an id is only meaningful against the
+  dictionary that minted it.  Graphs that *share* a dictionary (derived
+  graphs, rule-delta graphs) may exchange raw id tuples; graphs with
+  different dictionaries — most importantly the per-area shard partitions,
+  which each own a private dictionary so ingest never contends on one
+  intern table — must cross through decoded terms
+  (:meth:`~repro.semantics.rdf.graph.Graph.add_from` translates via an
+  id -> id memo; the query federator merges decoded solutions).
 """
 
 from __future__ import annotations

@@ -808,6 +808,40 @@ class Graph:
             add_encoded(s, p, o)
         return result
 
+    def add_from(self, other: "Graph") -> int:
+        """Bulk-load every triple of ``other``; returns the number inserted.
+
+        With a shared dictionary triples move as raw id tuples.  With
+        *different* dictionaries (the sharded store replicating ontology
+        axioms into per-shard id spaces) each distinct term of ``other`` is
+        decoded once and re-encoded once through an id -> id memo, skipping
+        per-triple ``Triple`` construction and groundness re-validation —
+        the triples already passed them when ``other`` stored them.
+        """
+        added = 0
+        add_encoded = self.add_encoded
+        if other._dict is self._dict:
+            for ids in other.triples_ids():
+                if add_encoded(*ids):
+                    added += 1
+            return added
+        memo: Dict[int, int] = {}
+        other_terms = other._dict.terms
+        encode = self._dict.encode
+        for s, p, o in other.triples_ids():
+            ns = memo.get(s)
+            if ns is None:
+                ns = memo[s] = encode(other_terms[s])
+            np = memo.get(p)
+            if np is None:
+                np = memo[p] = encode(other_terms[p])
+            no = memo.get(o)
+            if no is None:
+                no = memo[o] = encode(other_terms[o])
+            if add_encoded(ns, np, no):
+                added += 1
+        return added
+
     def __iadd__(self, other: Iterable[Triple]) -> "Graph":
         if isinstance(other, Graph) and other._dict is self._dict:
             add_encoded = self.add_encoded

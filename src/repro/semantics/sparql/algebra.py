@@ -386,6 +386,27 @@ class Filter(Operator):
                 yield solution
 
 
+def solution_order_key(order_by: Variable):
+    """The ORDER BY sort key for one solution mapping.
+
+    Extracted from :class:`Projection` so any consumer sorting solutions
+    (the scatter-gather federator runs its merged set through a
+    ``Projection`` and therefore through this key) orders exactly like the
+    single-graph oracle: unbound first, then numeric literals by value,
+    then everything else by string form.
+    """
+
+    def sort_key(solution: Bindings):
+        term = solution.get(order_by)
+        if term is None:
+            return (0, "")
+        if isinstance(term, Literal) and term.is_numeric():
+            return (1, term.to_python())
+        return (2, str(term))
+
+    return sort_key
+
+
 class Projection(Operator):
     """SELECT projection with optional DISTINCT, ORDER BY and LIMIT/OFFSET."""
 
@@ -426,15 +447,11 @@ class Projection(Operator):
                     unique.append(s)
             results = unique
         if self.order_by is not None:
-            def sort_key(solution: Bindings):
-                term = solution.get(self.order_by)
-                if term is None:
-                    return (0, "")
-                if isinstance(term, Literal) and term.is_numeric():
-                    return (1, term.to_python())
-                return (2, str(term))
-
-            results = sorted(results, key=sort_key, reverse=self.descending)
+            results = sorted(
+                results,
+                key=solution_order_key(self.order_by),
+                reverse=self.descending,
+            )
         results = list(results)
         if self.offset:
             results = results[self.offset:]

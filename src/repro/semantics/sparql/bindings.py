@@ -16,10 +16,11 @@ class Bindings:
     "no solution".
     """
 
-    __slots__ = ("_map",)
+    __slots__ = ("_map", "_hash")
 
     def __init__(self, mapping: Optional[Dict[Variable, Term]] = None):
         object.__setattr__(self, "_map", dict(mapping or {}))
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Bindings are immutable")
@@ -76,7 +77,13 @@ class Bindings:
         return isinstance(other, Bindings) and other._map == self._map
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._map.items()))
+        # memoised: solutions are hashed repeatedly by DISTINCT projection
+        # and by the federator's merge / subsumption passes
+        cached = self._hash
+        if cached is None:
+            cached = hash(frozenset(self._map.items()))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{v}={t}" for v, t in sorted(
@@ -95,6 +102,7 @@ def bindings_from_mapping(mapping: Dict[Variable, Term]) -> Bindings:
     """
     solution = object.__new__(Bindings)
     object.__setattr__(solution, "_map", mapping)
+    object.__setattr__(solution, "_hash", None)
     return solution
 
 

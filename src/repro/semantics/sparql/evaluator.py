@@ -205,6 +205,24 @@ def query(graph: Graph, text: str, use_planner: bool = True) -> QueryResult:
     return QueryResult("SELECT", solutions, variables)
 
 
+def federated_query(graphs: Sequence[Graph], text: str) -> QueryResult:
+    """Evaluate ``text`` across partition graphs, gathering one result.
+
+    Convenience entry point mirroring :func:`query` for sharded stores: the
+    query is scattered to every partition (each evaluated through its own
+    cost-based planner and version-keyed caches), the full solution
+    mappings are set-unioned (which collapses replicated-axiom copies and
+    nothing else), and projection / DISTINCT / ORDER BY / LIMIT / OFFSET
+    apply globally after the merge — in-contract results match the
+    single-graph oracle as a bag.  See
+    :func:`repro.semantics.sparql.planner.federated_query` for the
+    federation contract.
+    """
+    from repro.semantics.sparql.planner import federated_query as _federated
+
+    return _federated(graphs, text)
+
+
 def select(
     graph: Graph,
     patterns: Sequence[Triple],

@@ -43,8 +43,8 @@ from __future__ import annotations
 
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.semantics.rdf.graph import Graph
 from repro.semantics.rdf.term import Term, Variable
@@ -401,6 +401,20 @@ class QueryPlanner:
 
     def plan(self, graph: Graph, text: str) -> QueryPlan:
         """Return a (cached) compiled plan for ``text`` over ``graph``."""
+        return self._plan_cached(graph, text, None)
+
+    def plan_parsed(self, graph: Graph, cache_text: str, parsed: ParsedQuery) -> QueryPlan:
+        """Like :meth:`plan` but for an already-parsed (possibly rewritten) query.
+
+        ``cache_text`` keys the plan cache; the federator uses a marked
+        variant of the original text so a modifier-stripped plan can never
+        be served where the unmodified query is expected.
+        """
+        return self._plan_cached(graph, cache_text, parsed)
+
+    def _plan_cached(
+        self, graph: Graph, text: str, parsed: Optional[ParsedQuery]
+    ) -> QueryPlan:
         key = (id(graph), text)
         entry = self._plans.get(key)
         if entry is not None:
@@ -411,7 +425,7 @@ class QueryPlanner:
                     self.statistics.plan_hits += 1
                     return plan
                 self.statistics.plan_invalidations += 1
-        plan = build_plan(graph, self._parse(text))
+        plan = build_plan(graph, parsed if parsed is not None else self._parse(text))
         self.statistics.plans_built += 1
         self._plans[key] = (weakref.ref(graph), plan)
         self._plans.move_to_end(key)
@@ -428,6 +442,21 @@ class QueryPlanner:
         copy of the cached solution list, so callers may consume results
         independently.
         """
+        return self._query_cached(graph, text, None)
+
+    def query_parsed(self, graph: Graph, cache_text: str, parsed: ParsedQuery) -> QueryResult:
+        """Like :meth:`query` for an already-parsed (possibly rewritten) query.
+
+        ``cache_text`` keys both the plan and the result cache, so the
+        federator's modifier-stripped per-partition result sets enjoy the
+        same version-keyed caching as ordinary queries without ever
+        aliasing the unmodified query's entries.
+        """
+        return self._query_cached(graph, cache_text, parsed)
+
+    def _query_cached(
+        self, graph: Graph, text: str, parsed: Optional[ParsedQuery]
+    ) -> QueryResult:
         self.statistics.queries += 1
         key = (id(graph), text)
         if self.result_cache_size:
@@ -440,7 +469,7 @@ class QueryPlanner:
                     return QueryResult(form, list(solutions), list(variables))
                 self.statistics.result_invalidations += 1
                 del self._results[key]
-        plan = self.plan(graph, text)
+        plan = self._plan_cached(graph, text, parsed)
         solutions = plan.execute(graph)
         if self.result_cache_size:
             self._results[key] = (
@@ -480,3 +509,186 @@ def planner_for(graph: Graph) -> QueryPlanner:
         planner = QueryPlanner()
         _PLANNERS[graph] = planner
     return planner
+
+
+# --------------------------------------------------------------------- #
+# scatter-gather federation over graph partitions
+# --------------------------------------------------------------------- #
+
+#: Plan-cache key marker for the federator's rewritten (SELECT *,
+#: modifier-free) per-partition plans, so they can never alias the
+#: unmodified query's cached plan / results.
+_FEDERATED_KEY_PREFIX = "\x00federated-full\x00"
+
+
+class _Gathered(Operator):
+    """Already-materialised solutions as an operator, so the federator can
+    run the gathered merge through the ordinary :class:`Projection`."""
+
+    def __init__(self, solutions: List[Bindings], variables: List[Variable]):
+        self._solutions = solutions
+        self._variables = variables
+
+    def variables(self) -> List[Variable]:
+        return list(self._variables)
+
+    def solutions(self, graph: Graph) -> Iterator[Bindings]:
+        return iter(self._solutions)
+
+
+def _drop_subsumed_solutions(solutions: List[Bindings]) -> List[Bindings]:
+    """Remove solutions strictly subsumed by a compatible larger one.
+
+    OPTIONAL compensation for the scatter-gather merge: a partition whose
+    *replicated* triples satisfy the required pattern but whose instance
+    data cannot extend the OPTIONAL block emits the pass-through (unbound)
+    row, while the partition holding the matching instance data emits the
+    extended row — the single-graph oracle would produce only the latter.
+    Operating on *full* (pre-projection) solution mappings, a left-join
+    chain can never legitimately yield both a solution and a compatible
+    strict extension of it (a pass-through happens only when zero
+    extensions exist for that exact input row), so every compatibly
+    subsumed solution in the merged set is a federation artifact and is
+    dropped.  Solutions are bucketed by their largest common domain — the
+    variables bound in *every* solution (the required pattern's, at least)
+    — so the quadratic check only runs inside buckets that agree there.
+    """
+    if len(solutions) < 2:
+        return solutions
+    shared: Set[Variable] = set(solutions[0])
+    full_domain: Set[Variable] = set(solutions[0])
+    for solution in solutions[1:]:
+        domain = set(solution)
+        shared &= domain
+        full_domain |= domain
+    if shared == full_domain:
+        return solutions  # every solution binds the same variables
+    buckets: Dict[frozenset, List[Bindings]] = {}
+    keyed: List[Tuple[frozenset, Bindings]] = []
+    for solution in solutions:
+        key = frozenset((var, solution[var]) for var in shared)
+        keyed.append((key, solution))
+        buckets.setdefault(key, []).append(solution)
+    kept: List[Bindings] = []
+    for key, solution in keyed:
+        subsumed = False
+        for other in buckets[key]:
+            if len(other) <= len(solution) or other is solution:
+                continue
+            if all(other.get(var) == term for var, term in solution.items()):
+                subsumed = True
+                break
+        if not subsumed:
+            kept.append(solution)
+    return kept
+
+
+def _merge_solution_sets(
+    per_graph: Sequence[Sequence[Bindings]],
+) -> List[Bindings]:
+    """Union the partitions' *full* (pre-projection) solution mappings.
+
+    Identical full mappings collapse to one, and at this level that is
+    exactly right: a full solution grounds every pattern atom to a triple,
+    so a mapping derivable in two partitions can only be standing on
+    triples present in both — i.e. on the *replicated* axioms — and the
+    single-graph oracle would produce it once.  Instance-derived mappings
+    live in exactly one partition and always survive.  (Collapsing
+    *projected* rows here would be wrong: distinct full solutions may
+    project to legitimately duplicate rows.)  First-seen order is
+    preserved so the merge is deterministic for a fixed partition order;
+    solutions decode to plain terms before this point, so mappings from
+    shards with different dictionaries compare structurally.
+    """
+    seen: Set[Bindings] = set()
+    merged: List[Bindings] = []
+    for solutions in per_graph:
+        for solution in solutions:
+            if solution not in seen:
+                seen.add(solution)
+                merged.append(solution)
+    return merged
+
+
+def federated_query(graphs: Sequence[Graph], text: str) -> QueryResult:
+    """Scatter ``text`` across partition graphs and gather one result.
+
+    The federation contract is **per-partition derivation**: the query is
+    evaluated independently on every partition (each through its own
+    shared :class:`QueryPlanner`, so untouched partitions answer from
+    their version-keyed result caches), so every gathered solution is
+    derived entirely from one partition's triples; joins across
+    *different* partitions' instance data are out of contract
+    (area-partitioned deployments co-locate an area's data precisely so
+    the joins that matter stay partition-local).
+
+    Within that contract the gathered result matches the single-graph
+    oracle **as a bag**: partitions evaluate a ``SELECT *``
+    modifier-free variant, the full solution mappings are set-unioned
+    (exact at that level — identical cross-partition mappings can only
+    stand on replicated axioms), OPTIONAL pass-through rows that another
+    partition extends are dropped (:func:`_drop_subsumed_solutions`), and
+    projection (preserving row multiplicities), DISTINCT, ORDER BY (the
+    single-graph projection's own sort key), LIMIT and OFFSET are applied
+    once, globally, after the merge.  ASK short-circuits on the first
+    partition with a match.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("federated_query needs at least one graph")
+    if len(graphs) == 1:
+        graph = graphs[0]
+        return planner_for(graph).query(graph, text)
+
+    parsed = planner_for(graphs[0])._parse(text)
+
+    if parsed.form == "ASK":
+        for graph in graphs:
+            result = planner_for(graph).query(graph, text)
+            if result.ask:
+                return result
+        return QueryResult("ASK", [], [])
+
+    # SELECT: every partition evaluates a SELECT * variant — no projection
+    # hiding, no DISTINCT, no ORDER/LIMIT/OFFSET — so the merge sees full
+    # solution mappings, where set union is *exactly* the oracle's
+    # semantics (see _merge_solution_sets); a per-shard cutoff could also
+    # drop globally-surviving rows.  The rewritten plan and its unbounded
+    # result set are cached per shard under the marker key, preserving the
+    # untouched-partition cache hits that make federated serving cheap.
+    # Projection (with oracle row multiplicities), DISTINCT, ordering and
+    # cutoffs are then applied once, globally.
+    full = replace(
+        parsed,
+        variables=[],
+        distinct=False,
+        order_by=None,
+        descending=False,
+        limit=None,
+        offset=0,
+    )
+    cache_text = _FEDERATED_KEY_PREFIX + text
+    per_graph: List[List[Bindings]] = []
+    full_variables: List[Variable] = []
+    for graph in graphs:
+        result = planner_for(graph).query_parsed(graph, cache_text, full)
+        per_graph.append(result.solutions)
+        full_variables = list(result.variables)
+    merged = _merge_solution_sets(per_graph)
+    if parsed.optional_patterns:
+        merged = _drop_subsumed_solutions(merged)
+    # apply the solution modifiers through the single-graph Projection
+    # operator itself, so federated modifier semantics can never drift
+    # from the oracle's
+    projection = Projection(
+        _Gathered(merged, full_variables),
+        variables=[Variable(name) for name in parsed.variables] or None,
+        distinct=parsed.distinct,
+        order_by=Variable(parsed.order_by) if parsed.order_by else None,
+        descending=parsed.descending,
+        limit=parsed.limit,
+        offset=parsed.offset,
+    )
+    return QueryResult(
+        "SELECT", list(projection.solutions(graphs[0])), projection.variables()
+    )

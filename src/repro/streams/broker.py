@@ -22,6 +22,7 @@ pruned from the trie immediately so churn does not leak memory.
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
@@ -317,6 +318,18 @@ class BrokerStatistics:
 class Broker:
     """In-process pub/sub broker with optional delivery latency.
 
+    Thread safety: the routing trie, the retained-message store, the
+    subscription registry and the statistics counters are guarded by one
+    reentrant lock, so per-shard ingest workers may publish (and
+    applications may subscribe / cancel) concurrently.  Publish fan-out
+    invokes handlers *outside* the lock (one slow handler never blocks
+    other threads; a handler racing a concurrent ``cancel`` may still
+    observe one in-flight delivery), while subscribe-time retained replay
+    runs *under* the lock so a concurrent newer publish cannot be
+    reordered behind the stale snapshot.  The lock is reentrant, so
+    handlers may publish or subscribe from either context without
+    deadlocking against their own thread.
+
     Parameters
     ----------
     scheduler:
@@ -335,6 +348,7 @@ class Broker:
         self._trie = SubscriptionTrie()
         self._subscriptions: List[Subscription] = []
         self._ids = itertools.count(1)
+        self._lock = threading.RLock()
         self.scheduler = scheduler
         self.delivery_latency = delivery_latency
         self.statistics = BrokerStatistics()
@@ -364,11 +378,18 @@ class Broker:
             subscriber_name=subscriber_name,
         )
         subscription._detach = self._detach
-        self._trie.insert(subscription, parts)
-        self._subscriptions.append(subscription)
-        if receive_retained:
-            for message in self._trie.retained_matching(pattern):
-                self._deliver(subscription, message)
+        with self._lock:
+            self._trie.insert(subscription, parts)
+            self._subscriptions.append(subscription)
+            if receive_retained:
+                # replay while still holding the (reentrant) lock: once the
+                # subscription is in the trie, a concurrent publisher could
+                # otherwise deliver a *newer* retained message before the
+                # snapshot replay, leaving the subscriber stuck on the stale
+                # value.  Same-thread reentrancy (a handler subscribing or
+                # publishing) stays safe because the lock is an RLock.
+                for message in self._trie.retained_matching(pattern):
+                    self._deliver(subscription, message)
         return subscription
 
     def unsubscribe(self, subscription: Subscription) -> None:
@@ -377,16 +398,18 @@ class Broker:
 
     def _detach(self, subscription: Subscription) -> None:
         """Prune a cancelled subscription from the trie and the registry."""
-        self._trie.remove(subscription)
-        try:
-            self._subscriptions.remove(subscription)
-        except ValueError:
-            pass
+        with self._lock:
+            self._trie.remove(subscription)
+            try:
+                self._subscriptions.remove(subscription)
+            except ValueError:
+                pass
 
     @property
     def subscriptions(self) -> List[Subscription]:
         """The active subscriptions."""
-        return [s for s in self._subscriptions if s.active]
+        with self._lock:
+            return [s for s in self._subscriptions if s.active]
 
     # ------------------------------------------------------------------ #
     # publication
@@ -406,15 +429,17 @@ class Broker:
         message = Message(
             topic=topic, payload=payload, timestamp=timestamp, headers=dict(headers or {})
         )
-        if retain:
-            self._trie.set_retained(topic, message)
-        self.statistics.published += 1
-        self.statistics.per_topic_published[topic] += 1
-
-        recipients = self._trie.match(topic)
-        if not recipients:
-            self.statistics.dropped_no_subscriber += 1
-            return message
+        with self._lock:
+            if retain:
+                self._trie.set_retained(topic, message)
+            self.statistics.published += 1
+            self.statistics.per_topic_published[topic] += 1
+            recipients = self._trie.match(topic)
+            if not recipients:
+                self.statistics.dropped_no_subscriber += 1
+                return message
+        # fan out outside the lock so handlers may publish / subscribe
+        # reentrantly (and so one slow handler never blocks other threads)
         for subscription in recipients:
             if self.scheduler is not None and self.delivery_latency > 0:
                 self.scheduler.schedule(
@@ -429,8 +454,9 @@ class Broker:
         if not subscription.active:
             return
         subscription.handler(message)
-        subscription.delivered += 1
-        self.statistics.delivered += 1
+        with self._lock:
+            subscription.delivered += 1
+            self.statistics.delivered += 1
 
     def __repr__(self) -> str:
         return (

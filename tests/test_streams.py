@@ -453,3 +453,81 @@ def test_property_senml_round_trip(pairs):
     for original, restored in zip(records, decoded):
         assert restored.value == pytest.approx(original.value)
         assert restored.timestamp == pytest.approx(original.timestamp)
+
+
+class TestBrokerThreadSafety:
+    """Concurrent publish / subscribe / cancel hammer.
+
+    Per-shard ingest workers publish concurrently while applications churn
+    subscriptions; the broker's lock must keep the trie, the retained
+    store and the statistics consistent, with handlers running outside the
+    lock (so a handler may re-enter the broker).
+    """
+
+    def test_concurrent_publish_subscribe_cancel_hammer(self):
+        import threading
+
+        broker = Broker()
+        received = [0] * 4
+        counters_lock = threading.Lock()
+        errors = []
+        publishes_per_worker = 300
+        stop = threading.Event()
+
+        def make_handler(slot):
+            def handler(message):
+                with counters_lock:
+                    received[slot] += 1
+            return handler
+
+        # one stable subscription per worker topic, kept for accounting
+        for slot in range(4):
+            broker.subscribe(f"shard/{slot}/#", make_handler(slot))
+
+        def publisher(slot):
+            try:
+                for index in range(publishes_per_worker):
+                    broker.publish(
+                        f"shard/{slot}/reading/{index % 7}",
+                        index,
+                        timestamp=float(index),
+                        retain=(index % 11 == 0),
+                    )
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        def churner():
+            # constant subscribe/cancel churn across every worker's topics
+            try:
+                while not stop.is_set():
+                    subs = [
+                        broker.subscribe(f"shard/{slot}/+/{index}", lambda m: None)
+                        for slot in range(4)
+                        for index in range(3)
+                    ]
+                    for sub in subs:
+                        sub.cancel()
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=publisher, args=(slot,)) for slot in range(4)]
+        churn = threading.Thread(target=churner)
+        churn.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        churn.join()
+
+        assert not errors
+        # every stable subscription saw every publish on its worker's topics
+        assert received == [publishes_per_worker] * 4
+        assert broker.statistics.published == 4 * publishes_per_worker
+        # churned subscriptions are fully pruned: only the 4 stable ones remain
+        assert len(broker.subscriptions) == 4
+        assert len(broker._trie) == 4
+        # retained messages survive and replay to a late subscriber
+        late = []
+        broker.subscribe("shard/+/reading/#", late.append)
+        assert late  # at least one retained message per worker topic replayed
