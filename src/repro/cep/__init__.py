@@ -19,6 +19,7 @@ feed the drought forecasters.
 from repro.cep.event import DerivedEvent, Event
 from repro.cep.patterns import (
     AbsencePattern,
+    AggregatePattern,
     ConjunctionPattern,
     CountPattern,
     Pattern,
@@ -29,6 +30,7 @@ from repro.cep.patterns import (
 from repro.cep.rules import CepRule
 from repro.cep.engine import CepEngine
 from repro.cep.dsl import parse_rule
+from repro.cep.view_stream import ViewEventSource
 
 __all__ = [
     "Event",
@@ -37,10 +39,12 @@ __all__ = [
     "ThresholdPattern",
     "TrendPattern",
     "AbsencePattern",
+    "AggregatePattern",
     "CountPattern",
     "SequencePattern",
     "ConjunctionPattern",
     "CepRule",
     "CepEngine",
     "parse_rule",
+    "ViewEventSource",
 ]

@@ -17,6 +17,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set
 from repro.cep.event import DerivedEvent, Event
 from repro.cep.patterns import (
     AbsencePattern,
+    AggregatePattern,
     ConjunctionPattern,
     CountPattern,
     Pattern,
@@ -32,7 +33,10 @@ DerivedEventListener = Callable[[DerivedEvent], None]
 
 def _pattern_event_types(pattern: Pattern) -> Set[str]:
     """The event types a pattern inspects (for the routing index)."""
-    if isinstance(pattern, (ThresholdPattern, TrendPattern, AbsencePattern, CountPattern)):
+    if isinstance(
+        pattern,
+        (ThresholdPattern, TrendPattern, AbsencePattern, CountPattern, AggregatePattern),
+    ):
         return {pattern.event_type}
     if isinstance(pattern, (ConjunctionPattern, SequencePattern)):
         types: Set[str] = set()

@@ -103,6 +103,88 @@ class ThresholdPattern(Pattern):
         )
 
 
+class AggregatePattern(Pattern):
+    """An aggregate of one event type's values crossing a threshold.
+
+    Built for standing-view event streams (see
+    :mod:`repro.cep.view_stream`): the subscriber turns each view delta
+    into events — per-row events or a row-count gauge — and this pattern
+    fires when the windowed aggregate satisfies ``op threshold``.
+
+    Parameters
+    ----------
+    event_type:
+        Event type to aggregate over.
+    aggregate:
+        One of ``"count"``, ``"sum"``, ``"mean"``, ``"min"``, ``"max"``,
+        ``"last"`` (most recent value).
+    op:
+        Comparison operator: ``"<"``, ``"<="``, ``">"``, ``">="``.
+    threshold:
+        The comparison constant.
+    min_count:
+        Minimum matching events required in the window.
+    """
+
+    _AGGREGATES = ("count", "sum", "mean", "min", "max", "last")
+    _OPS = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+    def __init__(
+        self,
+        event_type: str,
+        aggregate: str = "mean",
+        op: str = ">=",
+        threshold: float = 0.0,
+        min_count: int = 1,
+    ):
+        if aggregate not in self._AGGREGATES:
+            raise ValueError(f"aggregate must be one of {self._AGGREGATES}")
+        if op not in self._OPS:
+            raise ValueError(f"op must be one of {tuple(self._OPS)}")
+        self.event_type = event_type
+        self.aggregate = aggregate
+        self.op = op
+        self.threshold = threshold
+        self.min_count = max(1, min_count)
+
+    def _value(self, relevant: Sequence[Event]) -> float:
+        values = [e.value for e in relevant]
+        if self.aggregate == "count":
+            return float(len(values))
+        if self.aggregate == "sum":
+            return float(sum(values))
+        if self.aggregate == "mean":
+            return float(sum(values) / len(values))
+        if self.aggregate == "min":
+            return float(min(values))
+        if self.aggregate == "max":
+            return float(max(values))
+        return float(relevant[-1].value)  # "last"
+
+    def evaluate(self, events: Sequence[Event], now: float) -> Optional[PatternMatch]:
+        relevant = [e for e in events if e.event_type == self.event_type]
+        if len(relevant) < self.min_count:
+            return None
+        value = self._value(relevant)
+        if not self._OPS[self.op](value, self.threshold):
+            return None
+        # score grows with how far past the threshold the aggregate sits
+        margin = abs(value - self.threshold)
+        scale = abs(self.threshold) if self.threshold != 0 else 1.0
+        score = min(1.0, 0.5 + min(0.5, margin / (scale + 1e-9)))
+        return PatternMatch(score=score, events=list(relevant))
+
+    def describe(self) -> str:
+        return (
+            f"{self.aggregate}({self.event_type}) {self.op} {self.threshold}"
+        )
+
+
 class TrendPattern(Pattern):
     """A monotone-ish trend (slope) in one event type over the window.
 

@@ -1,0 +1,144 @@
+"""Bridge from standing-view deltas to the CEP engine.
+
+A registered standing view pushes an itemised
+:class:`~repro.semantics.sparql.views.ViewDelta` over the broker on every
+refresh that changed its result (``views/<name>`` topics, see
+:meth:`~repro.core.middleware.SemanticMiddleware.register_standing` with
+``push=True``).  A :class:`ViewEventSource` subscribes to that topic and
+turns the delta stream into CEP events, unifying continuous SPARQL and
+event processing on one delta stream:
+
+* every **added row** becomes a primitive event of the configured type,
+  with the row's bindings carried in ``attributes`` (and optionally one
+  variable extracted as the numeric ``value`` and another as the
+  ``area``), and
+* after each delta a **gauge event** (``<type>.count``) carries the
+  view's current row count, maintained by a
+  :class:`~repro.streams.window.ViewDeltaWindow` — so absence/threshold
+  logic over "how many rows does this standing query have" needs no
+  re-polling either.
+
+Both event families feed the engine's ordinary rules;
+:class:`~repro.cep.patterns.AggregatePattern` is the natural companion
+for the gauge stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.cep.engine import CepEngine
+from repro.cep.event import DerivedEvent, Event
+from repro.streams.window import ViewDeltaWindow
+
+
+class ViewEventSource:
+    """Feeds a standing view's delta stream into a CEP engine.
+
+    Parameters
+    ----------
+    engine:
+        The engine receiving the generated events.
+    event_type:
+        Type of the per-row events; the row-count gauge uses
+        ``f"{event_type}.count"``.
+    value_var:
+        Variable name (``"?v"`` or ``"v"``) whose numeric binding becomes
+        the event value; rows without a numeric binding for it emit value
+        ``1.0``.
+    area_var:
+        Variable name whose binding becomes the event's ``area``.
+    emit_rows / emit_count:
+        Which of the two event families to generate.
+    """
+
+    def __init__(
+        self,
+        engine: CepEngine,
+        event_type: str,
+        value_var: Optional[str] = None,
+        area_var: Optional[str] = None,
+        emit_rows: bool = True,
+        emit_count: bool = True,
+    ):
+        self.engine = engine
+        self.event_type = event_type
+        self.value_var = value_var.lstrip("?$") if value_var else None
+        self.area_var = area_var.lstrip("?$") if area_var else None
+        self.emit_rows = emit_rows
+        self.emit_count = emit_count
+        #: Live row multiset mirroring the standing view's result.
+        self.window: ViewDeltaWindow = ViewDeltaWindow()
+        #: Counters for observability.
+        self.deltas_seen = 0
+        self.events_emitted = 0
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def attach(self, broker, topic: str):
+        """Subscribe to ``topic`` (e.g. ``views/dashboard``) on ``broker``."""
+        return broker.subscribe(
+            topic, self._on_message, subscriber_name=f"view-source:{self.event_type}"
+        )
+
+    def _on_message(self, message) -> None:
+        self.apply(message.payload, timestamp=message.timestamp)
+
+    # ------------------------------------------------------------------ #
+    # the delta-to-event conversion
+    # ------------------------------------------------------------------ #
+
+    def apply(self, delta: Any, timestamp: float = 0.0) -> List[DerivedEvent]:
+        """Fold one view delta in and run the generated events through CEP."""
+        self.deltas_seen += 1
+        self.window.apply(delta)
+        derived: List[DerivedEvent] = []
+        if self.emit_rows:
+            for row in delta.added:
+                event = self._row_event(row, timestamp)
+                self.events_emitted += 1
+                derived.extend(self.engine.process(event))
+        if self.emit_count:
+            gauge = Event(
+                event_type=f"{self.event_type}.count",
+                value=float(len(self.window)),
+                timestamp=max(0.0, timestamp),
+                source_id=self.event_type,
+                source_kind="standing_view",
+            )
+            self.events_emitted += 1
+            derived.extend(self.engine.process(gauge))
+        return derived
+
+    def _row_event(self, row: Any, timestamp: float) -> Event:
+        value = 1.0
+        area: Optional[str] = None
+        attributes: Dict[str, Any] = {}
+        for var, term in row.items():
+            name = getattr(var, "name", str(var))
+            attributes[name] = term
+            if name == self.value_var:
+                candidate = getattr(term, "to_python", lambda: None)()
+                if isinstance(candidate, (int, float)) and not isinstance(
+                    candidate, bool
+                ):
+                    value = float(candidate)
+            if name == self.area_var:
+                area = str(getattr(term, "value", term))
+        return Event(
+            event_type=self.event_type,
+            value=value,
+            timestamp=max(0.0, timestamp),
+            source_id=self.event_type,
+            source_kind="standing_view",
+            area=area,
+            attributes=attributes,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ViewEventSource {self.event_type!r} rows={len(self.window)} "
+            f"deltas={self.deltas_seen} events={self.events_emitted}>"
+        )

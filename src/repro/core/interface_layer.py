@@ -58,6 +58,12 @@ class InterfaceProtocolLayer:
     scheduler / poll_interval:
         When given, the layer polls the store periodically on the simulated
         clock; otherwise call :meth:`poll` explicitly.
+    on_poll:
+        Callback invoked with the poll's records *after* dispatch — on
+        every poll, including empty ones.  The middleware facade hooks its
+        standing-view refresh here, so continuous queries and their
+        broker-pushed deltas advance once per poll cycle even when a cycle
+        delivers nothing.
     """
 
     def __init__(
@@ -69,6 +75,7 @@ class InterfaceProtocolLayer:
         raw_topic_prefix: str = "raw",
         scheduler: Optional[SimulationScheduler] = None,
         poll_interval: float = 900.0,
+        on_poll: Optional[RecordBatchSink] = None,
     ):
         self.cloud_store = cloud_store
         self.sink = sink
@@ -76,6 +83,7 @@ class InterfaceProtocolLayer:
         self.broker = broker
         self.raw_topic_prefix = raw_topic_prefix
         self.scheduler = scheduler
+        self.on_poll = on_poll
         self.statistics = InterfaceLayerStatistics()
         self._cursor = 0
         if scheduler is not None:
@@ -94,19 +102,20 @@ class InterfaceProtocolLayer:
                 self.statistics.decode_failures += 1
                 continue
             records.extend(decoded)
-        if not records:
-            return records
-        self.statistics.records_decoded += len(records)
-        if self.broker is not None:
-            for record in records:
-                topic = f"{self.raw_topic_prefix}/{record.source_kind}/{record.source_id}"
-                self.broker.publish(topic, record, timestamp=record.timestamp)
-        if self.batch_sink is not None:
-            self.statistics.batches_forwarded += 1
-            self.batch_sink(records)
-        elif self.sink is not None:
-            for record in records:
-                self.sink(record)
+        if records:
+            self.statistics.records_decoded += len(records)
+            if self.broker is not None:
+                for record in records:
+                    topic = f"{self.raw_topic_prefix}/{record.source_kind}/{record.source_id}"
+                    self.broker.publish(topic, record, timestamp=record.timestamp)
+            if self.batch_sink is not None:
+                self.statistics.batches_forwarded += 1
+                self.batch_sink(records)
+            elif self.sink is not None:
+                for record in records:
+                    self.sink(record)
+        if self.on_poll is not None:
+            self.on_poll(records)
         return records
 
     def __repr__(self) -> str:

@@ -118,6 +118,9 @@ class SemanticMiddleware:
         self.application_layer = ApplicationAbstractionLayer(
             self.ontology_layer, self.broker
         )
+        # standing views registered in push mode: refreshed after every
+        # ingest so their deltas reach broker subscribers unprompted
+        self._push_views: List = []
         # the pipeline's publish stage hands canonical events to the
         # application abstraction layer
         self.ontology_layer.set_publisher(self.application_layer.publish_event)
@@ -148,8 +151,14 @@ class SemanticMiddleware:
             broker=self.broker,
             scheduler=self.scheduler,
             poll_interval=self.config.cloud_poll_interval,
+            on_poll=self._after_poll,
         )
         return self.interface_layer
+
+    def _after_poll(self, records) -> None:
+        # even an empty poll refreshes the push-mode standing views, so
+        # absence-style subscribers observe quiet cycles too
+        self._refresh_push_views()
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -161,7 +170,10 @@ class SemanticMiddleware:
         The pipeline mediates, validates, annotates, publishes the
         canonical event on the broker and feeds the CEP engine.
         """
-        return self.ontology_layer.process_record(record)
+        event = self.ontology_layer.process_record(record)
+        if self._push_views:
+            self._refresh_push_views()
+        return event
 
     def ingest_records(self, records: Iterable[ObservationRecord]) -> List[Event]:
         """Push raw records through the pipeline one at a time."""
@@ -180,7 +192,10 @@ class SemanticMiddleware:
         ``graph.add_all`` annotation commit and a deferred CEP flush after
         every record of the batch has been published.
         """
-        return self.ontology_layer.process_batch(records)
+        events = self.ontology_layer.process_batch(records)
+        if self._push_views:
+            self._refresh_push_views()
+        return events
 
     def inject_event(self, event: Event) -> List[DerivedEvent]:
         """Feed an already-canonical event directly to the CEP engine.
@@ -189,6 +204,40 @@ class SemanticMiddleware:
         daily per-district means) before pattern detection.
         """
         return self.ontology_layer.cep.process(event)
+
+    # ------------------------------------------------------------------ #
+    # standing views
+    # ------------------------------------------------------------------ #
+
+    def register_standing(self, text: str, name: Optional[str] = None, push: bool = False):
+        """Register a SPARQL query as a delta-maintained standing view.
+
+        From then on :meth:`query` serves ``text`` from the materialized
+        view(s): each ingest folds its delta into the affected graph /
+        shard in O(|delta|) instead of invalidating the result cache.
+
+        With ``push=True`` the views are also refreshed after every ingest
+        and their itemised :class:`~repro.semantics.sparql.views.ViewDelta`
+        payloads published on the ``views/<name>`` broker topic, so CEP
+        windows and dashboards can follow the standing result without
+        re-polling it.  Returns the underlying per-graph views.
+        """
+        view_name = name or f"standing-{len(self._push_views) + 1}"
+        views = self.ontology_layer.register_standing(text, name=view_name)
+        if push:
+            topic = f"views/{view_name}"
+
+            def publish(delta, _topic=topic):
+                self.broker.publish(_topic, delta)
+
+            for view in views:
+                view.subscribe(publish)
+            self._push_views.extend(views)
+        return views
+
+    def _refresh_push_views(self) -> None:
+        for view in self._push_views:
+            view.refresh()
 
     def inject_events(self, events: Iterable[Event]) -> List[DerivedEvent]:
         """Feed a batch of already-canonical events to the CEP engine."""
@@ -266,6 +315,7 @@ class SemanticMiddleware:
             "broker": self.broker.statistics,
             "cep": self.ontology_layer.cep.statistics,
             "query_planner": self.ontology_layer.planner_statistics(),
+            "standing_views": self.ontology_layer.standing_view_statistics(),
             "graph_triples": self.ontology_layer.triple_count(),
         }
         sharding = self.ontology_layer.sharding_statistics()

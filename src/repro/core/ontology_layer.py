@@ -348,6 +348,38 @@ class OntologySegmentLayer:
             return self.reasoner.query(text)
         return query(self.graph, text)
 
+    def register_standing(self, text: str, name: Optional[str] = None) -> List:
+        """Register ``text`` as a delta-maintained standing view.
+
+        Single-graph layers register one view on the shared graph; sharded
+        layers register one per partition (a write to one district then
+        folds only that partition's delta in).  :meth:`query` serves the
+        registered query from the materialized views from then on.
+        Returns the underlying view objects.
+        """
+        if self.store is not None:
+            return self.store.register_standing(text, name=name)
+        return [
+            planner_for(self.graph).register_standing(self.graph, text, name=name)
+        ]
+
+    def standing_views(self) -> List:
+        """Every live standing view across the layer's graphs."""
+        views: List = []
+        for shard_graph in self.graphs:
+            views.extend(planner_for(shard_graph).standing_views())
+        return views
+
+    def refresh_standing_views(self) -> None:
+        """Fold pending graph deltas into every standing view.
+
+        Called by the middleware facade after each ingest so push-mode
+        subscribers (CEP windows over broker-delivered view deltas) see
+        changes without anyone querying; a no-op for clean views.
+        """
+        for view in self.standing_views():
+            view.refresh()
+
     @property
     def query_planner(self) -> QueryPlanner:
         """The shared planner for the single graph (``shards == 1`` only)."""
@@ -369,8 +401,19 @@ class OntologySegmentLayer:
             totals.plan_hits += stats.plan_hits
             totals.plan_invalidations += stats.plan_invalidations
             totals.result_hits += stats.result_hits
+            totals.result_misses += stats.result_misses
             totals.result_invalidations += stats.result_invalidations
+            totals.view_hits += stats.view_hits
         return totals
+
+    def standing_view_statistics(self) -> Dict[str, object]:
+        """Observability snapshot of the maintained standing views."""
+        views = [view.stats() for view in self.standing_views()]
+        return {
+            "views": views,
+            "delta_updates": sum(v["delta_updates"] for v in views),
+            "full_refreshes": sum(v["full_refreshes"] for v in views),
+        }
 
     def sharding_statistics(self) -> Optional[Dict[str, object]]:
         """Partition layout counters, or ``None`` for a single-graph layer."""

@@ -389,6 +389,17 @@ class DroughtEarlyWarningSystem:
         """
         return self.middleware.query(text, entail=entail)
 
+    def register_standing(self, text: str, name: Optional[str] = None, push: bool = False):
+        """Register a dashboard query as a delta-maintained standing view.
+
+        The query is then served from a materialized view that each
+        ingest updates in O(|delta|) — the right shape for the queries a
+        DEWS dashboard re-runs every poll cycle.  With ``push`` the view's
+        itemised deltas are also published on ``views/<name>`` so CEP
+        subscribers can follow the standing result without re-polling.
+        """
+        return self.middleware.register_standing(text, name=name, push=push)
+
     # ------------------------------------------------------------------ #
     # the run
     # ------------------------------------------------------------------ #

@@ -123,15 +123,30 @@ class GraphDelta:
     ``added_ids`` lists the encoded triples inserted (in insertion order,
     without duplicates — re-adding a present triple is not a mutation);
     :attr:`added` decodes them lazily on first access.  ``retracted`` is
-    ``True`` when any triple was removed or the graph was cleared; removals
-    are not itemised because incremental consumers fall back to a full
-    recomputation on any retraction.  ``overflowed`` is ``True`` when the
+    ``True`` when any triple was removed or the graph was cleared.
+    ``removed_ids`` itemises those removals when the tracker could afford
+    to journal them: ``None`` means the retraction is *un-itemised* (the
+    graph was cleared, or the journal overflowed) and the consumer cannot
+    know which triples left.  ``overflowed`` is ``True`` when the
     tracker's buffer exceeded :attr:`ChangeTracker.max_buffered` and the
-    backlog was dropped — consumers must likewise fall back to a full
+    backlog was dropped — consumers must fall back to a full
     recomputation.
+
+    Coarse consumers (the reasoner) keep keying off :attr:`needs_full`,
+    which stays ``True`` on *any* retraction; finer consumers (standing
+    views) inspect :attr:`removed_ids` to decide whether the removals
+    actually intersect the patterns they maintain.
     """
 
-    __slots__ = ("added_ids", "retracted", "overflowed", "_dictionary", "_decoded")
+    __slots__ = (
+        "added_ids",
+        "removed_ids",
+        "retracted",
+        "overflowed",
+        "_dictionary",
+        "_decoded",
+        "_decoded_removed",
+    )
 
     def __init__(
         self,
@@ -139,12 +154,18 @@ class GraphDelta:
         retracted: bool = False,
         overflowed: bool = False,
         dictionary: Optional[TermDictionary] = None,
+        removed_ids: Optional[List[TripleIds]] = None,
     ):
         self.added_ids: List[TripleIds] = added_ids if added_ids is not None else []
+        # None = un-itemised retraction; [] = no removals happened
+        self.removed_ids: Optional[List[TripleIds]] = (
+            removed_ids if (removed_ids is not None or retracted) else []
+        )
         self.retracted = retracted
         self.overflowed = overflowed
         self._dictionary = dictionary
         self._decoded: Optional[List[Triple]] = None
+        self._decoded_removed: Optional[List[Triple]] = None
 
     @property
     def added(self) -> List[Triple]:
@@ -156,18 +177,34 @@ class GraphDelta:
                 self._decoded = self._dictionary.decode_triples(self.added_ids)
         return self._decoded
 
+    @property
+    def removed(self) -> List[Triple]:
+        """The removed triples, decoded lazily; empty when un-itemised."""
+        if self._decoded_removed is None:
+            if self._dictionary is None or not self.removed_ids:
+                self._decoded_removed = []
+            else:
+                self._decoded_removed = self._dictionary.decode_triples(self.removed_ids)
+        return self._decoded_removed
+
+    @property
+    def removals_itemised(self) -> bool:
+        """Whether every retraction in this delta is listed in ``removed_ids``."""
+        return self.removed_ids is not None
+
     def __bool__(self) -> bool:
         return bool(self.added_ids) or self.retracted or self.overflowed
 
     @property
     def needs_full(self) -> bool:
-        """Whether an incremental consumer must recompute from scratch."""
+        """Whether a coarse incremental consumer must recompute from scratch."""
         return self.retracted or self.overflowed
 
     def __repr__(self) -> str:
+        removed = "?" if self.removed_ids is None else len(self.removed_ids)
         return (
-            f"GraphDelta(added={len(self.added_ids)}, retracted={self.retracted}, "
-            f"overflowed={self.overflowed})"
+            f"GraphDelta(added={len(self.added_ids)}, removed={removed}, "
+            f"retracted={self.retracted}, overflowed={self.overflowed})"
         )
 
 
@@ -184,13 +221,22 @@ class ChangeTracker:
     recomputes from scratch, which needs no backlog).
     """
 
-    __slots__ = ("_added", "_retracted", "_overflowed", "_dictionary", "__weakref__")
+    __slots__ = (
+        "_added",
+        "_removed",
+        "_retracted",
+        "_overflowed",
+        "_dictionary",
+        "__weakref__",
+    )
 
-    #: Buffered-adds bound before the backlog collapses into ``overflowed``.
+    #: Buffered-mutations bound before the backlog collapses into ``overflowed``.
     max_buffered = 250_000
 
     def __init__(self, dictionary: Optional[TermDictionary] = None) -> None:
         self._added: List[TripleIds] = []
+        # None = a clear (or overflow) made the removal set un-itemisable
+        self._removed: Optional[List[TripleIds]] = []
         self._retracted = False
         self._overflowed = False
         self._dictionary = dictionary
@@ -210,16 +256,42 @@ class ChangeTracker:
         if self._overflowed:
             return
         self._added.append(triple_ids)
-        if len(self._added) > self.max_buffered:
-            self._added = []
-            self._overflowed = True
+        if self._buffered() > self.max_buffered:
+            self._collapse()
+
+    def record_remove(self, triple_ids: TripleIds) -> None:
+        """Buffer one removed (encoded) triple, collapsing past the bound."""
+        self._retracted = True
+        if self._overflowed or self._removed is None:
+            return
+        self._removed.append(triple_ids)
+        if self._buffered() > self.max_buffered:
+            self._collapse()
+
+    def record_retract_unitemised(self) -> None:
+        """Note a retraction whose victims cannot be listed (a clear)."""
+        self._retracted = True
+        self._removed = None
+
+    def _buffered(self) -> int:
+        return len(self._added) + (len(self._removed) if self._removed else 0)
+
+    def _collapse(self) -> None:
+        self._added = []
+        self._removed = None if self._retracted else []
+        self._overflowed = True
 
     def drain(self) -> GraphDelta:
         """Return and reset the accumulated delta."""
         delta = GraphDelta(
-            self._added, self._retracted, self._overflowed, self._dictionary
+            self._added,
+            self._retracted,
+            self._overflowed,
+            self._dictionary,
+            removed_ids=self._removed,
         )
         self._added = []
+        self._removed = []
         self._retracted = False
         self._overflowed = False
         return delta
@@ -232,11 +304,17 @@ class ChangeTracker:
         """
         if delta.added_ids and not self._overflowed:
             self._added = delta.added_ids + self._added
-            if len(self._added) > self.max_buffered:
-                self._added = []
-                self._overflowed = True
-        self._retracted = self._retracted or delta.retracted
+        if delta.retracted:
+            if delta.removed_ids is None:
+                self._removed = None
+            elif self._removed is not None:
+                self._removed = delta.removed_ids + self._removed
+            self._retracted = True
         self._overflowed = self._overflowed or delta.overflowed
+        if self._overflowed:
+            self._collapse()
+        elif self._buffered() > self.max_buffered:
+            self._collapse()
 
 
 class Graph:
@@ -443,11 +521,17 @@ class Graph:
             if tracker is not None:
                 tracker.record_add(triple_ids)
 
+    def _notify_remove(self, triple_ids: TripleIds) -> None:
+        for ref in tuple(self._trackers):
+            tracker = ref()
+            if tracker is not None:
+                tracker.record_remove(triple_ids)
+
     def _notify_retract(self) -> None:
         for ref in tuple(self._trackers):
             tracker = ref()
             if tracker is not None:
-                tracker._retracted = True
+                tracker.record_retract_unitemised()
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -514,7 +598,7 @@ class Graph:
             self._pred_counts.pop(p, None)
         self._version += 1
         if self._trackers:
-            self._notify_retract()
+            self._notify_remove((s, p, o))
         return True
 
     def remove_matching(

@@ -152,6 +152,56 @@ class ShardedGraphStore:
 
         return federated_query(self.graphs, text)
 
+    def register_standing(self, text: str, name: Optional[str] = None) -> list:
+        """Register ``text`` as a per-partition standing view on every shard.
+
+        The federated serving path then maintains one materialized view per
+        partition: a write to one district folds its delta into that
+        district's view only, while every untouched partition answers from
+        its unchanged materialization.  SELECT views are registered under
+        the federator's modifier-stripped rewrite (and its marker cache
+        key), so :meth:`query` picks them up without any change; ASK views
+        are registered under the plain text the per-shard short-circuit
+        uses.  Returns the per-shard views.
+        """
+        from dataclasses import replace
+
+        from repro.semantics.sparql.planner import (
+            _FEDERATED_KEY_PREFIX,
+            planner_for,
+        )
+
+        if len(self.graphs) == 1:
+            shard = self.graphs[0]
+            return [planner_for(shard).register_standing(shard, text, name=name)]
+        parsed = planner_for(self.graphs[0])._parse(text)
+        views = []
+        if parsed.form == "ASK":
+            for shard in self.graphs:
+                views.append(
+                    planner_for(shard).register_standing(
+                        shard, text, parsed=parsed, name=name
+                    )
+                )
+            return views
+        full = replace(
+            parsed,
+            variables=[],
+            distinct=False,
+            order_by=None,
+            descending=False,
+            limit=None,
+            offset=0,
+        )
+        cache_text = _FEDERATED_KEY_PREFIX + text
+        for shard in self.graphs:
+            views.append(
+                planner_for(shard).register_standing(
+                    shard, text, parsed=full, cache_text=cache_text, name=name
+                )
+            )
+        return views
+
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #

@@ -205,6 +205,19 @@ def query(graph: Graph, text: str, use_planner: bool = True) -> QueryResult:
     return QueryResult("SELECT", solutions, variables)
 
 
+def register_standing(graph: Graph, text: str, name: Optional[str] = None):
+    """Register ``text`` as a delta-maintained standing view over ``graph``.
+
+    Subsequent :func:`query` calls (the default planner path) serve the
+    query from the materialized view, which folds graph mutations in
+    incrementally instead of re-evaluating after every write.  Returns the
+    :class:`~repro.semantics.sparql.views.StandingView`.
+    """
+    from repro.semantics.sparql.planner import register_standing as _register
+
+    return _register(graph, text, name=name)
+
+
 def federated_query(graphs: Sequence[Graph], text: str) -> QueryResult:
     """Evaluate ``text`` across partition graphs, gathering one result.
 

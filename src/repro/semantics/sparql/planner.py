@@ -349,7 +349,9 @@ class PlannerStatistics:
     plan_hits: int = 0
     plan_invalidations: int = 0
     result_hits: int = 0
+    result_misses: int = 0
     result_invalidations: int = 0
+    view_hits: int = 0
 
 
 class QueryPlanner:
@@ -385,6 +387,10 @@ class QueryPlanner:
         # alone and survive every invalidation: a graph mutation re-plans
         # (re-costs the join order) but never re-parses
         self._parsed: "OrderedDict[str, ParsedQuery]" = OrderedDict()
+        # standing views: delta-maintained materialized results that back
+        # the result cache for registered queries instead of dying on every
+        # Graph.version bump (see repro.semantics.sparql.views)
+        self._views: "Dict[Tuple[int, str], Tuple[weakref.ref, object]]" = {}
 
     # -- planning ------------------------------------------------------ #
 
@@ -459,6 +465,17 @@ class QueryPlanner:
     ) -> QueryResult:
         self.statistics.queries += 1
         key = (id(graph), text)
+        if self._views:
+            entry = self._views.get(key)
+            if entry is not None:
+                graph_ref, view = entry
+                if graph_ref() is graph:
+                    # the maintained view *is* the result cache for this
+                    # query: it folds pending deltas in instead of being
+                    # invalidated by the version bump
+                    self.statistics.view_hits += 1
+                    return view.result()
+                del self._views[key]
         if self.result_cache_size:
             cached = self._results.get(key)
             if cached is not None:
@@ -470,6 +487,7 @@ class QueryPlanner:
                 self.statistics.result_invalidations += 1
                 del self._results[key]
         plan = self._plan_cached(graph, text, parsed)
+        self.statistics.result_misses += 1
         solutions = plan.execute(graph)
         if self.result_cache_size:
             self._results[key] = (
@@ -480,8 +498,72 @@ class QueryPlanner:
                 self._results.popitem(last=False)
         return QueryResult(plan.form, list(solutions), list(plan.variables))
 
+    # -- standing views ------------------------------------------------ #
+
+    def register_standing(
+        self,
+        graph: Graph,
+        text: str,
+        parsed: Optional[ParsedQuery] = None,
+        cache_text: Optional[str] = None,
+        name: Optional[str] = None,
+    ):
+        """Register ``text`` as a delta-maintained standing view on ``graph``.
+
+        From then on :meth:`query` (and :meth:`query_parsed` under the same
+        ``cache_text`` key) serves the query from the materialized view,
+        which folds graph deltas in incrementally instead of re-evaluating
+        on every :attr:`Graph.version` bump.  Idempotent: re-registering
+        returns the existing view.
+        """
+        from repro.semantics.sparql.views import StandingView
+
+        key = (id(graph), cache_text if cache_text is not None else text)
+        entry = self._views.get(key)
+        if entry is not None:
+            graph_ref, view = entry
+            if graph_ref() is graph:
+                return view
+        if parsed is None:
+            parsed = self._parse(text)
+        view = StandingView(graph, text, parsed=parsed, name=name)
+        self._views[key] = (weakref.ref(graph), view)
+        return view
+
+    def standing_views(self) -> List[object]:
+        """The live registered standing views."""
+        views = []
+        for key in list(self._views):
+            graph_ref, view = self._views[key]
+            if graph_ref() is None:
+                del self._views[key]
+            else:
+                views.append(view)
+        return views
+
+    def stats(self) -> Dict[str, object]:
+        """Cache and view counters as one observability snapshot."""
+        s = self.statistics
+        return {
+            "queries": s.queries,
+            "parses": s.parses,
+            "plans_built": s.plans_built,
+            "plan_hits": s.plan_hits,
+            "plan_invalidations": s.plan_invalidations,
+            "result_hits": s.result_hits,
+            "result_misses": s.result_misses,
+            "result_invalidations": s.result_invalidations,
+            "view_hits": s.view_hits,
+            "views": [view.stats() for view in self.standing_views()],
+        }
+
     def clear_caches(self) -> None:
-        """Drop every cached parse, plan and result (statistics are kept)."""
+        """Drop every cached parse, plan and result (statistics are kept).
+
+        Standing views are *not* dropped: they are not caches but
+        maintained materializations, and stay registered until their graph
+        is collected.
+        """
         self._parsed.clear()
         self._plans.clear()
         self._results.clear()
@@ -509,6 +591,17 @@ def planner_for(graph: Graph) -> QueryPlanner:
         planner = QueryPlanner()
         _PLANNERS[graph] = planner
     return planner
+
+
+def register_standing(graph: Graph, text: str, name: Optional[str] = None):
+    """Register ``text`` as a standing view on ``graph``'s shared planner.
+
+    Convenience wrapper over
+    :meth:`QueryPlanner.register_standing`; every later
+    ``evaluator.query(graph, text)`` (the default planner path) is served
+    from the delta-maintained view.
+    """
+    return planner_for(graph).register_standing(graph, text, name=name)
 
 
 # --------------------------------------------------------------------- #

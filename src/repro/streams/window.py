@@ -9,7 +9,7 @@ last 30 days), and count windows for "last N readings" logic.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Generic, Iterator, List, Optional, Tuple, TypeVar
 
@@ -155,6 +155,57 @@ class TumblingWindow(Generic[T]):
 
     def __len__(self) -> int:
         return len(self._items)
+
+
+class ViewDeltaWindow(Generic[T]):
+    """The live row multiset of a standing query, fed by view deltas.
+
+    Where the time/count windows buffer an event *stream*, this window
+    mirrors a *result set*: it applies the itemised added / removed rows
+    of each :class:`~repro.semantics.sparql.views.ViewDelta` pushed over
+    the broker, so its content always equals the standing view's current
+    rows without the subscriber ever re-running the query.  Rows are kept
+    as a multiset (a federated view can legitimately hold duplicate
+    projected rows), and any payload exposing ``added`` / ``removed``
+    sequences of hashable items works — the window never imports the
+    semantics layer.
+    """
+
+    def __init__(self) -> None:
+        self._rows: Counter = Counter()
+        #: Number of deltas applied (observability).
+        self.deltas_applied = 0
+
+    def apply(self, delta: Any) -> None:
+        """Fold one view delta's added / removed rows into the multiset."""
+        self.deltas_applied += 1
+        for row in delta.added:
+            self._rows[row] += 1
+        for row in delta.removed:
+            count = self._rows[row] - 1
+            if count > 0:
+                self._rows[row] = count
+            else:
+                del self._rows[row]
+
+    @property
+    def items(self) -> List[T]:
+        """The current rows, with multiplicity."""
+        return list(self._rows.elements())
+
+    def values(self, extractor: Callable[[T], float]) -> List[float]:
+        """Apply ``extractor`` to every row (convenience for aggregates)."""
+        return [extractor(row) for row in self._rows.elements()]
+
+    def __len__(self) -> int:
+        return sum(self._rows.values())
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._rows.elements())
+
+    def clear(self) -> None:
+        """Drop all rows."""
+        self._rows.clear()
 
 
 class CountWindow(Generic[T]):

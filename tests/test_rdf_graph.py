@@ -280,3 +280,125 @@ class TestChangeTracking:
         g.add(second)
         tracker.requeue(delta)
         assert tracker.drain().added == [first, second]
+
+
+class TestRemovalJournal:
+    """Itemised removals: standing views need to know *which* triples left."""
+
+    def test_remove_is_journalled_in_order(self):
+        g = Graph()
+        first = Triple(EX.a, EX.p, EX.b)
+        second = Triple(EX.b, EX.p, EX.c)
+        g.add(first)
+        g.add(second)
+        tracker = g.track_changes()
+        g.remove(first)
+        g.remove(second)
+        delta = tracker.drain()
+        assert delta.retracted
+        assert delta.removals_itemised
+        assert delta.removed == [first, second]
+        assert delta.added == []
+
+    def test_interleaved_adds_and_removes_keep_both_journals(self):
+        g = Graph()
+        stays = Triple(EX.a, EX.p, EX.b)
+        goes = Triple(EX.b, EX.p, EX.c)
+        g.add(goes)
+        tracker = g.track_changes()
+        g.add(stays)
+        g.remove(goes)
+        delta = tracker.drain()
+        assert delta.added == [stays]
+        assert delta.removed == [goes]
+
+    def test_clear_is_unitemised(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        tracker = g.track_changes()
+        g.clear()
+        delta = tracker.drain()
+        assert delta.retracted
+        assert not delta.removals_itemised
+        assert delta.removed_ids is None
+        assert delta.removed == []  # decodes to nothing rather than lying
+
+    def test_remove_after_clear_stays_unitemised(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        tracker = g.track_changes()
+        g.clear()
+        g.add(Triple(EX.b, EX.p, EX.c))
+        g.remove(Triple(EX.b, EX.p, EX.c))
+        delta = tracker.drain()
+        # the clear already made the removal set unknowable; the later
+        # itemisable removal cannot resurrect it
+        assert delta.retracted and not delta.removals_itemised
+
+    def test_drain_resets_the_removal_journal(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        tracker = g.track_changes()
+        g.remove(Triple(EX.a, EX.p, EX.b))
+        assert tracker.drain().removed_ids
+        delta = tracker.drain()
+        assert not delta.retracted
+        assert delta.removals_itemised and delta.removed_ids == []
+
+    def test_clean_delta_has_empty_itemised_removals(self):
+        g = Graph()
+        tracker = g.track_changes()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        delta = tracker.drain()
+        assert delta.removals_itemised
+        assert delta.removed_ids == [] and delta.removed == []
+
+    def test_overflow_drops_the_removal_journal(self, monkeypatch):
+        from repro.semantics.rdf.graph import ChangeTracker
+
+        monkeypatch.setattr(ChangeTracker, "max_buffered", 5)
+        g = Graph()
+        for index in range(10):
+            g.add(Triple(EX[f"s{index}"], EX.p, EX.o))
+        tracker = g.track_changes()
+        for index in range(10):
+            g.remove(Triple(EX[f"s{index}"], EX.p, EX.o))
+        delta = tracker.drain()
+        assert delta.overflowed
+        assert not delta.removals_itemised
+
+    def test_requeue_merges_removals_in_order(self):
+        g = Graph()
+        first = Triple(EX.a, EX.p, EX.b)
+        second = Triple(EX.b, EX.p, EX.c)
+        g.add(first)
+        g.add(second)
+        tracker = g.track_changes()
+        g.remove(first)
+        delta = tracker.drain()
+        g.remove(second)
+        tracker.requeue(delta)
+        merged = tracker.drain()
+        assert merged.removed == [first, second]
+
+    def test_requeue_of_unitemised_delta_poisons_the_merge(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        tracker = g.track_changes()
+        g.clear()
+        delta = tracker.drain()
+        g.add(Triple(EX.b, EX.p, EX.c))
+        g.remove(Triple(EX.b, EX.p, EX.c))
+        tracker.requeue(delta)
+        merged = tracker.drain()
+        assert merged.retracted and not merged.removals_itemised
+
+    def test_reasoner_contract_unchanged(self):
+        # coarse consumers keep keying off needs_full on any retraction
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        tracker = g.track_changes()
+        g.remove(Triple(EX.a, EX.p, EX.b))
+        delta = tracker.drain()
+        assert delta.needs_full
+        assert delta.removals_itemised

@@ -1,0 +1,532 @@
+"""Standing views vs the from-scratch oracle.
+
+A materialized standing view must be indistinguishable from re-running its
+query with the naive written-order evaluator (``use_planner=False``) — the
+only permitted difference is *cost*.  The randomized suite drives views
+through mixed mutation streams (adds, removals, prefix rebinds, and
+shard-routed record batches through the full middleware) and compares the
+served result bag to the oracle after **every** step; the unit tests pin
+down which mutations are folded in as O(|delta|) updates and which fall
+back to a full re-materialization, the planner serving path
+(``view_hits`` replacing result-cache misses), and the push pipeline
+(broker-delivered :class:`ViewDelta` payloads reconstructing the result in
+a :class:`ViewDeltaWindow` and feeding CEP).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.cep import AggregatePattern, CepEngine, CepRule, ViewEventSource
+from repro.core.middleware import MiddlewareConfig, SemanticMiddleware
+from repro.ontologies.library import build_unified_ontology
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.namespace import Namespace
+from repro.semantics.rdf.term import Literal, Variable
+from repro.semantics.rdf.triple import Triple
+from repro.semantics.sparql.evaluator import query, register_standing
+from repro.semantics.sparql.planner import planner_for
+from repro.streams.messages import ObservationRecord
+from repro.streams.window import ViewDeltaWindow
+
+EX = Namespace("http://example.org/")
+ALT = Namespace("http://alternate.example.org/")
+
+
+def _bag(result):
+    """Comparable form of a result: ASK boolean or row multiset."""
+    if result.form == "ASK":
+        return result.ask
+    return Counter(
+        frozenset((var.name, str(term)) for var, term in solution.items())
+        for solution in result.solutions
+    )
+
+
+def assert_matches_oracle(view, graph, text):
+    assert _bag(view.result()) == _bag(query(graph, text, use_planner=False))
+
+
+# --------------------------------------------------------------------- #
+# single-graph maintenance unit tests
+# --------------------------------------------------------------------- #
+
+
+class TestSingleGraphMaintenance:
+    @pytest.fixture
+    def graph(self):
+        g = Graph()
+        g.namespaces.bind("ex", EX)
+        g.add(Triple(EX.s1, EX.kind, EX.Station))
+        g.add(Triple(EX.s1, EX.level, Literal(7)))
+        g.add(Triple(EX.s2, EX.kind, EX.Station))
+        g.add(Triple(EX.s2, EX.level, Literal(3)))
+        return g
+
+    TEXT = """SELECT ?s ?v WHERE {
+        ?s ex:kind ex:Station . ?s ex:level ?v . FILTER (?v > 2)
+    }"""
+
+    def test_adds_fold_in_as_deltas(self, graph):
+        view = register_standing(graph, self.TEXT)
+        assert_matches_oracle(view, graph, self.TEXT)
+        graph.add(Triple(EX.s3, EX.kind, EX.Station))
+        graph.add(Triple(EX.s3, EX.level, Literal(9)))
+        assert_matches_oracle(view, graph, self.TEXT)
+        # a triple matching no view pattern must not disturb the rows
+        graph.add(Triple(EX.s3, EX.note, Literal("calibrated")))
+        assert_matches_oracle(view, graph, self.TEXT)
+        assert view.delta_updates >= 2
+        assert view.full_refreshes == 0
+
+    def test_filter_rejects_delta_rows(self, graph):
+        view = register_standing(graph, self.TEXT)
+        graph.add(Triple(EX.s4, EX.kind, EX.Station))
+        graph.add(Triple(EX.s4, EX.level, Literal(1)))  # fails ?v > 2
+        assert_matches_oracle(view, graph, self.TEXT)
+        assert view.full_refreshes == 0
+
+    def test_irrelevant_removal_is_ignored(self, graph):
+        graph.add(Triple(EX.s1, EX.note, Literal("x")))
+        view = register_standing(graph, self.TEXT)
+        graph.remove(Triple(EX.s1, EX.note, Literal("x")))
+        graph.add(Triple(EX.s5, EX.kind, EX.Station))
+        graph.add(Triple(EX.s5, EX.level, Literal(5)))
+        assert_matches_oracle(view, graph, self.TEXT)
+        # the removal never touched a view pattern: no fallback
+        assert view.full_refreshes == 0
+        assert view.delta_updates >= 1
+
+    def test_relevant_removal_falls_back_but_stays_correct(self, graph):
+        view = register_standing(graph, self.TEXT)
+        graph.remove(Triple(EX.s1, EX.level, Literal(7)))
+        assert_matches_oracle(view, graph, self.TEXT)
+        assert view.full_refreshes == 1
+
+    def test_clear_falls_back_but_stays_correct(self, graph):
+        view = register_standing(graph, self.TEXT)
+        graph.clear()
+        assert_matches_oracle(view, graph, self.TEXT)
+        assert view.full_refreshes == 1
+        assert view.result().solutions == []
+
+    def test_optional_extension_is_incremental(self, graph):
+        text = """SELECT ?s ?v ?n WHERE {
+            ?s ex:kind ex:Station . ?s ex:level ?v .
+            OPTIONAL { ?s ex:note ?n . }
+        }"""
+        view = register_standing(graph, text)
+        # a delta triple matching only the OPTIONAL block re-extends just
+        # the affected base — no full refresh
+        graph.add(Triple(EX.s1, EX.note, Literal("drifting")))
+        assert_matches_oracle(view, graph, text)
+        graph.add(Triple(EX.s1, EX.note, Literal("recalibrated")))
+        assert_matches_oracle(view, graph, text)
+        assert view.full_refreshes == 0
+        assert view.delta_updates == 2
+
+    def test_unsupported_optional_falls_back(self, graph):
+        # the block shares no variable with the required part: the delta
+        # rules do not apply, so a block-matching add must trigger the
+        # full-refresh fallback — and still serve the oracle's bag
+        text = """SELECT ?s ?w WHERE {
+            ?s ex:kind ex:Station .
+            OPTIONAL { ?x ex:warning ?w . }
+        }"""
+        view = register_standing(graph, text)
+        graph.add(Triple(EX.alerts, EX.warning, Literal("dry spell")))
+        assert_matches_oracle(view, graph, text)
+        assert view.full_refreshes == 1
+
+    def test_prefix_rebind_forces_rebind_and_refresh(self, graph):
+        graph.add(Triple(ALT.s9, ALT.kind, ALT.Station))
+        graph.add(Triple(ALT.s9, ALT.level, Literal(11)))
+        view = register_standing(graph, self.TEXT)
+        before = _bag(view.result())
+        graph.namespaces.bind("ex", ALT)
+        assert_matches_oracle(view, graph, self.TEXT)
+        assert view.full_refreshes == 1
+        assert _bag(view.result()) != before
+
+    def test_ask_view(self, graph):
+        text = "ASK WHERE { ?s ex:level ?v . FILTER (?v > 6) }"
+        view = register_standing(graph, text)
+        assert view.result().ask is True
+        graph.remove(Triple(EX.s1, EX.level, Literal(7)))
+        assert view.result().ask is False
+        graph.add(Triple(EX.s8, EX.level, Literal(8)))
+        assert view.result().ask is True
+
+    def test_modifiers_run_on_every_serve(self, graph):
+        text = """SELECT DISTINCT ?v WHERE {
+            ?s ex:level ?v .
+        } ORDER BY ?v LIMIT 2"""
+        view = register_standing(graph, text)
+        v = Variable("v")
+        assert [s[v] for s in view.result().solutions] == [Literal(3), Literal(7)]
+        graph.add(Triple(EX.s0, EX.level, Literal(1)))
+        assert [s[v] for s in view.result().solutions] == [Literal(1), Literal(3)]
+
+    def test_subscriber_deltas_reconstruct_the_rows(self, graph):
+        view = register_standing(graph, self.TEXT)
+        window = ViewDeltaWindow()
+        window.apply(_InitialDelta(view.rows()))
+        view.subscribe(window.apply)
+        graph.add(Triple(EX.s6, EX.kind, EX.Station))
+        graph.add(Triple(EX.s6, EX.level, Literal(4)))
+        view.refresh()
+        graph.remove(Triple(EX.s2, EX.level, Literal(3)))
+        view.refresh()
+        assert Counter(window.items) == Counter(view.rows())
+
+    def test_refresh_reports_changes_only(self, graph):
+        view = register_standing(graph, self.TEXT)
+        assert view.refresh() is None  # clean tracker: nothing to do
+        graph.add(Triple(EX.s1, EX.unrelated, EX.o))
+        delta = view.refresh()
+        assert delta is not None and not delta  # moved, but view untouched
+
+    def test_stats_counters(self, graph):
+        view = register_standing(graph, self.TEXT, name="levels")
+        graph.add(Triple(EX.s7, EX.kind, EX.Station))
+        view.refresh()
+        stats = view.stats()
+        assert stats["name"] == "levels"
+        assert stats["form"] == "SELECT"
+        assert stats["delta_updates"] == view.delta_updates
+        assert stats["full_refreshes"] == view.full_refreshes
+        assert stats["rows"] == len(view.rows())
+
+
+class _InitialDelta:
+    """Seed payload for a window attached after materialization."""
+
+    def __init__(self, rows):
+        self.added = list(rows)
+        self.removed = []
+
+
+# --------------------------------------------------------------------- #
+# planner serving path
+# --------------------------------------------------------------------- #
+
+
+class TestPlannerServing:
+    def test_registered_query_is_served_from_the_view(self):
+        g = Graph()
+        g.namespaces.bind("ex", EX)
+        g.add(Triple(EX.a, EX.p, Literal(1)))
+        text = "SELECT ?s ?v WHERE { ?s ex:p ?v . }"
+        planner = planner_for(g)
+        register_standing(g, text)
+        baseline_misses = planner.statistics.result_misses
+        for value in range(2, 6):
+            g.add(Triple(EX.a, EX.p, Literal(value)))
+            served = query(g, text)
+            assert _bag(served) == _bag(query(g, text, use_planner=False))
+        # under continuous writes the result cache would miss every time;
+        # the view absorbs all of it
+        assert planner.statistics.view_hits >= 4
+        assert planner.statistics.result_misses == baseline_misses
+
+    def test_register_is_idempotent(self):
+        g = Graph()
+        g.namespaces.bind("ex", EX)
+        text = "ASK WHERE { ?s ex:p ?v . }"
+        first = register_standing(g, text)
+        second = register_standing(g, text)
+        assert first is second
+        assert len(planner_for(g).standing_views()) == 1
+
+    def test_clear_caches_keeps_views(self):
+        g = Graph()
+        g.namespaces.bind("ex", EX)
+        text = "ASK WHERE { ?s ex:p ?v . }"
+        view = register_standing(g, text)
+        planner = planner_for(g)
+        planner.clear_caches()
+        assert view in planner.standing_views()
+        assert "views" in planner.stats()
+
+
+# --------------------------------------------------------------------- #
+# randomized equivalence: single graph under mixed mutation streams
+# --------------------------------------------------------------------- #
+
+PREDICATES = [EX.p0, EX.p1, EX.p2, EX.p3]
+
+
+def _random_graph(rng):
+    g = Graph()
+    g.namespaces.bind("ex", EX)
+    for _ in range(rng.randint(20, 60)):
+        g.add(_random_triple(rng))
+    return g
+
+
+def _random_triple(rng):
+    subject = EX[f"s{rng.randrange(10)}"]
+    predicate = rng.choice(PREDICATES)
+    if predicate == EX.p3:
+        obj = Literal(rng.randint(0, 15))
+    else:
+        obj = rng.choice([EX[f"o{i}"] for i in range(5)] + [EX[f"s{i}"] for i in range(4)])
+    return Triple(subject, predicate, obj)
+
+
+def _random_query(rng):
+    node_vars = ["?a", "?b", "?c"]
+    value_vars = ["?v", "?w"]
+
+    def pattern():
+        s = rng.choice(node_vars + ["ex:s0", "ex:s1", "ex:s2"])
+        p = rng.choice(["ex:p0", "ex:p1", "ex:p2", "ex:p3", "?p"])
+        if p in ("ex:p3", "?p"):
+            o = rng.choice(value_vars + [str(rng.randint(0, 15))])
+        else:
+            o = rng.choice(node_vars + value_vars + ["ex:o0", "ex:o1", "ex:s3"])
+        return f"{s} {p} {o}"
+
+    body = " . ".join(pattern() for _ in range(rng.randint(2, 4)))
+    optional = ""
+    if rng.random() < 0.5:
+        optional = " OPTIONAL { " + pattern() + " . }"
+    filter_clause = ""
+    if rng.random() < 0.5:
+        var = rng.choice(node_vars + value_vars)
+        op = rng.choice(["<", "<=", ">", ">=", "=", "!="])
+        filter_clause = f" FILTER ({var} {op} {rng.randint(0, 15)})"
+    distinct = "DISTINCT " if rng.random() < 0.3 else ""
+    form = f"SELECT {distinct}*" if rng.random() < 0.85 else "ASK"
+    return f"{form} WHERE {{ {body} .{optional}{filter_clause} }}"
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_mutation_stream(self, seed):
+        rng = random.Random(seed)
+        graph = _random_graph(rng)
+        texts = [_random_query(rng) for _ in range(3)]
+        views = [register_standing(graph, text) for text in texts]
+        for _ in range(40):
+            roll = rng.random()
+            if roll < 0.62:
+                graph.add(_random_triple(rng))
+            elif roll < 0.9:
+                triples = list(graph)
+                if triples:
+                    graph.remove(rng.choice(triples))
+            elif roll < 0.97:
+                # batch of adds between refreshes
+                for _ in range(rng.randint(2, 6)):
+                    graph.add(_random_triple(rng))
+            else:
+                # rebind ex to a different namespace and back: every CURIE
+                # in every view resolves differently for one step
+                target = ALT if rng.random() < 0.5 else EX
+                graph.namespaces.bind("ex", target)
+            for view, text in zip(views, texts):
+                assert_matches_oracle(view, graph, text)
+        graph.namespaces.bind("ex", EX)
+        for view, text in zip(views, texts):
+            assert_matches_oracle(view, graph, text)
+            # the maintenance machinery actually ran
+            assert view.delta_updates + view.full_refreshes > 0
+
+
+# --------------------------------------------------------------------- #
+# shard-routed batches through the middleware
+# --------------------------------------------------------------------- #
+
+DISTRICTS = ["thabo", "mangaung", "xhariep", "lejwe"]
+PROPERTIES = [
+    ("soil moisture", "percent", 20.0),
+    ("rainfall", "mm", 3.0),
+    ("air temperature", "degC", 18.0),
+]
+
+STANDING_QUERIES = [
+    """SELECT ?obs ?v WHERE {
+        ?obs rdf:type ssn:Observation .
+        ?obs ssn:hasResult ?r .
+        ?r ssn:hasValue ?v .
+        FILTER (?v > 24)
+    }""",
+    """SELECT DISTINCT ?sensor WHERE {
+        ?obs ssn:observedBy ?sensor .
+        ?sensor rdf:type ssn:SensingDevice .
+    }""",
+    """SELECT ?obs ?p WHERE {
+        ?obs rdf:type ssn:Observation .
+        OPTIONAL { ?obs ssn:observedProperty ?p }
+    }""",
+    """ASK WHERE { ?s rdf:type ssn:Observation }""",
+]
+
+
+def _build_middleware(shards, **config_kwargs):
+    return SemanticMiddleware(
+        library=build_unified_ontology(materialize=True),
+        config=MiddlewareConfig(shards=shards, cep_per_record=False, **config_kwargs),
+    )
+
+
+def _record(rng, index):
+    district = rng.choice(DISTRICTS)
+    name, unit, base = rng.choice(PROPERTIES)
+    return ObservationRecord(
+        source_id=f"{district}-sensor-{rng.randrange(3):02d}",
+        source_kind="wsn_node",
+        property_name=name,
+        value=base + rng.randrange(12),
+        unit=unit,
+        timestamp=600.0 * index,
+        metadata={"area": district},
+    )
+
+
+class TestShardedStanding:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_sharded_views_match_unregistered_twin(self, seed):
+        rng = random.Random(seed)
+        standing = _build_middleware(shards=4)
+        plain = _build_middleware(shards=4)
+        views = []
+        for text in STANDING_QUERIES:
+            views.extend(standing.register_standing(text))
+        index = 0
+        for _ in range(4):
+            batch = [_record(rng, index + i) for i in range(30)]
+            index += len(batch)
+            standing.ingest_batch(batch)
+            plain.ingest_batch(batch)
+            for text in STANDING_QUERIES:
+                assert _bag(standing.query(text)) == _bag(plain.query(text))
+        # an add-only record stream must never force a re-materialization
+        assert sum(v.full_refreshes for v in views) == 0
+        assert sum(v.delta_updates for v in views) > 0
+        standing.close()
+        plain.close()
+
+    def test_only_dirty_shards_fold_deltas(self):
+        rng = random.Random(7)
+        middleware = _build_middleware(shards=4)
+        (view_per_shard) = middleware.register_standing(STANDING_QUERIES[0])
+        assert len(view_per_shard) == 4
+        # route every record to one district -> exactly one dirty shard
+        records = []
+        for i in range(10):
+            record = _record(rng, i)
+            record.metadata["area"] = "thabo"
+            record.source_id = "thabo-sensor-00"
+            records.append(record)
+        middleware.ingest_batch(records)
+        middleware.query(STANDING_QUERIES[0])
+        touched = [v for v in view_per_shard if len(v.rows()) > 0]
+        assert len(touched) == 1
+        middleware.close()
+
+    def test_single_shard_registration_uses_plain_view(self):
+        middleware = _build_middleware(shards=1)
+        views = middleware.register_standing(STANDING_QUERIES[3])
+        assert len(views) == 1
+        rng = random.Random(3)
+        middleware.ingest_batch([_record(rng, i) for i in range(5)])
+        assert middleware.query(STANDING_QUERIES[3]).ask is True
+        middleware.close()
+
+
+# --------------------------------------------------------------------- #
+# the push pipeline: broker deltas -> ViewDeltaWindow -> CEP
+# --------------------------------------------------------------------- #
+
+
+class TestPushPipeline:
+    def test_view_deltas_reach_cep_over_the_broker(self):
+        middleware = _build_middleware(shards=2)
+        middleware.register_standing(
+            STANDING_QUERIES[0], name="hot-obs", push=True
+        )
+        engine = CepEngine(feedback=False)
+        engine.add_rule(
+            CepRule(
+                name="many-hot-observations",
+                pattern=AggregatePattern(
+                    "hot_obs.count", aggregate="last", op=">=", threshold=8.0
+                ),
+                window_seconds=86400.0 * 30,
+                derived_event_type="hot_spell",
+                cooldown_seconds=0.0,
+            )
+        )
+        source = ViewEventSource(engine, "hot_obs", value_var="?v")
+        source.attach(middleware.broker, "views/hot-obs")
+
+        rng = random.Random(11)
+        derived = []
+        index = 0
+        for _ in range(3):
+            batch = []
+            for _ in range(6):
+                record = _record(rng, index)
+                record.value = 30.0  # guaranteed > 24
+                batch.append(record)
+                index += 1
+            assert middleware.ingest_batch(batch)
+        # broker delivery rides the simulation scheduler: advance it
+        middleware.scheduler.run_until(600.0 * index + 10.0)
+        assert len(source.window) >= 8
+        # the window mirrors the federated standing result without any
+        # re-polling: compare against the served rows
+        total_rows = sum(
+            len(v.rows()) for v in middleware.ontology_layer.standing_views()
+        )
+        assert len(source.window) == total_rows
+        assert source.deltas_seen > 0
+        # drive one more delta through and catch the derived event
+        engine.on_derived_event(derived.append)
+        record = _record(rng, index)
+        record.value = 31.0
+        middleware.ingest_record(record)
+        middleware.scheduler.run_until(600.0 * (index + 2))
+        assert any(d.event_type == "hot_spell" for d in derived)
+        middleware.close()
+
+    def test_aggregate_pattern_semantics(self):
+        from repro.cep.event import Event
+
+        pattern = AggregatePattern("gauge", aggregate="mean", op=">=", threshold=5.0,
+                                   min_count=2)
+        events = [Event("gauge", value=v, timestamp=float(i)) for i, v in
+                  enumerate([2.0, 4.0])]
+        assert pattern.evaluate(events, 2.0) is None  # mean 3 < 5
+        events.append(Event("gauge", value=12.0, timestamp=2.0))
+        match = pattern.evaluate(events, 3.0)
+        assert match is not None and 0.5 <= match.score <= 1.0
+        assert pattern.evaluate(events[:1], 1.0) is None  # below min_count
+        count = AggregatePattern("gauge", aggregate="count", op=">", threshold=2.0)
+        assert count.evaluate(events, 3.0) is not None
+        with pytest.raises(ValueError):
+            AggregatePattern("gauge", aggregate="median")
+        with pytest.raises(ValueError):
+            AggregatePattern("gauge", op="!=")
+        assert "mean(gauge) >= 5.0" == pattern.describe()
+
+    def test_view_delta_window_is_a_multiset(self):
+        window = ViewDeltaWindow()
+        window.apply(_Delta(added=["r1", "r1", "r2"], removed=[]))
+        assert len(window) == 3
+        window.apply(_Delta(added=[], removed=["r1"]))
+        assert Counter(window.items) == Counter({"r1": 1, "r2": 1})
+        window.apply(_Delta(added=[], removed=["r1", "r2"]))
+        assert len(window) == 0
+        assert window.deltas_applied == 3
+
+
+class _Delta:
+    def __init__(self, added, removed):
+        self.added = added
+        self.removed = removed
