@@ -77,8 +77,16 @@ class ViewEventSource:
     # wiring
     # ------------------------------------------------------------------ #
 
-    def attach(self, broker, topic: str):
-        """Subscribe to ``topic`` (e.g. ``views/dashboard``) on ``broker``."""
+    def attach(self, broker, topic: str, view: Any = None):
+        """Subscribe to ``topic`` (e.g. ``views/dashboard``) on ``broker``.
+
+        Pass the standing ``view`` when it may already be populated: its
+        current rows seed :attr:`window`, so the ``.count`` gauge starts
+        correct instead of undercounting (and removals of pre-attach rows
+        resolving against an empty multiset) until the first full refresh.
+        """
+        if view is not None:
+            self.window.seed(view.rows())
         return broker.subscribe(
             topic, self._on_message, subscriber_name=f"view-source:{self.event_type}"
         )

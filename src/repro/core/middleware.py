@@ -69,6 +69,18 @@ class MiddlewareConfig:
     #: Worker threads for the sharded batch fan-out (``None`` = one per
     #: shard, capped at 8; ``0`` = run per-shard work inline).
     shard_workers: Optional[int] = None
+    #: Directory for durable state (per-shard WAL + snapshots).  ``None``
+    #: keeps the middleware purely in-memory; a directory that already
+    #: holds a persisted store is *recovered* on construction — graphs,
+    #: closures and standing views come back, and push-mode views are
+    #: re-wired to the broker.
+    data_dir: Optional[str] = None
+    #: WAL durability policy: ``"always"`` (fsync per record), ``"batch"``
+    #: (fsync once per ingest batch — the default) or ``"never"``.
+    wal_fsync: str = "batch"
+    #: WAL records per shard segment before the post-batch checkpoint
+    #: rolls a fresh snapshot and truncates the log.
+    snapshot_interval: int = 50_000
 
 
 class SemanticMiddleware:
@@ -114,6 +126,9 @@ class SemanticMiddleware:
             reason_per_batch=self.config.reason_per_batch,
             shards=self.config.shards,
             shard_workers=self.config.shard_workers,
+            data_dir=self.config.data_dir,
+            wal_fsync=self.config.wal_fsync,
+            snapshot_interval=self.config.snapshot_interval,
         )
         self.application_layer = ApplicationAbstractionLayer(
             self.ontology_layer, self.broker
@@ -134,6 +149,30 @@ class SemanticMiddleware:
                     self.knowledge_base, min_observers=self.config.ik_min_observers
                 )
             )
+        if self.ontology_layer.recovered:
+            self._rewire_recovered_push_views()
+
+    def _rewire_recovered_push_views(self) -> None:
+        # the ontology layer re-registered every persisted standing view
+        # during recovery, but broker wiring is this facade's concern:
+        # re-subscribe the push-mode ones so their deltas flow again
+        persistence = self.ontology_layer.persistence
+        pushed = {
+            registration["name"]
+            for registration in persistence.standing_registrations()
+            if registration["push"] and registration["name"] is not None
+        }
+        if not pushed:
+            return
+        for view in self.ontology_layer.standing_views():
+            if view.name in pushed:
+                topic = f"views/{view.name}"
+
+                def publish(delta, _topic=topic):
+                    self.broker.publish(_topic, delta)
+
+                view.subscribe(publish)
+                self._push_views.append(view)
 
     # ------------------------------------------------------------------ #
     # wiring to the physical layer
@@ -233,6 +272,11 @@ class SemanticMiddleware:
             for view in views:
                 view.subscribe(publish)
             self._push_views.extend(views)
+        persistence = self.ontology_layer.persistence
+        if persistence is not None:
+            # upgrade the layer's record with the push flag so a restart
+            # re-wires the broker subscription too
+            persistence.record_standing(view_name, text, push=push)
         return views
 
     def _refresh_push_views(self) -> None:
@@ -281,13 +325,13 @@ class SemanticMiddleware:
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Release owned resources (the sharded fan-out worker pool).
+        """Release owned resources (worker pool, WAL file handles).
 
-        Idempotent, and a no-op for single-graph deployments.  Dropping the
-        middleware without calling this is safe too — the pool's worker
-        threads exit when the executor is garbage-collected — but
-        applications cycling many sharded instances should close
-        deterministically rather than wait for the collector.
+        Idempotent.  With persistence enabled this is the graceful-shutdown
+        path: buffered WAL records are committed and the files released, so
+        the next construction over the same ``data_dir`` recovers without
+        replay loss.  Dropping the middleware without calling this models a
+        crash — recovery then loses at most the uncommitted batch.
         """
         self.ontology_layer.close()
 

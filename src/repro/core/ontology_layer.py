@@ -51,9 +51,11 @@ from repro.core.services import SemanticService, ServiceRegistry
 from repro.ik.knowledge_base import IndigenousKnowledgeBase
 from repro.ontologies.environment import CANONICAL_PROPERTIES
 from repro.ontologies.library import OntologyLibrary, build_unified_ontology
-from repro.ontologies.vocabulary import DROUGHT
+from repro.ontologies.vocabulary import AFRICRID, DROUGHT
+from repro.persistence.store import DEFAULT_SNAPSHOT_INTERVAL, StorePersistence
 from repro.semantics.rdf.graph import Graph
 from repro.semantics.rdf.sharding import ShardedGraphStore
+from repro.semantics.rdf.term import IRI
 from repro.semantics.reasoner import Reasoner
 from repro.semantics.sparql.evaluator import QueryResult, query
 from repro.semantics.sparql.planner import (
@@ -74,6 +76,35 @@ class OntologyLayerStatistics:
     sightings_out: int = 0
     derived_events: int = 0
     annotation_triples: int = 0
+
+
+#: IRI path prefixes minted from the layer's shared annotation counter.
+_COUNTER_PREFIXES = ("observation/", "result/", "sighting/")
+
+
+def _next_annotation_index(graphs: List[Graph]) -> int:
+    """The first unused annotation-counter index across ``graphs``.
+
+    Recovery restores triples but not the in-process counter; restarting it
+    at 1 would mint ``observation/1`` IRIs that collide with recovered
+    annotations.  The dictionaries hold every IRI the counter ever minted,
+    so scanning them for the counter-derived path prefixes yields the exact
+    high-water mark.
+    """
+    base = AFRICRID.base
+    highest = 0
+    for graph in graphs:
+        for term in graph.dictionary.terms:
+            if not isinstance(term, IRI) or not term.value.startswith(base):
+                continue
+            path = term.value[len(base):]
+            for prefix in _COUNTER_PREFIXES:
+                if path.startswith(prefix):
+                    suffix = path[len(prefix):]
+                    if suffix.isdigit():
+                        highest = max(highest, int(suffix))
+                    break
+    return highest + 1
 
 
 class OntologySegmentLayer:
@@ -112,6 +143,21 @@ class OntologySegmentLayer:
         Worker-thread pool size for the sharded batch fan-out (defaults to
         the shard count, capped at 8); ``0`` disables the pool and runs the
         per-shard work inline, which is the right call on single-core hosts.
+    data_dir:
+        Directory for durable state (per-shard WAL + snapshots).  ``None``
+        (the default) keeps the layer purely in-memory.  When the directory
+        already holds a persisted store, the layer *recovers* it: every
+        partition is rebuilt from its newest valid snapshot plus its WAL
+        tail, the annotation counter resumes past the recovered IRIs,
+        reasoner closures are rebuilt and persisted standing views are
+        re-registered.
+    wal_fsync:
+        ``"always"`` / ``"batch"`` / ``"never"`` — see
+        :mod:`repro.persistence.wal`.  ``"batch"`` fsyncs once per ingest
+        batch, bounding loss to the in-flight batch.
+    snapshot_interval:
+        WAL records per shard segment before the post-batch checkpoint
+        rolls a fresh snapshot and truncates the log.
     """
 
     def __init__(
@@ -125,6 +171,9 @@ class OntologySegmentLayer:
         reason_per_batch: bool = False,
         shards: int = 1,
         shard_workers: Optional[int] = None,
+        data_dir: Optional[str] = None,
+        wal_fsync: str = "batch",
+        snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
     ):
         self.library = library or build_unified_ontology(materialize=True)
         self.graph = self.library.graph
@@ -137,15 +186,37 @@ class OntologySegmentLayer:
         self.statistics = OntologyLayerStatistics()
         self._publish_stage = PublishStage(self.knowledge_base, self.statistics)
 
+        self.persistence: Optional[StorePersistence] = None
+        #: Whether this layer's graphs were rebuilt from durable state.
+        self.recovered = False
+        recovered_graphs: Optional[List[Graph]] = None
+        if data_dir is not None:
+            self.persistence = StorePersistence(
+                data_dir, fsync=wal_fsync, snapshot_interval=snapshot_interval
+            )
+            if self.persistence.recoverable:
+                recovered_graphs = self.persistence.recover_all(
+                    expected_shards=self.shards
+                )
+                self.recovered = True
+
         if self.shards == 1:
             # the original single-graph path: ontology axioms, IK catalogue,
-            # service descriptions and annotations all share one graph
+            # service descriptions and annotations all share one graph —
+            # the recovered graph replaces the freshly built library graph
+            if recovered_graphs is not None:
+                self.graph = recovered_graphs[0]
             self.store: Optional[ShardedGraphStore] = None
             self.router = None
             self._executor: Optional[ThreadPoolExecutor] = None
             self.knowledge_base.materialize(self.graph)
+            self._annotation_counter = itertools.count(
+                _next_annotation_index([self.graph]) if self.recovered else 1
+            )
             self.annotator = SemanticAnnotator(
-                self.graph, knowledge_base=self.knowledge_base
+                self.graph,
+                knowledge_base=self.knowledge_base,
+                counter=self._annotation_counter,
             )
             self.reasoner = Reasoner(self.graph)
             self.annotators = [self.annotator]
@@ -159,8 +230,17 @@ class OntologySegmentLayer:
             # per-area partitions: the library graph stays the pristine
             # axiom base (replicated into every shard); annotations, the IK
             # catalogue and the service catalogue live in the shards
-            self.store = ShardedGraphStore(self.shards, base_graph=self.library.graph)
+            if recovered_graphs is not None:
+                # the recovered partitions already hold the replicated
+                # axioms (they were in each shard's gen-0 snapshot)
+                self.store = ShardedGraphStore(self.shards, graphs=recovered_graphs)
+            else:
+                self.store = ShardedGraphStore(
+                    self.shards, base_graph=self.library.graph
+                )
             self.router = self.store.router
+            # idempotent on recovery: the indicators use deterministic IRIs,
+            # so re-materialising adds (and therefore journals) nothing new
             self.store.replicate_with(self.knowledge_base.materialize)
             if shard_workers is None:
                 shard_workers = min(self.shards, 8)
@@ -171,7 +251,9 @@ class OntologySegmentLayer:
                 if shard_workers > 0
                 else None
             )
-            self._annotation_counter = itertools.count(1)
+            self._annotation_counter = itertools.count(
+                _next_annotation_index(self.store.graphs) if self.recovered else 1
+            )
             self.annotators = [
                 SemanticAnnotator(
                     shard_graph,
@@ -208,6 +290,23 @@ class OntologySegmentLayer:
             ]
         )
         self._register_default_services()
+
+        if self.persistence is not None and not self.recovered:
+            # start journalling only after the base content (axioms, IK
+            # catalogue, service descriptions) is in: it all lands in each
+            # shard's generation-0 snapshot instead of bloating the WAL
+            self.persistence.attach_all(self.graphs)
+        if self.recovered:
+            if reason_per_batch:
+                # the pipeline expects closures to be current between
+                # batches; a lazy layer instead recomputes on first
+                # entailment query, which needs no eager rebuild
+                for reasoner in self.reasoners:
+                    reasoner.ensure_materialized()
+            for registration in self.persistence.standing_registrations():
+                self.register_standing(
+                    registration["text"], name=registration["name"]
+                )
 
     def _register_default_services(self) -> None:
         self.services.register(
@@ -264,6 +363,9 @@ class OntologySegmentLayer:
         """
         self.statistics.records_in += 1
         context = self.pipeline.run(IngestionContext(record))
+        if self.persistence is not None:
+            self.persistence.commit()
+            self.persistence.maybe_checkpoint()
         return context.event if context.dropped_by is None else None
 
     def process_records(self, records: Iterable[ObservationRecord]) -> List[Event]:
@@ -286,6 +388,12 @@ class OntologySegmentLayer:
         contexts = [IngestionContext(record) for record in records]
         self.statistics.records_in += len(contexts)
         survivors = self.pipeline.run_batch(contexts)
+        if self.persistence is not None:
+            # the batch's durability point: one commit (fsync per policy)
+            # after the fan-out threads have joined, then roll any shard
+            # whose WAL outgrew the snapshot interval
+            self.persistence.commit()
+            self.persistence.maybe_checkpoint()
         return [context.event for context in survivors]
 
     # ------------------------------------------------------------------ #
@@ -358,10 +466,14 @@ class OntologySegmentLayer:
         Returns the underlying view objects.
         """
         if self.store is not None:
-            return self.store.register_standing(text, name=name)
-        return [
-            planner_for(self.graph).register_standing(self.graph, text, name=name)
-        ]
+            views = self.store.register_standing(text, name=name)
+        else:
+            views = [
+                planner_for(self.graph).register_standing(self.graph, text, name=name)
+            ]
+        if self.persistence is not None:
+            self.persistence.record_standing(name, text)
+        return views
 
     def standing_views(self) -> List:
         """Every live standing view across the layer's graphs."""
@@ -426,13 +538,20 @@ class OntologySegmentLayer:
             "parallel_batches": self._annotate_stage.parallel_batches,
         }
 
+    def checkpoint(self) -> None:
+        """Force a durable snapshot of every shard (no-op without persistence)."""
+        if self.persistence is not None:
+            self.persistence.checkpoint_all()
+
     def close(self) -> None:
-        """Shut down the sharded fan-out worker pool (idempotent)."""
+        """Shut down the worker pool and the persistence layer (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
             self._annotate_stage.executor = None
             self._reason_stage.executor = None
+        if self.persistence is not None:
+            self.persistence.close()
 
     def __repr__(self) -> str:
         return (

@@ -79,6 +79,10 @@ class DewsConfig:
     #: Districts are natural shard keys: each gateway's uploads touch one
     #: partition, so other districts' caches and closures stay warm.
     shards: int = 1
+    #: Directory for the middleware's durable state (per-shard WAL +
+    #: snapshots); ``None`` runs fully in-memory.  Pointing a new run at a
+    #: previous run's directory recovers its graphs and standing views.
+    data_dir: Optional[str] = None
 
 
 @dataclass
@@ -162,6 +166,7 @@ class DroughtEarlyWarningSystem:
             install_ik_rules=self.config.use_indigenous_knowledge,
             cep_per_record=False,
             shards=self.config.shards,
+            data_dir=self.config.data_dir,
         )
         self.middleware = SemanticMiddleware(
             scheduler=self.scheduler,

@@ -1,0 +1,180 @@
+"""Binary encoding of terms and integers for the WAL and snapshots.
+
+The on-disk formats share two primitives: LEB128 unsigned varints (graph
+ids are dense and small, so most encode in one or two bytes) and a
+self-describing term encoding (one kind byte, then the term's components).
+Terms round-trip *structurally*: decoding yields a term ``==`` to the one
+encoded, which is all id stability needs — the dictionary re-interns by
+structural equality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.semantics.rdf.term import (
+    XSD_STRING,
+    BlankNode,
+    IRI,
+    Literal,
+    Term,
+    Variable,
+)
+
+# ------------------------------------------------------------------ #
+# varints
+# ------------------------------------------------------------------ #
+
+
+def write_uvarint(buffer: bytearray, value: int) -> None:
+    """Append ``value`` (>= 0) to ``buffer`` as a LEB128 varint."""
+    if 0 <= value < 0x80:
+        # graph ids are dense and small: the single-byte case dominates
+        # the WAL hot path, so skip the loop entirely
+        buffer.append(value)
+        return
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    while value > 0x7F:
+        buffer.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buffer.append(value)
+
+
+def read_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Read a varint at ``offset``; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def _write_bytes(buffer: bytearray, payload: bytes) -> None:
+    write_uvarint(buffer, len(payload))
+    buffer.extend(payload)
+
+
+def _read_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
+    length, offset = read_uvarint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise ValueError("truncated byte string")
+    return data[offset:end], end
+
+
+# ------------------------------------------------------------------ #
+# terms
+# ------------------------------------------------------------------ #
+
+_KIND_IRI = ord("I")
+_KIND_BNODE = ord("B")
+_KIND_VARIABLE = ord("V")
+_KIND_LITERAL = ord("L")
+
+# literal tail layouts
+_LIT_PLAIN = 0  # xsd:string, no language tag
+_LIT_DATATYPE = 1  # explicit datatype IRI follows
+_LIT_LANG = 2  # language tag follows
+
+
+def encode_term_into(buffer: bytearray, term: Term) -> None:
+    """Append the encoding of ``term`` to ``buffer``."""
+    if isinstance(term, IRI):
+        # inlined length-prefix write: IRIs dominate the WAL term stream
+        raw = term.value.encode("utf-8")
+        buffer.append(_KIND_IRI)
+        write_uvarint(buffer, len(raw))
+        buffer += raw
+    elif isinstance(term, Literal):
+        raw = term.lexical.encode("utf-8")
+        buffer.append(_KIND_LITERAL)
+        write_uvarint(buffer, len(raw))
+        buffer += raw
+        if term.lang is not None:
+            buffer.append(_LIT_LANG)
+            _write_bytes(buffer, term.lang.encode("utf-8"))
+        elif term.datatype is None or term.datatype == XSD_STRING:
+            buffer.append(_LIT_PLAIN)
+        else:
+            buffer.append(_LIT_DATATYPE)
+            _write_bytes(buffer, term.datatype.value.encode("utf-8"))
+    elif isinstance(term, BlankNode):
+        buffer.append(_KIND_BNODE)
+        _write_bytes(buffer, term.id.encode("utf-8"))
+    elif isinstance(term, Variable):
+        # variables never occur in stored triples, but dictionaries are
+        # shared with pattern machinery; tolerate them for completeness
+        buffer.append(_KIND_VARIABLE)
+        _write_bytes(buffer, term.name.encode("utf-8"))
+    else:
+        raise TypeError(f"cannot encode term of type {type(term)!r}")
+
+
+def encode_term(term: Term) -> bytes:
+    """The stand-alone encoding of one term."""
+    buffer = bytearray()
+    encode_term_into(buffer, term)
+    return bytes(buffer)
+
+
+def decode_term(data: bytes, offset: int = 0) -> Tuple[Term, int]:
+    """Decode one term at ``offset``; returns ``(term, next_offset)``."""
+    if offset >= len(data):
+        raise ValueError("truncated term")
+    kind = data[offset]
+    offset += 1
+    if kind == _KIND_IRI:
+        raw, offset = _read_bytes(data, offset)
+        return IRI(raw.decode("utf-8")), offset
+    if kind == _KIND_LITERAL:
+        raw, offset = _read_bytes(data, offset)
+        lexical = raw.decode("utf-8")
+        if offset >= len(data):
+            raise ValueError("truncated literal")
+        layout = data[offset]
+        offset += 1
+        if layout == _LIT_PLAIN:
+            return Literal(lexical), offset
+        if layout == _LIT_DATATYPE:
+            raw, offset = _read_bytes(data, offset)
+            return Literal(lexical, datatype=IRI(raw.decode("utf-8"))), offset
+        if layout == _LIT_LANG:
+            raw, offset = _read_bytes(data, offset)
+            return Literal(lexical, lang=raw.decode("utf-8")), offset
+        raise ValueError(f"unknown literal layout {layout}")
+    if kind == _KIND_BNODE:
+        raw, offset = _read_bytes(data, offset)
+        return BlankNode(raw.decode("utf-8")), offset
+    if kind == _KIND_VARIABLE:
+        raw, offset = _read_bytes(data, offset)
+        return Variable(raw.decode("utf-8")), offset
+    raise ValueError(f"unknown term kind {kind}")
+
+
+def encode_string(buffer: bytearray, text: str) -> None:
+    """Append a length-prefixed UTF-8 string."""
+    _write_bytes(buffer, text.encode("utf-8"))
+
+
+def decode_string(data: bytes, offset: int) -> Tuple[str, int]:
+    """Read a length-prefixed UTF-8 string."""
+    raw, offset = _read_bytes(data, offset)
+    return raw.decode("utf-8"), offset
+
+
+def decode_terms(data: bytes, offset: int, count: int) -> Tuple[List[Term], int]:
+    """Decode ``count`` consecutive terms."""
+    terms: List[Term] = []
+    for _ in range(count):
+        term, offset = decode_term(data, offset)
+        terms.append(term)
+    return terms, offset

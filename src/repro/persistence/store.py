@@ -1,0 +1,346 @@
+"""Segment rotation, crash recovery, and the multi-shard manager.
+
+One shard's durable state is a *generation*: ``snap-<gen>.bin`` (the state
+at checkpoint time) plus ``wal-<gen>.log`` (every op since).  A checkpoint
+advances the generation with a strict ordering that keeps every instant
+crash-recoverable:
+
+1. write ``snap-<gen+1>.bin`` (itself atomic: tmp + fsync + rename),
+2. open ``wal-<gen+1>.log`` and rotate the graph's journal onto it,
+3. delete the old generation's files *last*.
+
+A crash before (1) completes leaves the old generation intact; a crash
+between (1) and (3) leaves both generations, and recovery simply picks the
+newest valid snapshot.  Recovery replays the matching WAL, truncates any
+torn tail, and re-opens the segment for appending.
+
+:class:`StorePersistence` manages one directory tree for a whole
+:class:`~repro.semantics.rdf.sharding.ShardedGraphStore` (or a single
+graph — a one-shard store), owns ``meta.json`` (the shard count is fixed
+at first attach; re-sharding an existing data dir is refused) and
+``views.json`` (standing-view registrations replayed on restart).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.persistence.snapshot import load_snapshot, restore_graph, write_snapshot
+from repro.persistence.wal import GraphWal, WriteAheadLog, apply_ops, replay_wal
+from repro.semantics.rdf.graph import Graph
+
+_SNAP_RE = re.compile(r"^snap-(\d{8})\.bin$")
+_WAL_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+#: Default WAL records per segment before :meth:`StorePersistence.maybe_checkpoint`
+#: rolls a new snapshot.
+DEFAULT_SNAPSHOT_INTERVAL = 50_000
+
+
+def _snap_name(gen: int) -> str:
+    return f"snap-{gen:08d}.bin"
+
+
+def _wal_name(gen: int) -> str:
+    return f"wal-{gen:08d}.log"
+
+
+def _atomic_write_json(path: Path, payload: object) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class ShardPersistence:
+    """Durability for one shard: a snapshot generation plus its WAL."""
+
+    def __init__(self, shard_dir: Union[str, Path], fsync: str = "batch"):
+        self.shard_dir = Path(shard_dir)
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.generation = 0
+        self.graph: Optional[Graph] = None
+        self.wal: Optional[WriteAheadLog] = None
+        self.graph_wal: Optional[GraphWal] = None
+        #: Ops replayed from the WAL tail during the last :meth:`recover`.
+        self.replayed_ops = 0
+
+    # -- directory scanning -------------------------------------------- #
+
+    def _generations(self, pattern: "re.Pattern[str]") -> List[int]:
+        gens = []
+        for entry in self.shard_dir.iterdir():
+            match = pattern.match(entry.name)
+            if match:
+                gens.append(int(match.group(1)))
+        gens.sort()
+        return gens
+
+    # -- cold start ----------------------------------------------------- #
+
+    def attach(self, graph: Graph) -> None:
+        """Start journalling a fresh (never-persisted) graph.
+
+        Writes the generation-0 snapshot of the graph's current state —
+        typically the replicated ontology axioms — then opens the WAL, so
+        a crash before the first commit still recovers to the base state.
+        """
+        self.graph = graph
+        write_snapshot(graph, self.shard_dir / _snap_name(self.generation))
+        self.wal = WriteAheadLog(
+            self.shard_dir / _wal_name(self.generation), fsync=self.fsync
+        )
+        self.graph_wal = GraphWal(graph, self.wal)
+
+    # -- recovery ------------------------------------------------------- #
+
+    def recover(self) -> Graph:
+        """Rebuild the shard's graph from the newest valid generation.
+
+        Loads the newest snapshot that validates, replays its WAL tail up
+        to the last intact record, truncates the torn remainder, and
+        re-opens the segment for appending.  When no snapshot validates at
+        all, recovery starts from an empty graph on a generation past
+        anything on disk — a stale WAL must not be replayed against a
+        dictionary it was not written for.
+        """
+        snap_gens = self._generations(_SNAP_RE)
+        wal_gens = self._generations(_WAL_RE)
+        graph: Optional[Graph] = None
+        chosen: Optional[int] = None
+        for gen in reversed(snap_gens):
+            data = load_snapshot(self.shard_dir / _snap_name(gen))
+            if data is not None:
+                graph = restore_graph(data)
+                chosen = gen
+                break
+        self.replayed_ops = 0
+        if graph is None:
+            graph = Graph()
+            highest = max(snap_gens + wal_gens, default=-1)
+            self.generation = highest + 1
+            self.graph = graph
+            write_snapshot(graph, self.shard_dir / _snap_name(self.generation))
+            self.wal = WriteAheadLog(
+                self.shard_dir / _wal_name(self.generation), fsync=self.fsync
+            )
+            self.graph_wal = GraphWal(graph, self.wal)
+            return graph
+        self.generation = chosen
+        wal_path = self.shard_dir / _wal_name(chosen)
+        ops, valid_bytes = replay_wal(wal_path)
+        apply_ops(graph, ops)
+        self.replayed_ops = len(ops)
+        if wal_path.exists() and wal_path.stat().st_size > valid_bytes:
+            os.truncate(wal_path, valid_bytes)
+        self.graph = graph
+        self.wal = WriteAheadLog(wal_path, fsync=self.fsync)
+        self.wal.records = len(ops)
+        self.graph_wal = GraphWal(graph, self.wal)
+        # newer-but-corrupt generations (a snapshot that failed validation)
+        # are dead weight; drop them so the directory converges
+        for gen in snap_gens:
+            if gen > chosen:
+                (self.shard_dir / _snap_name(gen)).unlink(missing_ok=True)
+        for gen in wal_gens:
+            if gen > chosen:
+                (self.shard_dir / _wal_name(gen)).unlink(missing_ok=True)
+        return graph
+
+    # -- steady state --------------------------------------------------- #
+
+    def commit(self) -> None:
+        """Make everything journalled so far durable (per the fsync policy)."""
+        if self.wal is not None:
+            self.wal.commit()
+
+    def checkpoint(self) -> None:
+        """Roll a new generation: snapshot, fresh WAL, then prune the old."""
+        if self.graph is None or self.wal is None or self.graph_wal is None:
+            raise RuntimeError("checkpoint before attach/recover")
+        old_gen = self.generation
+        new_gen = old_gen + 1
+        write_snapshot(self.graph, self.shard_dir / _snap_name(new_gen))
+        old_wal = self.wal
+        self.wal = WriteAheadLog(
+            self.shard_dir / _wal_name(new_gen), fsync=self.fsync
+        )
+        self.graph_wal.rotate(self.wal)
+        self.generation = new_gen
+        old_wal.close()
+        (self.shard_dir / _wal_name(old_gen)).unlink(missing_ok=True)
+        (self.shard_dir / _snap_name(old_gen)).unlink(missing_ok=True)
+
+    def close(self) -> None:
+        """Graceful shutdown: commit, detach the journal, release the file."""
+        if self.graph_wal is not None:
+            self.graph_wal.detach()
+            self.graph_wal = None
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+
+    def kill(self) -> None:
+        """Simulate a process kill: uncommitted buffered records vanish."""
+        if self.graph_wal is not None:
+            self.graph_wal.detach()
+            self.graph_wal = None
+        if self.wal is not None:
+            self.wal.kill()
+            self.wal = None
+
+    def __repr__(self) -> str:
+        return f"<ShardPersistence {self.shard_dir} gen={self.generation}>"
+
+
+class StorePersistence:
+    """One data directory holding every shard of a store, plus metadata."""
+
+    def __init__(
+        self,
+        data_dir: Union[str, Path],
+        fsync: str = "batch",
+        snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
+    ):
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.snapshot_interval = snapshot_interval
+        self.shards: List[ShardPersistence] = []
+
+    # -- metadata ------------------------------------------------------- #
+
+    @property
+    def meta_path(self) -> Path:
+        return self.data_dir / "meta.json"
+
+    @property
+    def views_path(self) -> Path:
+        return self.data_dir / "views.json"
+
+    @property
+    def recoverable(self) -> bool:
+        """Whether this directory holds a previously-persisted store."""
+        return self.meta_path.exists()
+
+    def _read_meta(self) -> Dict[str, object]:
+        with open(self.meta_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def _shard_dir(self, index: int) -> Path:
+        return self.data_dir / f"shard-{index:04d}"
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def attach_all(self, graphs: List[Graph]) -> None:
+        """Start persisting ``graphs`` (one per shard) into an empty dir.
+
+        ``meta.json`` is written only after every shard's generation-0
+        snapshot is durable, so :attr:`recoverable` never observes a
+        half-initialised directory.
+        """
+        if self.recoverable:
+            raise ValueError(
+                f"{self.data_dir} already holds a persisted store; "
+                "recover it instead of attaching fresh graphs"
+            )
+        for index, graph in enumerate(graphs):
+            shard = ShardPersistence(self._shard_dir(index), fsync=self.fsync)
+            shard.attach(graph)
+            self.shards.append(shard)
+        _atomic_write_json(self.meta_path, {"version": 1, "shards": len(graphs)})
+
+    def recover_all(self, expected_shards: Optional[int] = None) -> List[Graph]:
+        """Recover every shard of a previously-persisted store.
+
+        ``expected_shards`` guards against configuration drift: ids are
+        routed by ``hash(area) % shards``, so reopening a 4-shard directory
+        as 8 shards would silently misroute — it is refused instead.
+        """
+        meta = self._read_meta()
+        num_shards = int(meta["shards"])
+        if expected_shards is not None and expected_shards != num_shards:
+            raise ValueError(
+                f"data dir {self.data_dir} was persisted with {num_shards} "
+                f"shard(s) but the configuration asks for {expected_shards}; "
+                "re-sharding an existing data dir is not supported"
+            )
+        graphs: List[Graph] = []
+        for index in range(num_shards):
+            shard = ShardPersistence(self._shard_dir(index), fsync=self.fsync)
+            graphs.append(shard.recover())
+            self.shards.append(shard)
+        return graphs
+
+    # -- steady state --------------------------------------------------- #
+
+    def commit(self) -> None:
+        """Commit every shard's WAL (called once per ingest batch)."""
+        for shard in self.shards:
+            shard.commit()
+
+    def maybe_checkpoint(self) -> int:
+        """Checkpoint shards whose WAL grew past the snapshot interval.
+
+        Returns the number of shards checkpointed.
+        """
+        rolled = 0
+        for shard in self.shards:
+            if shard.wal is not None and shard.wal.records >= self.snapshot_interval:
+                shard.checkpoint()
+                rolled += 1
+        return rolled
+
+    def checkpoint_all(self) -> None:
+        """Force a checkpoint of every shard."""
+        for shard in self.shards:
+            shard.checkpoint()
+
+    def close(self) -> None:
+        """Graceful shutdown of every shard."""
+        for shard in self.shards:
+            shard.close()
+
+    def kill(self) -> None:
+        """Simulate a process kill across every shard (tests only)."""
+        for shard in self.shards:
+            shard.kill()
+
+    # -- standing-view registrations ------------------------------------ #
+
+    def record_standing(
+        self, name: Optional[str], text: str, push: Optional[bool] = None
+    ) -> None:
+        """Persist one standing-view registration.
+
+        Idempotent, keyed by ``name`` (falling back to the query text for
+        anonymous views).  ``push=None`` keeps a previously recorded push
+        flag, so re-registration during recovery does not strip the
+        middleware's push wiring from the record.
+        """
+        key = name if name is not None else text
+        views = self.standing_registrations()
+        existing = [v for v in views if (v["name"] or v["text"]) == key]
+        if push is None:
+            push = bool(existing[0]["push"]) if existing else False
+        views = [v for v in views if (v["name"] or v["text"]) != key]
+        views.append({"name": name, "text": text, "push": push})
+        views.sort(key=lambda v: (v["name"] or v["text"]))
+        _atomic_write_json(self.views_path, views)
+
+    def standing_registrations(self) -> List[Dict[str, object]]:
+        """The persisted standing-view registrations (possibly empty)."""
+        if not self.views_path.exists():
+            return []
+        with open(self.views_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def __repr__(self) -> str:
+        return f"<StorePersistence {self.data_dir} shards={len(self.shards)}>"

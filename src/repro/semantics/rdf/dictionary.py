@@ -109,6 +109,37 @@ class TermDictionary:
         terms = self._terms
         return [Triple(terms[s], terms[p], terms[o]) for s, p, o in encoded]
 
+    # -- restore (persistence) ----------------------------------------- #
+
+    def load_terms(self, terms: Iterable[Term]) -> None:
+        """Bulk-restore the id -> term table from a snapshot.
+
+        Only valid on an *empty* dictionary: snapshot restore builds the
+        graph from scratch, so there is no existing id space to merge with.
+        """
+        if self._terms:
+            raise ValueError("load_terms requires an empty dictionary")
+        for term in terms:
+            self._ids[term] = len(self._terms)
+            self._terms.append(term)
+
+    def define(self, term_id: int, term: Term) -> None:
+        """Replay one WAL dictionary segment: intern ``term`` as ``term_id``.
+
+        WAL segments are written in id order, so a sequential replay always
+        appends; a gap or mismatch means the log and the dictionary have
+        diverged and recovery must not continue silently.
+        """
+        if term_id != len(self._terms):
+            existing = self._ids.get(term)
+            if existing == term_id:
+                return  # idempotent re-definition (already restored)
+            raise ValueError(
+                f"WAL defines id {term_id} but dictionary is at {len(self._terms)}"
+            )
+        self._ids[term] = term_id
+        self._terms.append(term)
+
     # -- introspection ------------------------------------------------- #
 
     def __len__(self) -> int:

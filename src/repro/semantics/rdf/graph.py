@@ -352,6 +352,10 @@ class Graph:
         self._size = 0
         self._version = 0
         self._trackers: List["weakref.ref[ChangeTracker]"] = []
+        # synchronous mutation journals (WAL sinks) — unlike trackers these
+        # are strong references and observe ops in exact order, because a
+        # write-ahead log must not miss or reorder a single mutation
+        self._journals: List[object] = []
         # cardinality statistics maintained incrementally for the planner,
         # keyed by predicate id
         self._pred_counts: Dict[int, int] = {}
@@ -479,6 +483,9 @@ class Graph:
         self._size += 1
         self._pred_counts[p] = self._pred_counts.get(p, 0) + 1
         self._version += 1
+        if self._journals:
+            for journal in self._journals:
+                journal.log_add((s, p, o))
         if self._trackers:
             self._notify_add((s, p, o))
         return True
@@ -512,6 +519,30 @@ class Graph:
 
     def _live_trackers(self) -> List[ChangeTracker]:
         return [t for t in (ref() for ref in self._trackers) if t is not None]
+
+    # ------------------------------------------------------------------ #
+    # mutation journals (write-ahead logging)
+    # ------------------------------------------------------------------ #
+
+    def attach_journal(self, journal: object) -> None:
+        """Register a synchronous mutation journal (a WAL sink).
+
+        The journal's ``log_add(ids)`` / ``log_remove(ids)`` /
+        ``log_clear()`` methods are invoked *inside* the mutating call, in
+        mutation order, and only for mutations that actually changed the
+        graph (re-adding a present triple or removing an absent one does
+        not log).  Unlike change trackers, journals are strong references —
+        detach explicitly via :meth:`detach_journal`.
+        """
+        if journal not in self._journals:
+            self._journals.append(journal)
+
+    def detach_journal(self, journal: object) -> None:
+        """Deregister a journal registered via :meth:`attach_journal`."""
+        try:
+            self._journals.remove(journal)
+        except ValueError:
+            pass
 
     def _notify_add(self, triple_ids: TripleIds) -> None:
         # snapshot: a GC-triggered _forget_tracker may prune the list while
@@ -597,6 +628,9 @@ class Graph:
         else:
             self._pred_counts.pop(p, None)
         self._version += 1
+        if self._journals:
+            for journal in self._journals:
+                journal.log_remove((s, p, o))
         if self._trackers:
             self._notify_remove((s, p, o))
         return True
@@ -618,7 +652,11 @@ class Graph:
 
         The term dictionary is deliberately *kept*: ids are stable for the
         life of the graph, so encoded journals and shared-dictionary
-        consumers survive a clear (they observe it as a retraction).
+        consumers survive a clear (they observe it as a retraction).  The
+        same retention underpins write-ahead-log id stability — a WAL
+        records ``clear`` as a single op and keeps referencing
+        previously-defined ids afterwards, which is only sound because a
+        clear never renumbers or reuses them.
         """
         had_triples = self._size > 0
         self._spo.clear()
@@ -629,6 +667,9 @@ class Graph:
         self._size = 0
         if had_triples:
             self._version += 1
+            if self._journals:
+                for journal in self._journals:
+                    journal.log_clear()
             if self._trackers:
                 self._notify_retract()
 

@@ -64,6 +64,11 @@ class ShardedGraphStore:
     router:
         Custom router exposing ``shard_for(key) -> int`` and ``split``;
         defaults to the CRC-32 :class:`~repro.core.shard_router.ShardRouter`.
+    graphs:
+        Pre-built partition graphs (one per shard), used by crash recovery
+        to adopt graphs restored from snapshots + WAL replay instead of
+        building fresh ones.  Mutually exclusive with ``base_graph``: the
+        recovered partitions already contain the replicated axioms.
     """
 
     def __init__(
@@ -71,10 +76,21 @@ class ShardedGraphStore:
         num_shards: int,
         base_graph: Optional[Graph] = None,
         router=None,
+        graphs: Optional[List[Graph]] = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.router = router if router is not None else _default_router(num_shards)
+        if graphs is not None:
+            if base_graph is not None:
+                raise ValueError("pass base_graph or graphs, not both")
+            if len(graphs) != num_shards:
+                raise ValueError(
+                    f"expected {num_shards} partition graph(s), got {len(graphs)}"
+                )
+            self.graphs = list(graphs)
+            self.replicated_triples = 0
+            return
         base_name = (
             base_graph.identifier.value
             if base_graph is not None and base_graph.identifier is not None

@@ -11,7 +11,18 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 T = TypeVar("T")
 
@@ -48,6 +59,11 @@ class SlidingWindow(Generic[T]):
     """A time-based sliding window keeping items newer than ``duration``.
 
     ``add`` returns the evicted items so callers can react to expiry.
+    Items are kept sorted by timestamp even when they arrive out of order
+    (sensor uploads routinely interleave), and eviction runs against the
+    *newest* timestamp seen so far — so a late-arriving expired item is
+    evicted immediately instead of being stranded behind a newer deque
+    head and inflating aggregates forever.
     """
 
     def __init__(self, duration: float, timestamp_fn: Optional[TimestampFunction] = None):
@@ -56,16 +72,35 @@ class SlidingWindow(Generic[T]):
         self.duration = duration
         self._timestamp = timestamp_fn or _default_timestamp
         self._items: Deque[Tuple[float, T]] = deque()
+        self._high_water = float("-inf")
 
     def add(self, item: T) -> List[T]:
-        """Insert an item and evict everything older than the window."""
+        """Insert an item (in timestamp order) and evict expired ones."""
         timestamp = self._timestamp(item)
-        self._items.append((timestamp, item))
-        return self._evict(timestamp)
+        if self._items and timestamp < self._items[-1][0]:
+            # out-of-order arrival: put it back in timestamp order so the
+            # oldest-first eviction scan stays correct
+            displaced: List[Tuple[float, T]] = []
+            while self._items and self._items[-1][0] > timestamp:
+                displaced.append(self._items.pop())
+            self._items.append((timestamp, item))
+            while displaced:
+                self._items.append(displaced.pop())
+        else:
+            self._items.append((timestamp, item))
+        if timestamp > self._high_water:
+            self._high_water = timestamp
+        return self._evict(self._high_water)
 
     def advance_to(self, timestamp: float) -> List[T]:
-        """Evict items that have fallen out of the window at ``timestamp``."""
-        return self._evict(timestamp)
+        """Evict items that have fallen out of the window at ``timestamp``.
+
+        Time never runs backwards: a ``timestamp`` older than the newest
+        item seen does not shrink the eviction horizon.
+        """
+        if timestamp > self._high_water:
+            self._high_water = timestamp
+        return self._evict(self._high_water)
 
     def _evict(self, now: float) -> List[T]:
         expired: List[T] = []
@@ -94,14 +129,19 @@ class SlidingWindow(Generic[T]):
     def clear(self) -> None:
         """Drop all items."""
         self._items.clear()
+        self._high_water = float("-inf")
 
 
 class TumblingWindow(Generic[T]):
     """Fixed, non-overlapping windows of ``duration`` simulated seconds.
 
-    ``add`` returns the completed :class:`WindowSnapshot` whenever an item's
-    timestamp falls past the current window boundary (possibly skipping
-    empty windows).
+    ``add`` returns the completed non-empty :class:`WindowSnapshot` whenever
+    an item's timestamp falls past the current window boundary.  Runs of
+    *empty* windows are skipped arithmetically and emit nothing: one
+    malformed far-future timestamp must not spin the loop once per empty
+    window (a single ``year-3000`` sensor reading used to cost millions of
+    iterations), and the paper's aggregation consumers only ever act on
+    windows that held data.
     """
 
     def __init__(
@@ -130,9 +170,16 @@ class TumblingWindow(Generic[T]):
         return closed
 
     def advance_to(self, timestamp: float) -> List[WindowSnapshot[T]]:
-        """Close every window that ends at or before ``timestamp``."""
+        """Close windows ending at or before ``timestamp``.
+
+        Returns the closed window's snapshot when it held items; the
+        (possibly enormous) run of empty windows up to ``timestamp`` is
+        skipped in O(1) arithmetic rather than one loop iteration each.
+        """
         closed: List[WindowSnapshot[T]] = []
-        while timestamp >= self._window_start + self.duration:
+        if timestamp < self._window_start + self.duration:
+            return closed
+        if self._items:
             closed.append(
                 WindowSnapshot(
                     self._window_start,
@@ -141,7 +188,15 @@ class TumblingWindow(Generic[T]):
                 )
             )
             self._items = []
+        steps = int((timestamp - self._window_start) // self.duration)
+        if steps < 1:
+            steps = 1
+        self._window_start += steps * self.duration
+        # float-rounding clamps: restore start <= timestamp < start + duration
+        while timestamp >= self._window_start + self.duration:
             self._window_start += self.duration
+        while self._window_start > timestamp:
+            self._window_start -= self.duration
         return closed
 
     def flush(self) -> WindowSnapshot[T]:
@@ -175,18 +230,37 @@ class ViewDeltaWindow(Generic[T]):
         self._rows: Counter = Counter()
         #: Number of deltas applied (observability).
         self.deltas_applied = 0
+        #: Removals of rows this window never saw (observability): non-zero
+        #: usually means the window attached mid-stream without seeding.
+        self.unseen_removals = 0
+
+    def seed(self, rows: Iterable[T]) -> None:
+        """Initialise the multiset from a view's *current* rows.
+
+        A window attached after the view is already populated would
+        otherwise start empty — undercounting until the next full refresh
+        and observing removals of rows it never saw.
+        """
+        self._rows = Counter(rows)
 
     def apply(self, delta: Any) -> None:
-        """Fold one view delta's added / removed rows into the multiset."""
+        """Fold one view delta's added / removed rows into the multiset.
+
+        A removal of a row the window never saw (attached mid-stream, no
+        seed) is tolerated: it is counted in :attr:`unseen_removals` and
+        otherwise ignored — a multiset has no negative multiplicities.
+        """
         self.deltas_applied += 1
         for row in delta.added:
             self._rows[row] += 1
         for row in delta.removed:
-            count = self._rows[row] - 1
-            if count > 0:
-                self._rows[row] = count
-            else:
+            count = self._rows.get(row, 0)
+            if count > 1:
+                self._rows[row] = count - 1
+            elif count == 1:
                 del self._rows[row]
+            else:
+                self.unseen_removals += 1
 
     @property
     def items(self) -> List[T]:

@@ -495,6 +495,40 @@ class TestPushPipeline:
         assert any(d.event_type == "hot_spell" for d in derived)
         middleware.close()
 
+    def test_mid_stream_attach_seeds_from_view(self):
+        """Regression: a source attached after the view was populated
+        started with an empty window — its gauge undercounted and every
+        removal of a pre-attach row raised KeyError in the window."""
+        middleware = _build_middleware(shards=1)
+        [view] = middleware.register_standing(
+            STANDING_QUERIES[0], name="hot-obs", push=True
+        )
+        rng = random.Random(5)
+        index = 0
+        batch = []
+        for _ in range(6):
+            record = _record(rng, index)
+            record.value = 30.0
+            batch.append(record)
+            index += 1
+        middleware.ingest_batch(batch)
+        middleware.scheduler.run_until(600.0 * index + 10.0)
+        assert len(view.rows()) == 6
+
+        engine = CepEngine(feedback=False)
+        late = ViewEventSource(engine, "hot_obs", value_var="?v")
+        late.attach(middleware.broker, "views/hot-obs", view=view)
+        # seeded: correct from the first gauge, before any delta arrives
+        assert len(late.window) == 6
+        # and later deltas keep it in lock-step with the served rows
+        record = _record(rng, index)
+        record.value = 30.0
+        middleware.ingest_record(record)
+        middleware.scheduler.run_until(600.0 * (index + 2))
+        assert len(late.window) == len(view.rows()) == 7
+        assert late.window.unseen_removals == 0
+        middleware.close()
+
     def test_aggregate_pattern_semantics(self):
         from repro.cep.event import Event
 

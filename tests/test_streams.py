@@ -1,5 +1,7 @@
 """Tests for the scheduler, broker, windows, operators and codecs."""
 
+import time
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -7,7 +9,12 @@ from repro.streams.broker import Broker, SubscriptionTrie, topic_matches
 from repro.streams.messages import Message, ObservationRecord, SenMLCodec
 from repro.streams.operators import StreamPipeline
 from repro.streams.scheduler import DAY, HOUR, SimulationClock, SimulationScheduler
-from repro.streams.window import CountWindow, SlidingWindow, TumblingWindow
+from repro.streams.window import (
+    CountWindow,
+    SlidingWindow,
+    TumblingWindow,
+    ViewDeltaWindow,
+)
 
 
 class TestClockAndScheduler:
@@ -334,8 +341,12 @@ class TestWindows:
         window = TumblingWindow(10.0)
         window.add(Item(1.0))
         closed = window.add(Item(35.0))
-        assert len(closed) == 3
-        assert sum(len(c.items) for c in closed) == 1
+        # only the non-empty window is emitted; the empty [10, 30) run is
+        # skipped silently (and arithmetically)
+        assert len(closed) == 1
+        assert closed[0].start == 0.0 and closed[0].end == 10.0
+        assert len(closed[0].items) == 1
+        assert window.window_start == 30.0
 
     def test_count_window(self):
         window = CountWindow(3)
@@ -351,6 +362,100 @@ class TestWindows:
             TumblingWindow(-1)
         with pytest.raises(ValueError):
             CountWindow(0)
+
+    def test_tumbling_far_future_timestamp_is_constant_time(self):
+        """Regression: one malformed far-future reading used to spin the
+        advance loop once per empty window (~1e14 iterations here)."""
+        class Item:
+            def __init__(self, t): self.timestamp = t
+        window = TumblingWindow(0.001)
+        window.add(Item(0.0))
+        start = time.perf_counter()
+        closed = window.add(Item(1e12))
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0
+        assert len(closed) == 1 and len(closed[0].items) == 1
+        # the new window contains the far-future item's timestamp
+        assert window.window_start <= 1e12 < window.window_start + window.duration
+
+    def test_tumbling_advance_handles_float_rounding(self):
+        class Item:
+            def __init__(self, t): self.timestamp = t
+        window = TumblingWindow(0.1, start=0.0)
+        for i in range(1, 50):
+            window.add(Item(i * 0.1))
+            start = window.window_start
+            assert start <= i * 0.1 < start + window.duration
+
+    def test_sliding_out_of_order_expired_item_not_stranded(self):
+        """Regression: a late-arriving already-expired item used to sit
+        behind the newer deque head forever, inflating aggregates."""
+        class Item:
+            def __init__(self, t): self.timestamp = t
+        window = SlidingWindow(10.0)
+        window.add(Item(100.0))
+        stale = Item(5.0)
+        evicted = window.add(stale)
+        assert evicted == [stale]
+        assert window.items == [window.items[0]]
+        assert len(window) == 1
+
+    def test_sliding_out_of_order_in_window_keeps_sorted(self):
+        class Item:
+            def __init__(self, t): self.timestamp = t
+        window = SlidingWindow(10.0)
+        window.add(Item(8.0))
+        window.add(Item(3.0))
+        window.add(Item(6.0))
+        assert [item.timestamp for item in window.items] == [3.0, 6.0, 8.0]
+        # eviction horizon is the newest timestamp seen, not the last added:
+        # advancing with an *older* timestamp must not resurrect anything
+        assert window.advance_to(1.0) == []
+        evicted = window.add(Item(14.0))
+        assert [item.timestamp for item in evicted] == [3.0]
+
+    def test_sliding_clear_resets_eviction_horizon(self):
+        class Item:
+            def __init__(self, t): self.timestamp = t
+        window = SlidingWindow(10.0)
+        window.add(Item(1000.0))
+        window.clear()
+        # items far older than the pre-clear horizon are accepted again
+        assert window.add(Item(1.0)) == []
+        assert len(window) == 1
+
+
+class _Delta:
+    def __init__(self, added=(), removed=()):
+        self.added = list(added)
+        self.removed = list(removed)
+
+
+class TestViewDeltaWindow:
+    def test_unseen_removal_tolerated(self):
+        """Regression: removing a row the window never saw raised KeyError
+        and wedged the broker delivery chain."""
+        window = ViewDeltaWindow()
+        window.apply(_Delta(removed=["ghost"]))
+        assert len(window) == 0
+        assert window.unseen_removals == 1
+
+    def test_multiset_semantics(self):
+        window = ViewDeltaWindow()
+        window.apply(_Delta(added=["row", "row"]))
+        window.apply(_Delta(removed=["row"]))
+        assert window.items == ["row"]
+        window.apply(_Delta(removed=["row"]))
+        assert len(window) == 0
+        assert window.unseen_removals == 0
+
+    def test_seed_prevents_undercount(self):
+        window = ViewDeltaWindow()
+        window.seed(["a", "b", "b"])
+        assert len(window) == 3
+        window.apply(_Delta(removed=["b"]))
+        assert sorted(window.items) == ["a", "b"]
+        assert window.unseen_removals == 0
 
 
 class TestPipeline:
