@@ -23,6 +23,11 @@ artifact the CI bench-smoke job uploads via the ``BENCH_*.json`` glob):
   ``ingest_batch`` call (every shard touched, thread fan-out engaged);
   reported for transparency: on a single-core host this is expected to be
   ~1x, since the win above comes from cache survival, not threads.
+* **Process-backend scale-out** — the same mixed stream through the
+  ``process`` shard backend (one forked worker per partition) at 1/2/4
+  shards, against the inline backend at the same shard counts; the >= 2.5x
+  speedup assert engages only when the host actually has >= 4 cores (the
+  artifact records the measured core count).
 * **Federated query latency** — pytest-benchmark timing of a warm
   scatter-gather query.
 """
@@ -30,6 +35,7 @@ artifact the CI bench-smoke job uploads via the ``BENCH_*.json`` glob):
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import List
@@ -133,10 +139,12 @@ def _district_poll(district: str, round_index: int, count: int) -> List[Observat
     return records
 
 
-def _build(shards: int) -> SemanticMiddleware:
+def _build(shards: int, backend: str = "inline") -> SemanticMiddleware:
     return SemanticMiddleware(
         library=build_unified_ontology(materialize=True),
-        config=MiddlewareConfig(cep_per_record=False, shards=shards),
+        config=MiddlewareConfig(
+            cep_per_record=False, shards=shards, shard_backend=backend
+        ),
     )
 
 
@@ -273,6 +281,93 @@ def test_bench_sharded_mixed_batch_reported():
         "parallel_batches": sharded.statistics()["sharding"]["parallel_batches"],
     })
     assert ratio > 0.4  # fan-out overhead must stay bounded on any host
+
+
+# --------------------------------------------------------------------- #
+# process-backend scale-out (shared-nothing worker processes)
+# --------------------------------------------------------------------- #
+
+PROCESS_ROUNDS = 4
+PROCESS_TOTAL = PROCESS_ROUNDS * len(DISTRICTS) * RECORDS_PER_POLL  # 4_000
+
+
+def _mixed_stream(rounds: int) -> List[ObservationRecord]:
+    mixed: List[ObservationRecord] = []
+    for round_index in range(rounds):
+        polls = [
+            _district_poll(district, round_index, RECORDS_PER_POLL)
+            for district in DISTRICTS
+        ]
+        for index in range(RECORDS_PER_POLL):
+            for poll in polls:
+                mixed.append(poll[index])
+    return mixed
+
+
+def _timed_ingest(middleware: SemanticMiddleware, stream) -> float:
+    start = time.perf_counter()
+    middleware.ingest_batch(stream)
+    return time.perf_counter() - start
+
+
+def test_bench_process_backend_ingest_scaling():
+    """Inline vs process shard workers on one mixed stream at 1/2/4 shards.
+
+    The process backend forks one worker per partition, so annotate+reason
+    for different shards runs on different cores.  On a >= 4-core host the
+    4-shard process run must beat inline by >= 2.5x; on smaller hosts (this
+    includes single-core CI runners, where every RPC round-trip is a context
+    switch with zero parallelism to pay for it) the assert degrades to the
+    bounded-overhead form used by the mixed-batch benchmark above.  The
+    measured core count is recorded in the artifact so a reader can tell
+    which regime a row came from.
+    """
+    cores = len(os.sched_getaffinity(0))
+    stream = _mixed_stream(PROCESS_ROUNDS)
+    assert len(stream) == PROCESS_TOTAL
+
+    rows = []
+    payload = {"records": PROCESS_TOTAL, "cores": cores, "workers": {}}
+    seconds = {}
+    for shards in (1, 2, 4):
+        with _build(shards=shards) as inline:
+            inline_seconds = _timed_ingest(inline, stream)
+        with _build(shards=shards, backend="process") as process:
+            process_seconds = _timed_ingest(process, stream)
+            stats = process.ontology_layer.shard_statistics()
+            assert len(stats) == shards
+            assert sum(entry["triples"] for entry in stats) > 0
+            assert all(entry["restarts"] == 0 for entry in stats)
+            if shards > 1:  # shards=1 stays a single in-process graph
+                pids = {entry["pid"] for entry in stats}
+                assert len(pids) == shards and os.getpid() not in pids
+        seconds[shards] = (inline_seconds, process_seconds)
+        ratio = inline_seconds / process_seconds
+        rows.append({
+            "config": f"shards={shards}",
+            "inline_s": round(inline_seconds, 2),
+            "process_s": round(process_seconds, 2),
+            "process_vs_inline": round(ratio, 2),
+        })
+        payload["workers"][str(shards)] = {
+            "inline_seconds": inline_seconds,
+            "process_seconds": process_seconds,
+            "process_vs_inline": ratio,
+        }
+    speedup = seconds[4][0] / seconds[4][1]
+    payload["speedup_4_shards"] = speedup
+    print_table(
+        f"Process shard workers: {PROCESS_TOTAL}-record mixed stream "
+        f"({cores} core(s) available)", rows,
+    )
+    _record_artifact("process_backend", payload)
+
+    if cores >= 4:
+        assert speedup >= 2.5
+    else:
+        # no parallelism available: only guard that the RPC machinery's
+        # overhead stays bounded, mirroring the mixed-batch threshold
+        assert speedup > 0.4
 
 
 # --------------------------------------------------------------------- #

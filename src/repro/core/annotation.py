@@ -50,6 +50,47 @@ class AnnotationResult:
     triples_added: int
 
 
+#: IRI path prefixes minted from the shared annotation counter.
+_COUNTER_PREFIXES = ("observation/", "result/", "sighting/")
+
+
+def next_annotation_index(graphs) -> int:
+    """The first unused annotation-counter index across ``graphs``.
+
+    Recovery restores triples but not the in-process counter; restarting it
+    at 1 would mint ``observation/1`` IRIs that collide with recovered
+    annotations.  The dictionaries hold every IRI the counter ever minted,
+    so scanning them for the counter-derived path prefixes yields the exact
+    high-water mark.
+    """
+    base = AFRICRID.base
+    highest = 0
+    for graph in graphs:
+        for term in graph.dictionary.terms:
+            if not isinstance(term, IRI) or not term.value.startswith(base):
+                continue
+            path = term.value[len(base):]
+            for prefix in _COUNTER_PREFIXES:
+                if path.startswith(prefix):
+                    suffix = path[len(prefix):]
+                    if suffix.isdigit():
+                        highest = max(highest, int(suffix))
+                    break
+    return highest + 1
+
+
+def annotation_iri_for(observation: CanonicalObservation, index: int) -> str:
+    """The IRI the annotator will mint for ``observation`` at ``index``.
+
+    Lets the process-shard parent fill ``context.annotation_iri`` without
+    waiting for the worker's reply: the minted IRI is a pure function of
+    the observation kind and the pre-assigned counter index.
+    """
+    if observation.is_indicator_sighting:
+        return AFRICRID[f"sighting/{index}"].value
+    return AFRICRID[f"observation/{index}"].value
+
+
 class SemanticAnnotator:
     """Writes SSN/DOLCE annotations for canonical observations into a graph.
 

@@ -67,8 +67,14 @@ class MiddlewareConfig:
     #: worker pool, and queries federate scatter-gather across partitions.
     shards: int = 1
     #: Worker threads for the sharded batch fan-out (``None`` = one per
-    #: shard, capped at 8; ``0`` = run per-shard work inline).
+    #: shard, capped at 8; ``0`` = run per-shard work inline).  Only
+    #: meaningful for the ``inline`` shard backend.
     shard_workers: Optional[int] = None
+    #: Shard execution model: ``"inline"`` (per-shard graphs in this
+    #: process) or ``"process"`` (one worker process per shard —
+    #: shared-nothing multi-core scale-out).  ``None`` defers to the
+    #: ``REPRO_SHARD_BACKEND`` environment variable, defaulting to inline.
+    shard_backend: Optional[str] = None
     #: Directory for durable state (per-shard WAL + snapshots).  ``None``
     #: keeps the middleware purely in-memory; a directory that already
     #: holds a persisted store is *recovered* on construction — graphs,
@@ -126,6 +132,7 @@ class SemanticMiddleware:
             reason_per_batch=self.config.reason_per_batch,
             shards=self.config.shards,
             shard_workers=self.config.shard_workers,
+            shard_backend=self.config.shard_backend,
             data_dir=self.config.data_dir,
             wal_fsync=self.config.wal_fsync,
             snapshot_interval=self.config.snapshot_interval,
@@ -334,6 +341,13 @@ class SemanticMiddleware:
         crash — recovery then loses at most the uncommitted batch.
         """
         self.ontology_layer.close()
+
+    def __enter__(self) -> "SemanticMiddleware":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------ #
     # introspection

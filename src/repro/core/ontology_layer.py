@@ -25,14 +25,14 @@ CEP flush).
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ThreadPoolExecutor
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.cep.engine import CepEngine
 from repro.cep.event import DerivedEvent, Event
 from repro.cep.rules import CepRule
-from repro.core.annotation import SemanticAnnotator
+from repro.core.annotation import SemanticAnnotator, next_annotation_index
 from repro.core.mediator import CanonicalObservation, MediationOutcome, Mediator
 from repro.core.pipeline import (
     AnnotateStage,
@@ -43,25 +43,21 @@ from repro.core.pipeline import (
     Pipeline,
     PublishStage,
     ReasonStage,
-    ShardedAnnotateStage,
-    ShardedReasonStage,
     ValidateStage,
 )
 from repro.core.services import SemanticService, ServiceRegistry
+from repro.core.shard_backend import make_shard_backend, resolve_shard_backend
 from repro.ik.knowledge_base import IndigenousKnowledgeBase
 from repro.ontologies.environment import CANONICAL_PROPERTIES
 from repro.ontologies.library import OntologyLibrary, build_unified_ontology
-from repro.ontologies.vocabulary import AFRICRID, DROUGHT
+from repro.ontologies.vocabulary import DROUGHT
 from repro.persistence.store import DEFAULT_SNAPSHOT_INTERVAL, StorePersistence
 from repro.semantics.rdf.graph import Graph
-from repro.semantics.rdf.sharding import ShardedGraphStore
-from repro.semantics.rdf.term import IRI
 from repro.semantics.reasoner import Reasoner
 from repro.semantics.sparql.evaluator import QueryResult, query
 from repro.semantics.sparql.planner import (
     PlannerStatistics,
     QueryPlanner,
-    federated_query,
     planner_for,
 )
 from repro.streams.messages import ObservationRecord
@@ -76,35 +72,6 @@ class OntologyLayerStatistics:
     sightings_out: int = 0
     derived_events: int = 0
     annotation_triples: int = 0
-
-
-#: IRI path prefixes minted from the layer's shared annotation counter.
-_COUNTER_PREFIXES = ("observation/", "result/", "sighting/")
-
-
-def _next_annotation_index(graphs: List[Graph]) -> int:
-    """The first unused annotation-counter index across ``graphs``.
-
-    Recovery restores triples but not the in-process counter; restarting it
-    at 1 would mint ``observation/1`` IRIs that collide with recovered
-    annotations.  The dictionaries hold every IRI the counter ever minted,
-    so scanning them for the counter-derived path prefixes yields the exact
-    high-water mark.
-    """
-    base = AFRICRID.base
-    highest = 0
-    for graph in graphs:
-        for term in graph.dictionary.terms:
-            if not isinstance(term, IRI) or not term.value.startswith(base):
-                continue
-            path = term.value[len(base):]
-            for prefix in _COUNTER_PREFIXES:
-                if path.startswith(prefix):
-                    suffix = path[len(prefix):]
-                    if suffix.isdigit():
-                        highest = max(highest, int(suffix))
-                    break
-    return highest + 1
 
 
 class OntologySegmentLayer:
@@ -143,6 +110,14 @@ class OntologySegmentLayer:
         Worker-thread pool size for the sharded batch fan-out (defaults to
         the shard count, capped at 8); ``0`` disables the pool and runs the
         per-shard work inline, which is the right call on single-core hosts.
+        Only meaningful for the ``inline`` backend.
+    shard_backend:
+        How the partitions execute: ``"inline"`` (per-shard graphs in this
+        process, thread-pool fan-out — the default and the equivalence
+        oracle) or ``"process"`` (one worker process per shard, see
+        :mod:`repro.core.shard_worker`).  ``None`` defers to the
+        ``REPRO_SHARD_BACKEND`` environment variable.  Ignored when
+        ``shards == 1``.
     data_dir:
         Directory for durable state (per-shard WAL + snapshots).  ``None``
         (the default) keeps the layer purely in-memory.  When the directory
@@ -171,6 +146,7 @@ class OntologySegmentLayer:
         reason_per_batch: bool = False,
         shards: int = 1,
         shard_workers: Optional[int] = None,
+        shard_backend: Optional[str] = None,
         data_dir: Optional[str] = None,
         wal_fsync: str = "batch",
         snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
@@ -185,6 +161,11 @@ class OntologySegmentLayer:
         self.cep = cep_engine or CepEngine()
         self.statistics = OntologyLayerStatistics()
         self._publish_stage = PublishStage(self.knowledge_base, self.statistics)
+        #: Execution model of the partitions ("inline" for a single graph).
+        self.shard_backend = (
+            resolve_shard_backend(shard_backend) if self.shards > 1 else "inline"
+        )
+        self._closed = False
 
         self.persistence: Optional[StorePersistence] = None
         #: Whether this layer's graphs were rebuilt from durable state.
@@ -195,9 +176,16 @@ class OntologySegmentLayer:
                 data_dir, fsync=wal_fsync, snapshot_interval=snapshot_interval
             )
             if self.persistence.recoverable:
-                recovered_graphs = self.persistence.recover_all(
-                    expected_shards=self.shards
-                )
+                if self.shard_backend == "process":
+                    # the workers recover their own partitions; the parent
+                    # only validates that the store matches the layout
+                    self.persistence.validate_meta(
+                        expected_shards=self.shards, backend="process"
+                    )
+                else:
+                    recovered_graphs = self.persistence.recover_all(
+                        expected_shards=self.shards, backend=self.shard_backend
+                    )
                 self.recovered = True
 
         if self.shards == 1:
@@ -206,12 +194,13 @@ class OntologySegmentLayer:
             # the recovered graph replaces the freshly built library graph
             if recovered_graphs is not None:
                 self.graph = recovered_graphs[0]
-            self.store: Optional[ShardedGraphStore] = None
+            self._backend = None
+            self.store = None
             self.router = None
-            self._executor: Optional[ThreadPoolExecutor] = None
+            self._executor = None
             self.knowledge_base.materialize(self.graph)
             self._annotation_counter = itertools.count(
-                _next_annotation_index([self.graph]) if self.recovered else 1
+                next_annotation_index([self.graph]) if self.recovered else 1
             )
             self.annotator = SemanticAnnotator(
                 self.graph,
@@ -229,55 +218,31 @@ class OntologySegmentLayer:
         else:
             # per-area partitions: the library graph stays the pristine
             # axiom base (replicated into every shard); annotations, the IK
-            # catalogue and the service catalogue live in the shards
-            if recovered_graphs is not None:
-                # the recovered partitions already hold the replicated
-                # axioms (they were in each shard's gen-0 snapshot)
-                self.store = ShardedGraphStore(self.shards, graphs=recovered_graphs)
-            else:
-                self.store = ShardedGraphStore(
-                    self.shards, base_graph=self.library.graph
-                )
-            self.router = self.store.router
-            # idempotent on recovery: the indicators use deterministic IRIs,
-            # so re-materialising adds (and therefore journals) nothing new
-            self.store.replicate_with(self.knowledge_base.materialize)
-            if shard_workers is None:
-                shard_workers = min(self.shards, 8)
-            self._executor = (
-                ThreadPoolExecutor(
-                    max_workers=shard_workers, thread_name_prefix="shard-worker"
-                )
-                if shard_workers > 0
-                else None
-            )
-            self._annotation_counter = itertools.count(
-                _next_annotation_index(self.store.graphs) if self.recovered else 1
-            )
-            self.annotators = [
-                SemanticAnnotator(
-                    shard_graph,
-                    knowledge_base=self.knowledge_base,
-                    counter=self._annotation_counter,
-                )
-                for shard_graph in self.store.graphs
-            ]
-            self.reasoners = [Reasoner(shard_graph) for shard_graph in self.store.graphs]
-            self.services = ServiceRegistry(self.store.graphs)
-            self._annotate_stage = ShardedAnnotateStage(
-                self.annotators,
-                self.router,
-                self._annotation_counter,
+            # catalogue and the service catalogue live in the shards.  The
+            # backend decides where the partitions execute — this process
+            # (inline) or one worker process each.
+            self._backend = make_shard_backend(
+                self.shard_backend,
+                self.library,
+                self.knowledge_base,
                 self.statistics,
-                executor=self._executor,
-                enabled=self.annotate_observations,
+                self.shards,
+                annotate=self.annotate_observations,
+                reason_per_batch=reason_per_batch,
+                shard_workers=shard_workers,
+                persistence=self.persistence,
+                recovered=self.recovered,
+                recovered_graphs=recovered_graphs,
             )
-            self._reason_stage = ShardedReasonStage(
-                self.reasoners,
-                self.router,
-                executor=self._executor,
-                enabled=reason_per_batch,
-            )
+            self.store = self._backend.store
+            self.router = self._backend.router
+            self._executor = self._backend.executor
+            self._annotation_counter = self._backend.counter
+            self.annotators = self._backend.annotators
+            self.reasoners = self._backend.reasoners
+            self.services = self._backend.services
+            self._annotate_stage = self._backend.annotate_stage
+            self._reason_stage = self._backend.reason_stage
 
         self.pipeline = Pipeline(
             [
@@ -295,18 +260,44 @@ class OntologySegmentLayer:
             # start journalling only after the base content (axioms, IK
             # catalogue, service descriptions) is in: it all lands in each
             # shard's generation-0 snapshot instead of bloating the WAL
-            self.persistence.attach_all(self.graphs)
+            if self.shard_backend == "process":
+                # the workers attached their own WALs/snapshots; the parent
+                # only records the store layout
+                self.persistence.register_remote(self.shards, "process")
+            else:
+                self.persistence.attach_all(self.graphs, backend="inline")
+        if self.persistence is not None and self.shard_backend != "process":
+            # snapshots carry the standing views' materialized rows, so a
+            # restart can re-register them without re-materializing
+            for index, shard_persistence in enumerate(self.persistence.shards):
+                shard_persistence.view_source = self._make_view_exporter(
+                    self.graphs[index]
+                )
         if self.recovered:
             if reason_per_batch:
                 # the pipeline expects closures to be current between
                 # batches; a lazy layer instead recomputes on first
                 # entailment query, which needs no eager rebuild
-                for reasoner in self.reasoners:
-                    reasoner.ensure_materialized()
+                if self._backend is not None:
+                    self._backend.ensure_all_materialized()
+                else:
+                    self.reasoner.ensure_materialized()
             for registration in self.persistence.standing_registrations():
                 self.register_standing(
                     registration["text"], name=registration["name"]
                 )
+
+    @staticmethod
+    def _make_view_exporter(graph: Graph):
+        """Snapshot payload callback: the graph's views' current rows."""
+
+        def export() -> List:
+            out = []
+            for view in planner_for(graph).standing_views():
+                out.append((view.name, view.text, view.export_rows()))
+            return out
+
+        return export
 
     def _register_default_services(self) -> None:
         self.services.register(
@@ -425,8 +416,8 @@ class OntologySegmentLayer:
         ``full=True`` forces the from-scratch fixpoint.  Sharded layers
         materialise every partition and return the list of traces.
         """
-        if self.store is not None:
-            return [reasoner.materialize(full=full) for reasoner in self.reasoners]
+        if self._backend is not None:
+            return self._backend.materialize_inferences(full=full)
         return self.reasoner.materialize(full=full)
 
     def query(self, text: str, entail: bool = False) -> QueryResult:
@@ -447,14 +438,34 @@ class OntologySegmentLayer:
         partition's closure is topped up first, which only costs work on
         the partitions that actually changed.
         """
-        if self.store is not None:
-            if entail:
-                for reasoner in self.reasoners:
-                    reasoner.ensure_materialized()
-            return federated_query(self.store.graphs, text)
+        if self._backend is not None:
+            return self._backend.query(text, entail=entail)
         if entail:
             return self.reasoner.query(text)
         return query(self.graph, text)
+
+    def _view_seeds(self, name: Optional[str], text: str) -> Optional[List]:
+        """Recovered snapshot rows for one view per shard, where still valid.
+
+        A stored row set seeds the view only while the partition is
+        byte-for-byte the snapshot's state: nothing replayed from the WAL
+        tail, nothing journalled since, and the stored query text matches
+        the registration.  Anything else re-materializes from the graph.
+        """
+        if self.persistence is None or not self.persistence.shards:
+            return None
+        seeds = []
+        for shard_persistence in self.persistence.shards:
+            wal = shard_persistence.wal
+            if wal is None or wal.records != 0:
+                seeds.append(None)
+            else:
+                seeds.append(
+                    shard_persistence.view_seed(
+                        name if name is not None else text, text
+                    )
+                )
+        return seeds
 
     def register_standing(self, text: str, name: Optional[str] = None) -> List:
         """Register ``text`` as a delta-maintained standing view.
@@ -463,13 +474,23 @@ class OntologySegmentLayer:
         layers register one per partition (a write to one district then
         folds only that partition's delta in).  :meth:`query` serves the
         registered query from the materialized views from then on.
-        Returns the underlying view objects.
+        Returns the underlying view objects (parent-side handles for the
+        process backend).
         """
-        if self.store is not None:
-            views = self.store.register_standing(text, name=name)
+        if self._backend is not None:
+            if self.shard_backend == "process":
+                # the workers consult their own recovered snapshots for seeds
+                views = self._backend.register_standing(text, name=name)
+            else:
+                views = self._backend.register_standing(
+                    text, name=name, seeds=self._view_seeds(name, text)
+                )
         else:
+            seeds = self._view_seeds(name, text)
             views = [
-                planner_for(self.graph).register_standing(self.graph, text, name=name)
+                planner_for(self.graph).register_standing(
+                    self.graph, text, name=name, seed=seeds[0] if seeds else None
+                )
             ]
         if self.persistence is not None:
             self.persistence.record_standing(name, text)
@@ -477,18 +498,22 @@ class OntologySegmentLayer:
 
     def standing_views(self) -> List:
         """Every live standing view across the layer's graphs."""
-        views: List = []
-        for shard_graph in self.graphs:
-            views.extend(planner_for(shard_graph).standing_views())
-        return views
+        if self._backend is not None:
+            return self._backend.standing_views()
+        return list(planner_for(self.graph).standing_views())
 
     def refresh_standing_views(self) -> None:
         """Fold pending graph deltas into every standing view.
 
         Called by the middleware facade after each ingest so push-mode
         subscribers (CEP windows over broker-delivered view deltas) see
-        changes without anyone querying; a no-op for clean views.
+        changes without anyone querying; a no-op for clean views.  The
+        process backend drains only the shards written since the last
+        refresh and ships their deltas over the wire in one round.
         """
+        if self._backend is not None:
+            self._backend.refresh_views()
+            return
         for view in self.standing_views():
             view.refresh()
 
@@ -504,18 +529,19 @@ class OntologySegmentLayer:
 
     def planner_statistics(self) -> PlannerStatistics:
         """Aggregated planner / cache counters across the layer's graphs."""
+        if self._backend is not None:
+            return self._backend.planner_statistics()
         totals = PlannerStatistics()
-        for shard_graph in self.graphs:
-            stats = planner_for(shard_graph).statistics
-            totals.queries += stats.queries
-            totals.parses += stats.parses
-            totals.plans_built += stats.plans_built
-            totals.plan_hits += stats.plan_hits
-            totals.plan_invalidations += stats.plan_invalidations
-            totals.result_hits += stats.result_hits
-            totals.result_misses += stats.result_misses
-            totals.result_invalidations += stats.result_invalidations
-            totals.view_hits += stats.view_hits
+        stats = planner_for(self.graph).statistics
+        totals.queries += stats.queries
+        totals.parses += stats.parses
+        totals.plans_built += stats.plans_built
+        totals.plan_hits += stats.plan_hits
+        totals.plan_invalidations += stats.plan_invalidations
+        totals.result_hits += stats.result_hits
+        totals.result_misses += stats.result_misses
+        totals.result_invalidations += stats.result_invalidations
+        totals.view_hits += stats.view_hits
         return totals
 
     def standing_view_statistics(self) -> Dict[str, object]:
@@ -533,25 +559,55 @@ class OntologySegmentLayer:
             return None
         return {
             "shards": self.store.num_shards,
+            "backend": self.shard_backend,
             "replicated_triples": self.store.replicated_triples,
             "shard_sizes": self.store.shard_sizes(),
             "parallel_batches": self._annotate_stage.parallel_batches,
         }
 
+    def shard_statistics(self) -> List[Dict[str, object]]:
+        """Per-partition health: size, queue depth, latency, pid, restarts.
+
+        A single-graph layer reports itself as one inline "shard" so
+        dashboards can consume the same shape everywhere.
+        """
+        if self._backend is not None:
+            return self._backend.shard_statistics()
+        return [
+            {
+                "shard": 0,
+                "triples": len(self.graph),
+                "queue_depth": 0,
+                "last_batch_latency": 0.0,
+                "pid": os.getpid(),
+                "restarts": 0,
+            }
+        ]
+
     def checkpoint(self) -> None:
         """Force a durable snapshot of every shard (no-op without persistence)."""
-        if self.persistence is not None:
+        if self._backend is not None and self.shard_backend == "process":
+            self._backend.checkpoint_all()
+        elif self.persistence is not None:
             self.persistence.checkpoint_all()
 
     def close(self) -> None:
-        """Shut down the worker pool and the persistence layer (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        """Shut down the shard backend and the persistence layer (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._backend is not None:
+            self._backend.close()
             self._executor = None
-            self._annotate_stage.executor = None
-            self._reason_stage.executor = None
         if self.persistence is not None:
             self.persistence.close()
+
+    def __enter__(self) -> "OntologySegmentLayer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def __repr__(self) -> str:
         return (

@@ -35,6 +35,7 @@ of being interleaved with graph writes and broker publishes.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -331,6 +332,8 @@ class ShardedAnnotateStage(Stage):
         self.enabled = enabled
         #: Batches that actually ran on more than one partition worker.
         self.parallel_batches = 0
+        #: Wall-clock seconds each shard spent on its last sub-batch.
+        self.last_batch_latency: Dict[int, float] = {}
 
     def process(self, context: IngestionContext) -> bool:
         if not self.enabled:
@@ -343,6 +346,7 @@ class ShardedAnnotateStage(Stage):
 
     def _annotate_shard(self, shard: int, pairs) -> int:
         """Annotate one partition's sub-batch; returns the graph growth."""
+        started = time.perf_counter()
         annotator = self.annotators[shard]
         before = len(annotator.graph)
         results = annotator.annotate_batch(
@@ -351,6 +355,7 @@ class ShardedAnnotateStage(Stage):
         )
         for (context, _), result in zip(pairs, results):
             context.annotation_iri = result.observation_iri.value
+        self.last_batch_latency[shard] = time.perf_counter() - started
         return len(annotator.graph) - before
 
     def process_batch(self, contexts: List[IngestionContext]) -> List[IngestionContext]:
@@ -403,8 +408,8 @@ class ShardedReasonStage(Stage):
     def process_batch(self, contexts: List[IngestionContext]) -> List[IngestionContext]:
         if not self.enabled or not contexts:
             return contexts
-        touched = sorted(
-            {self.router.shard_for(context.observation.area) for context in contexts}
+        touched = self.router.shards_touched(
+            context.observation.area for context in contexts
         )
         if self.executor is not None and len(touched) > 1:
             futures = [

@@ -1,0 +1,263 @@
+"""Pluggable execution backends for the sharded ontology segment layer.
+
+The layer partitions its annotation state by area (see
+:mod:`repro.core.shard_router`); *how* those partitions execute is a
+backend decision hidden behind one interface:
+
+``inline``
+    The original in-process path — every partition is a ``Graph`` +
+    ``Reasoner`` in this interpreter, batches fan out over a thread pool.
+    Construction and behaviour are byte-identical to the pre-backend
+    layer, which makes this backend the equivalence oracle for the
+    others.
+
+``process``
+    One worker *process* per partition
+    (:class:`repro.core.shard_worker.ProcessShardBackend`): each worker
+    owns its graph, reasoner, planner caches, standing views and WAL
+    generation outright, so ingest and reasoning scale across cores
+    instead of serialising on the GIL.
+
+Backends expose the same surface — the stage objects the pipeline runs,
+the shared annotation counter, the service registry, federated
+``query``/``register_standing``/``refresh_views``, statistics — so the
+layer code does not branch on the execution model beyond construction.
+
+The default is ``inline``; the ``REPRO_SHARD_BACKEND`` environment
+variable (or the explicit ``shard_backend`` configuration knob, which
+wins) selects another.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+from repro.core.annotation import SemanticAnnotator, next_annotation_index
+from repro.core.pipeline import ShardedAnnotateStage, ShardedReasonStage
+from repro.core.services import ServiceRegistry
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.sharding import ShardedGraphStore
+from repro.semantics.reasoner import Reasoner
+from repro.semantics.sparql.planner import (
+    PlannerStatistics,
+    federated_query,
+    planner_for,
+)
+
+#: Environment variable selecting the default shard backend.
+SHARD_BACKEND_ENV = "REPRO_SHARD_BACKEND"
+
+_BACKENDS = ("inline", "process")
+
+
+def resolve_shard_backend(explicit: Optional[str] = None) -> str:
+    """The effective backend name: explicit arg > environment > ``inline``."""
+    backend = explicit
+    if backend is None:
+        backend = os.environ.get(SHARD_BACKEND_ENV) or "inline"
+    backend = backend.strip().lower()
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown shard backend {backend!r}; expected one of {list(_BACKENDS)}"
+        )
+    return backend
+
+
+class InlineShardBackend:
+    """The in-process sharding path: per-partition graphs in this interpreter.
+
+    Construction mirrors the pre-backend sharded layer exactly — same
+    store, replication, counter seeding, annotator/reasoner wiring and
+    stage objects — so layers built on this backend behave (and journal)
+    byte-identically to the historical code.
+    """
+
+    kind = "inline"
+
+    def __init__(
+        self,
+        library,
+        knowledge_base,
+        statistics,
+        shards: int,
+        annotate: bool = True,
+        reason_per_batch: bool = False,
+        shard_workers: Optional[int] = None,
+        recovered_graphs: Optional[List[Graph]] = None,
+    ):
+        self.library = library
+        self.knowledge_base = knowledge_base
+        self.num_shards = shards
+        if recovered_graphs is not None:
+            # the recovered partitions already hold the replicated axioms
+            # (they were in each shard's gen-0 snapshot)
+            self.store = ShardedGraphStore(shards, graphs=recovered_graphs)
+        else:
+            self.store = ShardedGraphStore(shards, base_graph=library.graph)
+        self.router = self.store.router
+        # idempotent on recovery: the indicators use deterministic IRIs,
+        # so re-materialising adds (and therefore journals) nothing new
+        self.store.replicate_with(knowledge_base.materialize)
+        if shard_workers is None:
+            shard_workers = min(shards, 8)
+        self.executor = (
+            ThreadPoolExecutor(
+                max_workers=shard_workers, thread_name_prefix="shard-worker"
+            )
+            if shard_workers > 0
+            else None
+        )
+        self.counter = itertools.count(
+            next_annotation_index(self.store.graphs)
+            if recovered_graphs is not None
+            else 1
+        )
+        self.annotators = [
+            SemanticAnnotator(
+                shard_graph, knowledge_base=knowledge_base, counter=self.counter
+            )
+            for shard_graph in self.store.graphs
+        ]
+        self.reasoners = [Reasoner(shard_graph) for shard_graph in self.store.graphs]
+        self.services = ServiceRegistry(self.store.graphs)
+        self.annotate_stage = ShardedAnnotateStage(
+            self.annotators,
+            self.router,
+            self.counter,
+            statistics,
+            executor=self.executor,
+            enabled=annotate,
+        )
+        self.reason_stage = ShardedReasonStage(
+            self.reasoners,
+            self.router,
+            executor=self.executor,
+            enabled=reason_per_batch,
+        )
+
+    # -------------------------------------------------------------- #
+    # querying and reasoning
+    # -------------------------------------------------------------- #
+
+    def query(self, text: str, entail: bool = False):
+        if entail:
+            self.ensure_all_materialized()
+        return federated_query(self.store.graphs, text)
+
+    def materialize_inferences(self, full: bool = False):
+        return [reasoner.materialize(full=full) for reasoner in self.reasoners]
+
+    def ensure_all_materialized(self) -> None:
+        for reasoner in self.reasoners:
+            reasoner.ensure_materialized()
+
+    # -------------------------------------------------------------- #
+    # standing views
+    # -------------------------------------------------------------- #
+
+    def register_standing(self, text: str, name: Optional[str] = None, seeds=None):
+        return self.store.register_standing(text, name=name, seeds=seeds)
+
+    def standing_views(self) -> List:
+        views: List = []
+        for shard_graph in self.store.graphs:
+            views.extend(planner_for(shard_graph).standing_views())
+        return views
+
+    def refresh_views(self) -> None:
+        for view in self.standing_views():
+            view.refresh()
+
+    # -------------------------------------------------------------- #
+    # observability
+    # -------------------------------------------------------------- #
+
+    def planner_statistics(self) -> PlannerStatistics:
+        totals = PlannerStatistics()
+        for shard_graph in self.store.graphs:
+            stats = planner_for(shard_graph).statistics
+            totals.queries += stats.queries
+            totals.parses += stats.parses
+            totals.plans_built += stats.plans_built
+            totals.plan_hits += stats.plan_hits
+            totals.plan_invalidations += stats.plan_invalidations
+            totals.result_hits += stats.result_hits
+            totals.result_misses += stats.result_misses
+            totals.result_invalidations += stats.result_invalidations
+            totals.view_hits += stats.view_hits
+        return totals
+
+    def shard_statistics(self) -> List[dict]:
+        pid = os.getpid()
+        return [
+            {
+                "shard": index,
+                "triples": len(shard_graph),
+                "queue_depth": 0,
+                "last_batch_latency": self.annotate_stage.last_batch_latency.get(
+                    index, 0.0
+                ),
+                "pid": pid,
+                "restarts": 0,
+            }
+            for index, shard_graph in enumerate(self.store.graphs)
+        ]
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+
+    def checkpoint_all(self) -> None:
+        """Snapshotting is owned by the layer's persistence for inline shards."""
+
+    def close(self) -> None:
+        if self.executor is not None:
+            self.executor.shutdown(wait=True)
+            self.executor = None
+            self.annotate_stage.executor = None
+            self.reason_stage.executor = None
+
+    def __repr__(self) -> str:
+        return f"<InlineShardBackend shards={self.num_shards}>"
+
+
+def make_shard_backend(
+    kind: str,
+    library,
+    knowledge_base,
+    statistics,
+    shards: int,
+    annotate: bool = True,
+    reason_per_batch: bool = False,
+    shard_workers: Optional[int] = None,
+    persistence=None,
+    recovered: bool = False,
+    recovered_graphs: Optional[List[Graph]] = None,
+):
+    """Build the configured backend (lazily importing the process one)."""
+    if kind == "process":
+        from repro.core.shard_worker import ProcessShardBackend
+
+        return ProcessShardBackend(
+            library,
+            knowledge_base,
+            statistics,
+            shards,
+            annotate=annotate,
+            reason_per_batch=reason_per_batch,
+            persistence=persistence,
+            recovered=recovered,
+        )
+    return InlineShardBackend(
+        library,
+        knowledge_base,
+        statistics,
+        shards,
+        annotate=annotate,
+        reason_per_batch=reason_per_batch,
+        shard_workers=shard_workers,
+        recovered_graphs=recovered_graphs,
+    )

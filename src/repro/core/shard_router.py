@@ -57,5 +57,9 @@ class ShardRouter:
             bucket.append(item)
         return groups
 
+    def shards_touched(self, areas: Iterable[Optional[str]]) -> List[int]:
+        """The sorted set of shard indexes owning any of ``areas``."""
+        return sorted({self.shard_for(area) for area in areas})
+
     def __repr__(self) -> str:
         return f"<ShardRouter shards={self.num_shards}>"

@@ -1,0 +1,1147 @@
+"""Process-based shard workers: one OS process per graph partition.
+
+The :class:`ProcessShardBackend` forks one worker per shard.  Each worker
+owns its partition outright — the ``Graph``, its ``Reasoner`` and planner
+caches, every standing view registered on it, and (when the layer is
+durable) its own :class:`~repro.persistence.store.ShardPersistence`
+WAL/snapshot generation.  The parent keeps only the router, the shared
+arrival-order annotation counter, and one duplex pipe per worker.
+
+Requests travel as ``opcode + body`` messages in the WAL/snapshot codec
+(:mod:`repro.core.shard_wire`); the pipe length-prefixes each message.
+Annotation indexes are pre-assigned by the parent from the shared counter
+before fan-out, so minted IRIs — and therefore graph content — stay
+bag-identical to the inline backend regardless of process scheduling.
+
+Crash handling: a worker that dies mid-request is detected by the broken
+pipe, respawned in recovery mode (newest valid snapshot + WAL tail, as
+after any crash), its standing views re-registered, and the in-flight
+request replayed.  Replay is safe because every mutating op is
+idempotent: annotations use deterministic counter-minted IRIs and
+``Graph.add`` deduplicates, so re-ingesting a half-applied batch
+converges on exactly the inline oracle's content.
+
+Workers exit with ``os._exit`` in every path.  A forked child inherits
+the parent's open WAL buffers for *other* layers; running interpreter
+shutdown in the child would flush those buffers and corrupt logs the
+child does not own, so the worker never runs ``atexit``/GC finalisers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import time
+import weakref
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.annotation import (
+    SemanticAnnotator,
+    annotation_iri_for,
+    next_annotation_index,
+)
+from repro.core.pipeline import Stage
+from repro.core.services import ServiceRegistry
+from repro.core.shard_router import ShardRouter
+from repro.core.shard_wire import (
+    OP_CHECKPOINT,
+    OP_CLOSE,
+    OP_DUMP,
+    OP_ERROR,
+    OP_HELLO,
+    OP_INGEST,
+    OP_KILL,
+    OP_MATERIALIZE,
+    OP_QUERY_ASK,
+    OP_QUERY_FULL,
+    OP_REASON,
+    OP_REFRESH_VIEWS,
+    OP_REGISTER_VIEW,
+    OP_REPLICATE,
+    OP_RETRACT_SUBJECT,
+    OP_STATS,
+    OP_VIEW_ROWS,
+    decode_ingest,
+    decode_json,
+    decode_query_result,
+    decode_string,
+    decode_term,
+    decode_triples,
+    decode_view_deltas,
+    encode_ingest,
+    encode_json,
+    encode_query_result,
+    encode_string,
+    encode_term_into,
+    encode_triples,
+    encode_view_deltas,
+    frame,
+    read_uvarint,
+    unframe,
+    write_uvarint,
+)
+from repro.persistence.snapshot import (
+    decode_graph_body,
+    encode_graph_body,
+    restore_graph,
+)
+from repro.persistence.store import DEFAULT_SNAPSHOT_INTERVAL, ShardPersistence
+from repro.semantics.rdf.graph import Graph
+from repro.semantics.rdf.sharding import ShardedGraphStore, register_shard_view
+from repro.semantics.rdf.term import Term
+from repro.semantics.rdf.triple import Triple
+from repro.semantics.reasoner import Reasoner
+from repro.semantics.rules import InferenceTrace
+from repro.semantics.sparql.bindings import EMPTY_BINDINGS
+from repro.semantics.sparql.evaluator import QueryResult
+from repro.semantics.sparql.planner import (
+    PlannerStatistics,
+    federated_partition_solutions,
+    merge_federated_solutions,
+    planner_for,
+)
+from repro.semantics.sparql.views import ViewDelta
+
+
+# ------------------------------------------------------------------ #
+# the worker side
+# ------------------------------------------------------------------ #
+
+
+class _ShardWorker:
+    """Request dispatcher running inside one worker process."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        knowledge_base,
+        persistence: Optional[ShardPersistence],
+        snapshot_interval: int,
+        recovered: bool,
+    ):
+        self.graph = graph
+        self.knowledge_base = knowledge_base
+        self.persistence = persistence
+        self.snapshot_interval = snapshot_interval
+        self.recovered = recovered
+        # indexes always arrive pre-assigned from the parent's counter, so
+        # this annotator's own counter is never consumed
+        self.annotator = SemanticAnnotator(graph, knowledge_base=knowledge_base)
+        self.reasoner = Reasoner(graph)
+        #: registration text -> StandingView
+        self.views: Dict[str, object] = {}
+        #: (text, ViewDelta) buffered for the next REFRESH_VIEWS drain —
+        #: deltas can also surface implicitly (a query or checkpoint
+        #: refreshing a view), and the parent must still see them
+        self.pending: List[Tuple[str, ViewDelta]] = []
+        if persistence is not None:
+            persistence.view_source = self._export_views
+
+    # -- durability ----------------------------------------------------- #
+
+    def _commit(self) -> None:
+        if self.persistence is None:
+            return
+        self.persistence.commit()
+        wal = self.persistence.wal
+        if wal is not None and wal.records >= self.snapshot_interval:
+            self.persistence.checkpoint()
+
+    def _export_views(self) -> List[Tuple[str, str, dict]]:
+        """Snapshot payload: every view's current rows (refreshed first)."""
+        return [
+            (view.name, text, view.export_rows())
+            for text, view in self.views.items()
+        ]
+
+    # -- dispatch ------------------------------------------------------- #
+
+    def dispatch(self, opcode: int, body: bytes) -> bytes:
+        handler = self._HANDLERS.get(opcode)
+        if handler is None:
+            raise ValueError(f"unknown opcode 0x{opcode:02x}")
+        return handler(self, body)
+
+    def _op_ingest(self, body: bytes) -> bytes:
+        pairs, _reason = decode_ingest(body)
+        before = len(self.graph)
+        self.annotator.annotate_batch(
+            [obs for obs, _ in pairs], indexes=[index for _, index in pairs]
+        )
+        grown = len(self.graph) - before
+        self._commit()
+        reply = bytearray()
+        write_uvarint(reply, grown)
+        return bytes(reply)
+
+    def _op_reason(self, body: bytes) -> bytes:
+        self.reasoner.ensure_materialized()
+        self._commit()
+        return b""
+
+    def _decode_query(self, body: bytes) -> str:
+        entail = bool(body[0])
+        text, _ = decode_string(body, 1)
+        if entail:
+            self.reasoner.ensure_materialized()
+            self._commit()
+        return text
+
+    def _op_query_ask(self, body: bytes) -> bytes:
+        text = self._decode_query(body)
+        result = planner_for(self.graph).query(self.graph, text)
+        return bytes([1 if result.ask else 0])
+
+    def _op_query_full(self, body: bytes) -> bytes:
+        text = self._decode_query(body)
+        variables, solutions = federated_partition_solutions(self.graph, text)
+        return encode_query_result(variables, solutions)
+
+    def _op_register_view(self, body: bytes) -> bytes:
+        spec = decode_json(body)
+        text = spec["text"]
+        view = self.views.get(text)
+        if view is None:
+            name = spec["name"]
+            seed = None
+            if (
+                self.persistence is not None
+                and self.persistence.wal is not None
+                and self.persistence.wal.records == 0
+            ):
+                # rows from the recovered snapshot are only valid while
+                # nothing has mutated the graph since it was written
+                seed = self.persistence.view_seed(
+                    name if name is not None else text, text
+                )
+            view = register_shard_view(
+                self.graph,
+                text,
+                name=name,
+                federated=bool(spec["federated"]),
+                seed=seed,
+            )
+            self.views[text] = view
+            view.subscribe(
+                lambda delta, _text=text: self.pending.append((_text, delta))
+            )
+        rows = sum(len(rows) for rows in view._bases.values())
+        return encode_json({"rows": rows, "seeded": view.seeded})
+
+    def _op_refresh_views(self, body: bytes) -> bytes:
+        for view in self.views.values():
+            view.refresh()
+        deltas = [
+            (text, delta.full_refresh, delta.view._full_variables,
+             delta.added, delta.removed)
+            for text, delta in self.pending
+        ]
+        self.pending = []
+        return encode_view_deltas(deltas)
+
+    def _op_view_rows(self, body: bytes) -> bytes:
+        spec = decode_json(body)
+        view = self.views[spec["text"]]
+        rows = view.rows()
+        return encode_query_result(view._full_variables, rows)
+
+    def _op_stats(self, body: bytes) -> bytes:
+        stats = planner_for(self.graph).statistics
+        persistence = self.persistence
+        payload = {
+            "pid": os.getpid(),
+            "triples": len(self.graph),
+            "version": self.graph.version,
+            "recovered": self.recovered,
+            "wal_records": (
+                persistence.wal.records
+                if persistence is not None and persistence.wal is not None
+                else 0
+            ),
+            "generation": persistence.generation if persistence is not None else 0,
+            "planner": {
+                "queries": stats.queries,
+                "parses": stats.parses,
+                "plans_built": stats.plans_built,
+                "plan_hits": stats.plan_hits,
+                "plan_invalidations": stats.plan_invalidations,
+                "result_hits": stats.result_hits,
+                "result_misses": stats.result_misses,
+                "result_invalidations": stats.result_invalidations,
+                "view_hits": stats.view_hits,
+            },
+            "views": [
+                dict(view.stats(), text=text) for text, view in self.views.items()
+            ],
+        }
+        return encode_json(payload)
+
+    def _op_materialize(self, body: bytes) -> bytes:
+        trace = self.reasoner.materialize(full=bool(body[0]))
+        self._commit()
+        return encode_json(
+            {
+                "iterations": trace.iterations,
+                "inferred": trace.inferred,
+                "by_rule": trace.by_rule,
+            }
+        )
+
+    def _op_replicate(self, body: bytes) -> bytes:
+        added = self.graph.add_all(
+            Triple(s, p, o) for s, p, o in decode_triples(body)
+        )
+        self._commit()
+        reply = bytearray()
+        write_uvarint(reply, added)
+        return bytes(reply)
+
+    def _op_retract_subject(self, body: bytes) -> bytes:
+        subject, _ = decode_term(body, 0)
+        removed = self.graph.remove_matching(subject=subject)
+        self._commit()
+        reply = bytearray()
+        write_uvarint(reply, removed)
+        return bytes(reply)
+
+    def _op_dump(self, body: bytes) -> bytes:
+        return encode_graph_body(self.graph)
+
+    def _op_checkpoint(self, body: bytes) -> bytes:
+        if self.persistence is not None:
+            self.persistence.commit()
+            self.persistence.checkpoint()
+        return b""
+
+    _HANDLERS = {
+        OP_INGEST: _op_ingest,
+        OP_REASON: _op_reason,
+        OP_QUERY_ASK: _op_query_ask,
+        OP_QUERY_FULL: _op_query_full,
+        OP_REGISTER_VIEW: _op_register_view,
+        OP_REFRESH_VIEWS: _op_refresh_views,
+        OP_VIEW_ROWS: _op_view_rows,
+        OP_STATS: _op_stats,
+        OP_MATERIALIZE: _op_materialize,
+        OP_REPLICATE: _op_replicate,
+        OP_RETRACT_SUBJECT: _op_retract_subject,
+        OP_DUMP: _op_dump,
+        OP_CHECKPOINT: _op_checkpoint,
+    }
+
+
+def _worker_main(
+    conn,
+    parent_side,
+    shard_dir: Optional[str],
+    fsync: str,
+    snapshot_interval: int,
+    graph: Optional[Graph],
+    knowledge_base,
+    recover: bool,
+) -> None:
+    """Entry point of one forked shard worker."""
+    if parent_side is not None:
+        parent_side.close()
+    persistence: Optional[ShardPersistence] = None
+    try:
+        if shard_dir is not None:
+            persistence = ShardPersistence(shard_dir, fsync=fsync)
+        if recover:
+            graph = persistence.recover()
+            # idempotent: the IK indicators use deterministic IRIs, so
+            # re-materialising over recovered content journals nothing new
+            knowledge_base.materialize(graph)
+        elif persistence is not None:
+            persistence.attach(graph)
+        worker = _ShardWorker(
+            graph, knowledge_base, persistence, snapshot_interval, recover
+        )
+        conn.send_bytes(
+            frame(
+                OP_HELLO,
+                encode_json(
+                    {
+                        "pid": os.getpid(),
+                        "next_index": next_annotation_index([graph]),
+                        "triples": len(graph),
+                        "recovered": recover,
+                        "generation": (
+                            persistence.generation if persistence is not None else 0
+                        ),
+                    }
+                ),
+            )
+        )
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send_bytes(
+                frame(OP_ERROR, encode_json({"error": f"{type(exc).__name__}: {exc}"}))
+            )
+        except OSError:
+            pass
+        os._exit(1)
+    while True:
+        try:
+            message = conn.recv_bytes()
+        except (EOFError, OSError):
+            # parent vanished: exit without flushing inherited buffers
+            os._exit(0)
+        opcode, body = unframe(message)
+        if opcode == OP_KILL:
+            # simulated crash: drop buffered WAL records on the floor
+            if persistence is not None:
+                persistence.kill()
+            os._exit(1)
+        if opcode == OP_CLOSE:
+            if persistence is not None:
+                persistence.close()
+            try:
+                conn.send_bytes(frame(OP_CLOSE, b""))
+                conn.close()
+            except OSError:
+                pass
+            os._exit(0)
+        try:
+            reply = frame(opcode, worker.dispatch(opcode, body))
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            reply = frame(OP_ERROR, encode_json({"error": f"{type(exc).__name__}: {exc}"}))
+        try:
+            conn.send_bytes(reply)
+        except OSError:
+            os._exit(0)
+
+
+# ------------------------------------------------------------------ #
+# the parent side
+# ------------------------------------------------------------------ #
+
+
+def _reap_workers(entries: List[List[object]]) -> None:
+    """GC/exit fallback: make sure no worker outlives its backend."""
+    for entry in entries:
+        process, conn = entry
+        try:
+            conn.close()
+        except OSError:
+            pass
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = (
+        "shard",
+        "process",
+        "conn",
+        "pid",
+        "next_index",
+        "triples",
+        "recovered",
+        "inflight",
+        "last_batch_latency",
+    )
+
+    def __init__(self, shard: int, process, conn, hello: dict):
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+        self.pid = hello["pid"]
+        self.next_index = hello["next_index"]
+        self.triples = hello["triples"]
+        self.recovered = hello["recovered"]
+        #: the request awaiting a reply, kept for crash replay
+        self.inflight: Optional[Tuple[int, bytes]] = None
+        self.last_batch_latency = 0.0
+
+
+class ProcessViewHandle:
+    """Parent-side stand-in for one shard's standing view.
+
+    Quacks like :class:`~repro.semantics.sparql.views.StandingView` for
+    the surfaces the middleware and applications use — ``name``,
+    ``subscribe``/``unsubscribe``, ``refresh``, ``rows``, ``stats`` and
+    the delta counters — while the view itself (and its maintenance
+    work) lives in the worker.  Deltas are shipped over the wire when the
+    backend drains dirty shards and re-dispatched to parent-side
+    listeners as ordinary :class:`ViewDelta` objects.
+    """
+
+    def __init__(self, backend: "ProcessShardBackend", shard: int, text: str,
+                 name: Optional[str], seeded: bool = False):
+        self._backend = backend
+        self.shard = shard
+        self.text = text
+        self.name = name or text
+        self.seeded = seeded
+        self.listeners: List = []
+
+    def subscribe(self, listener) -> None:
+        if listener not in self.listeners:
+            self.listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        if listener in self.listeners:
+            self.listeners.remove(listener)
+
+    def refresh(self) -> None:
+        """Drain pending deltas (for every view — refreshes are global)."""
+        self._backend.refresh_views()
+
+    def rows(self):
+        body = self._backend._rpc(
+            self.shard, OP_VIEW_ROWS, encode_json({"text": self.text})
+        )
+        _variables, rows = decode_query_result(body)
+        return rows
+
+    def stats(self) -> dict:
+        info = self._backend.worker_stats(self.shard)
+        for view in info["views"]:
+            if view["text"] == self.text:
+                return view
+        raise KeyError(f"view {self.text!r} not registered on shard {self.shard}")
+
+    @property
+    def delta_updates(self) -> int:
+        return self.stats()["delta_updates"]
+
+    @property
+    def full_refreshes(self) -> int:
+        return self.stats()["full_refreshes"]
+
+    def __repr__(self) -> str:
+        return f"<ProcessViewHandle {self.name!r} shard={self.shard}>"
+
+
+class _WorkerGraphProxy:
+    """Write-through stand-in for one worker's graph.
+
+    Lets the parent-side :class:`ServiceRegistry` keep its ``graph.add``
+    / ``graph.remove_matching`` contract: service descriptions written
+    through the proxy are replicated into the owning worker's partition.
+    """
+
+    def __init__(self, backend: "ProcessShardBackend", shard: int):
+        self._backend = backend
+        self._shard = shard
+
+    def add(self, triple) -> bool:
+        return self.add_all([triple]) > 0
+
+    def add_all(self, triples: Iterable) -> int:
+        materialised = [
+            triple if isinstance(triple, Triple) else Triple(*triple)
+            for triple in triples
+        ]
+        return self._backend.replicate_to(self._shard, materialised)
+
+    def remove_matching(self, subject: Optional[Term] = None, **kwargs) -> int:
+        if subject is None or kwargs:
+            raise NotImplementedError(
+                "process-shard graph proxies only support subject retraction"
+            )
+        return self._backend.retract_subject(self._shard, subject)
+
+    def __repr__(self) -> str:
+        return f"<_WorkerGraphProxy shard={self._shard}>"
+
+
+class ProcessShardStore:
+    """A :class:`ShardedGraphStore`-shaped facade over worker processes.
+
+    Serves the store surface the layer and its tests consume.  Paths that
+    need whole graphs (``graphs``, ``union_graph``) ship full snapshots
+    over the DUMP RPC — correct but expensive, intended for tests and
+    offline inspection, not the hot path.
+    """
+
+    def __init__(self, backend: "ProcessShardBackend", replicated_triples: int):
+        self._backend = backend
+        self.router = backend.router
+        self.replicated_triples = replicated_triples
+
+    @property
+    def num_shards(self) -> int:
+        return self._backend.num_shards
+
+    def shard_for(self, area: Optional[str]) -> int:
+        return self.router.shard_for(area)
+
+    @property
+    def graphs(self) -> List[Graph]:
+        return self._backend.dump_graphs()
+
+    def graph_for(self, area: Optional[str]) -> Graph:
+        return self._backend.dump_graph(self.shard_for(area))
+
+    def replicate(self, triples) -> int:
+        if isinstance(triples, Graph):
+            triples = [Triple(s, p, o) for s, p, o in triples]
+        else:
+            triples = list(triples)
+        return self._backend.replicate_all(triples)
+
+    def replicate_with(self, writer) -> None:
+        raise RuntimeError(
+            "replicate_with cannot cross the process boundary; replicate "
+            "triples, or write into the partitions before the workers fork"
+        )
+
+    def query(self, text: str):
+        return self._backend.query(text)
+
+    def register_standing(self, text: str, name: Optional[str] = None, seeds=None):
+        return self._backend.register_standing(text, name=name)
+
+    def triple_count(self) -> int:
+        return sum(self.shard_sizes())
+
+    def shard_sizes(self) -> List[int]:
+        return [info["triples"] for info in self._backend.all_worker_stats()]
+
+    def versions(self) -> List[int]:
+        return [info["version"] for info in self._backend.all_worker_stats()]
+
+    def union_graph(self) -> Graph:
+        union = Graph()
+        for shard_graph in self.graphs:
+            union.add_all(Triple(s, p, o) for s, p, o in shard_graph)
+        return union
+
+    def __len__(self) -> int:
+        return self.num_shards
+
+    def __repr__(self) -> str:
+        return f"<ProcessShardStore shards={self.num_shards}>"
+
+
+class ProcessAnnotateStage(Stage):
+    """Pipeline ``annotate`` stage fanning batches out to worker processes.
+
+    Indexes are drawn from the shared counter in arrival order before the
+    fan-out — exactly like the inline stage — so minted IRIs match the
+    single-graph oracle.  The parent recomputes each record's annotation
+    IRI locally (it is a pure function of observation + index) instead of
+    shipping it back.
+    """
+
+    name = "annotate"
+
+    def __init__(self, backend: "ProcessShardBackend", layer_statistics,
+                 enabled: bool = True):
+        self.backend = backend
+        self.router = backend.router
+        self.counter = backend.counter
+        self.layer_statistics = layer_statistics
+        self.enabled = enabled
+        self.executor = None
+        #: Batches that actually spanned more than one worker process.
+        self.parallel_batches = 0
+
+    @property
+    def last_batch_latency(self) -> Dict[int, float]:
+        return {
+            worker.shard: worker.last_batch_latency
+            for worker in self.backend.workers
+            if worker.last_batch_latency
+        }
+
+    def process(self, context) -> bool:
+        if not self.enabled:
+            return True
+        observation = context.observation
+        index = next(self.counter)
+        shard = self.router.shard_for(observation.area)
+        body = encode_ingest([(observation, index)], False)
+        reply = self.backend._rpc(shard, OP_INGEST, body)
+        self.backend.mark_dirty((shard,))
+        self.layer_statistics.annotation_triples += read_uvarint(reply, 0)[0]
+        context.annotation_iri = annotation_iri_for(observation, index)
+        return True
+
+    def process_batch(self, contexts):
+        if not self.enabled or not contexts:
+            return contexts
+        counter = self.counter
+        indexed = [(context, next(counter)) for context in contexts]
+        groups = self.router.split(
+            (pair[0].observation.area, pair) for pair in indexed
+        )
+        if len(groups) > 1:
+            self.parallel_batches += 1
+        requests = [
+            (
+                shard,
+                OP_INGEST,
+                encode_ingest(
+                    [(context.observation, index) for context, index in pairs], False
+                ),
+            )
+            for shard, pairs in groups.items()
+        ]
+        replies = self.backend.scatter(requests)
+        self.backend.mark_dirty(groups.keys())
+        grown = sum(read_uvarint(body, 0)[0] for body in replies.values())
+        self.layer_statistics.annotation_triples += grown
+        for context, index in indexed:
+            context.annotation_iri = annotation_iri_for(context.observation, index)
+        return contexts
+
+
+class ProcessReasonStage(Stage):
+    """Pipeline ``reason`` stage: top up only the touched workers' closures."""
+
+    name = "reason"
+
+    def __init__(self, backend: "ProcessShardBackend", enabled: bool = False):
+        self.backend = backend
+        self.router = backend.router
+        self.enabled = enabled
+        self.executor = None
+
+    def process(self, context) -> bool:
+        if self.enabled:
+            shard = self.router.shard_for(context.observation.area)
+            self.backend._rpc(shard, OP_REASON, b"")
+            self.backend.mark_dirty((shard,))
+        return True
+
+    def process_batch(self, contexts):
+        if not self.enabled or not contexts:
+            return contexts
+        touched = self.router.shards_touched(
+            context.observation.area for context in contexts
+        )
+        self.backend.scatter([(shard, OP_REASON, b"") for shard in touched])
+        self.backend.mark_dirty(touched)
+        return contexts
+
+
+class ProcessShardBackend:
+    """Shared-nothing multi-core sharding: one worker process per partition.
+
+    Satisfies the same surface as
+    :class:`~repro.core.shard_backend.InlineShardBackend`; see the module
+    docstring for the protocol and crash-recovery story.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        library,
+        knowledge_base,
+        statistics,
+        shards: int,
+        annotate: bool = True,
+        reason_per_batch: bool = False,
+        persistence=None,
+        recovered: bool = False,
+    ):
+        self.library = library
+        self.knowledge_base = knowledge_base
+        self.num_shards = shards
+        self.router = ShardRouter(shards)
+        self.persistence = persistence
+        self.recovered = recovered
+        self.executor = None
+        # partitions live in the workers; these stay empty on purpose
+        self.annotators: List = []
+        self.reasoners: List = []
+        self._context = multiprocessing.get_context("fork")
+        self._dirty: set = set()
+        self._handles: Dict[Tuple[int, str], ProcessViewHandle] = {}
+        self._ordered_handles: List[ProcessViewHandle] = []
+        self._view_specs: List[Tuple[str, Optional[str]]] = []
+        self.restart_counts = [0] * shards
+        self._closed = False
+        self._killed = False
+
+        replicated = 0
+        graphs: List[Optional[Graph]] = [None] * shards
+        if not recovered:
+            # build the partitions in the parent (axiom base + IK catalogue
+            # replicated into each) and hand them to the workers via fork —
+            # copy-on-write, nothing is pickled
+            seed_store = ShardedGraphStore(
+                shards, base_graph=library.graph, router=self.router
+            )
+            seed_store.replicate_with(knowledge_base.materialize)
+            replicated = seed_store.replicated_triples
+            graphs = list(seed_store.graphs)
+        self.workers: List[_WorkerHandle] = [
+            self._spawn(index, graphs[index], recovered) for index in range(shards)
+        ]
+        del graphs
+        # belt-and-braces reaper: a backend dropped without close() must
+        # not leak worker processes (holds no reference back to self)
+        self._reap_entries = [[w.process, w.conn] for w in self.workers]
+        self._finalizer = weakref.finalize(self, _reap_workers, self._reap_entries)
+
+        start = (
+            max(worker.next_index for worker in self.workers) if recovered else 1
+        )
+        self.counter = itertools.count(start)
+        self.store = ProcessShardStore(self, 0 if recovered else replicated)
+        self.services = ServiceRegistry(
+            [_WorkerGraphProxy(self, index) for index in range(shards)]
+        )
+        self.annotate_stage = ProcessAnnotateStage(self, statistics, enabled=annotate)
+        self.reason_stage = ProcessReasonStage(self, enabled=reason_per_batch)
+        if persistence is not None:
+            # a simulated whole-store kill must take the workers down too,
+            # or their graceful exits would flush what the test wants lost
+            persistence.kill_hook = self._kill_workers
+
+    # -------------------------------------------------------------- #
+    # process management
+    # -------------------------------------------------------------- #
+
+    def _spawn(self, shard: int, graph: Optional[Graph], recover: bool) -> _WorkerHandle:
+        persistence = self.persistence
+        shard_dir = (
+            str(persistence._shard_dir(shard)) if persistence is not None else None
+        )
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                parent_conn,
+                shard_dir,
+                persistence.fsync if persistence is not None else "batch",
+                persistence.snapshot_interval
+                if persistence is not None
+                else DEFAULT_SNAPSHOT_INTERVAL,
+                graph,
+                self.knowledge_base,
+                recover,
+            ),
+            daemon=True,
+            name=f"shard-worker-{shard}",
+        )
+        process.start()
+        child_conn.close()
+        try:
+            message = parent_conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(f"shard worker {shard} died during startup") from exc
+        opcode, body = unframe(message)
+        if opcode != OP_HELLO:
+            raise RuntimeError(
+                f"shard worker {shard} failed to start: {decode_json(body)}"
+            )
+        return _WorkerHandle(shard, process, parent_conn, decode_json(body))
+
+    def _recover_worker(self, shard: int) -> bytes:
+        """Respawn a dead worker from its WAL and replay its in-flight op."""
+        if self.persistence is None:
+            raise RuntimeError(
+                f"shard worker {shard} died and no data_dir is configured "
+                "for recovery"
+            )
+        dead = self.workers[shard]
+        inflight = dead.inflight
+        try:
+            dead.conn.close()
+        except OSError:
+            pass
+        dead.process.join(timeout=5)
+        worker = self._spawn(shard, None, recover=True)
+        self.workers[shard] = worker
+        self.restart_counts[shard] += 1
+        self._reap_entries[shard][0] = worker.process
+        self._reap_entries[shard][1] = worker.conn
+        # the worker rebuilt its graph but not its standing views
+        for text, name in self._view_specs:
+            worker.conn.send_bytes(
+                frame(
+                    OP_REGISTER_VIEW,
+                    encode_json(
+                        {"text": text, "name": name, "federated": self.num_shards > 1}
+                    ),
+                )
+            )
+            self._receive(worker)
+        self._dirty.add(shard)
+        if inflight is None:
+            return b""
+        opcode, body = inflight
+        worker.conn.send_bytes(frame(opcode, body))
+        worker.inflight = inflight
+        return self._receive(worker)
+
+    def _receive(self, worker: _WorkerHandle) -> bytes:
+        started = time.perf_counter()
+        message = worker.conn.recv_bytes()
+        worker.last_batch_latency = time.perf_counter() - started
+        worker.inflight = None
+        opcode, body = unframe(message)
+        if opcode == OP_ERROR:
+            raise RuntimeError(
+                f"shard worker {worker.shard} failed: {decode_json(body)['error']}"
+            )
+        return body
+
+    def scatter(self, requests: Sequence[Tuple[int, int, bytes]]) -> Dict[int, bytes]:
+        """Send every request, then collect every reply (in shard order).
+
+        A broken pipe at either end marks the worker dead and routes
+        through crash recovery: respawn from the shard's durable state,
+        re-register its views, replay the in-flight request.  The ops are
+        idempotent (deterministic IRIs, deduplicating adds), so a request
+        that was half-applied before the crash converges on replay.
+        """
+        dead: List[int] = []
+        for shard, opcode, body in requests:
+            worker = self.workers[shard]
+            worker.inflight = (opcode, body)
+            try:
+                worker.conn.send_bytes(frame(opcode, body))
+            except (BrokenPipeError, OSError):
+                dead.append(shard)
+        replies: Dict[int, bytes] = {}
+        for shard, opcode, body in requests:
+            if shard in dead:
+                continue
+            worker = self.workers[shard]
+            try:
+                replies[shard] = self._receive(worker)
+            except (EOFError, BrokenPipeError, OSError):
+                dead.append(shard)
+        for shard in dead:
+            replies[shard] = self._recover_worker(shard)
+        return replies
+
+    def _rpc(self, shard: int, opcode: int, body: bytes = b"") -> bytes:
+        return self.scatter([(shard, opcode, body)])[shard]
+
+    def _broadcast(self, opcode: int, body: bytes = b"") -> Dict[int, bytes]:
+        return self.scatter(
+            [(shard, opcode, body) for shard in range(self.num_shards)]
+        )
+
+    def mark_dirty(self, shards: Iterable[int]) -> None:
+        self._dirty.update(shards)
+
+    # -------------------------------------------------------------- #
+    # querying and reasoning
+    # -------------------------------------------------------------- #
+
+    def query(self, text: str, entail: bool = False):
+        anchor = self.library.graph
+        parsed = planner_for(anchor)._parse(text)
+        if entail:
+            # every partition's closure is topped up first — matching the
+            # inline oracle's side-effects even when an ASK short-circuits
+            self.ensure_all_materialized()
+        body = bytearray([0])
+        encode_string(body, text)
+        body = bytes(body)
+        if parsed.form == "ASK":
+            # sequential probe so a hit short-circuits the remaining shards
+            for shard in range(self.num_shards):
+                reply = self._rpc(shard, OP_QUERY_ASK, body)
+                if reply and reply[0]:
+                    return QueryResult("ASK", [EMPTY_BINDINGS], [])
+            return QueryResult("ASK", [], [])
+        replies = self._broadcast(OP_QUERY_FULL, body)
+        per_graph: List[List] = []
+        full_variables: List = []
+        for shard in range(self.num_shards):
+            variables, solutions = decode_query_result(replies[shard])
+            per_graph.append(solutions)
+            full_variables = variables
+        return merge_federated_solutions(parsed, per_graph, full_variables, anchor)
+
+    def materialize_inferences(self, full: bool = False) -> List[InferenceTrace]:
+        replies = self._broadcast(OP_MATERIALIZE, bytes([1 if full else 0]))
+        self.mark_dirty(range(self.num_shards))
+        traces = []
+        for shard in range(self.num_shards):
+            info = decode_json(replies[shard])
+            traces.append(
+                InferenceTrace(
+                    iterations=info["iterations"],
+                    inferred=info["inferred"],
+                    by_rule=dict(info["by_rule"]),
+                )
+            )
+        return traces
+
+    def ensure_all_materialized(self) -> None:
+        self._broadcast(OP_REASON)
+        self.mark_dirty(range(self.num_shards))
+
+    # -------------------------------------------------------------- #
+    # standing views
+    # -------------------------------------------------------------- #
+
+    def register_standing(self, text: str, name: Optional[str] = None, seeds=None):
+        body = encode_json(
+            {"text": text, "name": name, "federated": self.num_shards > 1}
+        )
+        handles = []
+        for shard in range(self.num_shards):
+            handle = self._handles.get((shard, text))
+            if handle is None:
+                info = decode_json(self._rpc(shard, OP_REGISTER_VIEW, body))
+                handle = ProcessViewHandle(
+                    self, shard, text, name, seeded=bool(info["seeded"])
+                )
+                self._handles[(shard, text)] = handle
+                self._ordered_handles.append(handle)
+            handles.append(handle)
+        if (text, name) not in self._view_specs:
+            self._view_specs.append((text, name))
+        return handles
+
+    def standing_views(self) -> List[ProcessViewHandle]:
+        return list(self._ordered_handles)
+
+    def refresh_views(self) -> None:
+        """Drain the dirty shards' view deltas to parent-side listeners."""
+        if not self._dirty or not self._handles:
+            return
+        dirty = sorted(self._dirty)
+        self._dirty.clear()
+        replies = self.scatter([(shard, OP_REFRESH_VIEWS, b"") for shard in dirty])
+        for shard in dirty:
+            for text, full_refresh, _variables, added, removed in decode_view_deltas(
+                replies[shard]
+            ):
+                handle = self._handles.get((shard, text))
+                if handle is None:
+                    continue
+                delta = ViewDelta(handle, added, removed, full_refresh)
+                if delta or delta.full_refresh:
+                    for listener in list(handle.listeners):
+                        listener(delta)
+
+    # -------------------------------------------------------------- #
+    # replication (service descriptions, ontology deltas)
+    # -------------------------------------------------------------- #
+
+    def replicate_to(self, shard: int, triples: List[Triple]) -> int:
+        body = encode_triples([(t.subject, t.predicate, t.object) for t in triples])
+        self.mark_dirty((shard,))
+        return read_uvarint(self._rpc(shard, OP_REPLICATE, body), 0)[0]
+
+    def replicate_all(self, triples: List[Triple]) -> int:
+        body = encode_triples([(t.subject, t.predicate, t.object) for t in triples])
+        replies = self._broadcast(OP_REPLICATE, body)
+        self.mark_dirty(range(self.num_shards))
+        return sum(read_uvarint(reply, 0)[0] for reply in replies.values())
+
+    def retract_subject(self, shard: int, subject: Term) -> int:
+        body = bytearray()
+        encode_term_into(body, subject)
+        self.mark_dirty((shard,))
+        return read_uvarint(self._rpc(shard, OP_RETRACT_SUBJECT, bytes(body)), 0)[0]
+
+    # -------------------------------------------------------------- #
+    # observability
+    # -------------------------------------------------------------- #
+
+    def worker_stats(self, shard: int) -> dict:
+        return decode_json(self._rpc(shard, OP_STATS))
+
+    def all_worker_stats(self) -> List[dict]:
+        replies = self._broadcast(OP_STATS)
+        return [decode_json(replies[shard]) for shard in range(self.num_shards)]
+
+    def planner_statistics(self) -> PlannerStatistics:
+        totals = PlannerStatistics()
+        for info in self.all_worker_stats():
+            planner = info["planner"]
+            totals.queries += planner["queries"]
+            totals.parses += planner["parses"]
+            totals.plans_built += planner["plans_built"]
+            totals.plan_hits += planner["plan_hits"]
+            totals.plan_invalidations += planner["plan_invalidations"]
+            totals.result_hits += planner["result_hits"]
+            totals.result_misses += planner["result_misses"]
+            totals.result_invalidations += planner["result_invalidations"]
+            totals.view_hits += planner["view_hits"]
+        return totals
+
+    def shard_statistics(self) -> List[dict]:
+        stats = self.all_worker_stats()
+        return [
+            {
+                "shard": shard,
+                "triples": stats[shard]["triples"],
+                "queue_depth": 1 if worker.inflight is not None else 0,
+                "last_batch_latency": worker.last_batch_latency,
+                "pid": worker.pid,
+                "restarts": self.restart_counts[shard],
+                "wal_records": stats[shard]["wal_records"],
+                "generation": stats[shard]["generation"],
+            }
+            for shard, worker in enumerate(self.workers)
+        ]
+
+    def dump_graph(self, shard: int) -> Graph:
+        return restore_graph(decode_graph_body(self._rpc(shard, OP_DUMP)))
+
+    def dump_graphs(self) -> List[Graph]:
+        replies = self._broadcast(OP_DUMP)
+        return [
+            restore_graph(decode_graph_body(replies[shard]))
+            for shard in range(self.num_shards)
+        ]
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+
+    def checkpoint_all(self) -> None:
+        self._broadcast(OP_CHECKPOINT)
+
+    def _kill_workers(self) -> None:
+        """Simulated crash (tests): workers die without flushing buffers."""
+        if self._closed or self._killed:
+            return
+        self._killed = True
+        self._finalizer.detach()
+        for worker in self.workers:
+            try:
+                worker.conn.send_bytes(frame(OP_KILL))
+            except OSError:
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=5)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        if self._closed or self._killed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        for worker in self.workers:
+            try:
+                worker.conn.send_bytes(frame(OP_CLOSE))
+            except OSError:
+                continue
+        for worker in self.workers:
+            try:
+                worker.conn.recv_bytes()
+            except (EOFError, OSError):
+                pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.process.join(timeout=5)
+
+    def __repr__(self) -> str:
+        alive = sum(1 for worker in self.workers if worker.process.is_alive())
+        return f"<ProcessShardBackend shards={self.num_shards} alive={alive}>"

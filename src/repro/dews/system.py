@@ -79,6 +79,10 @@ class DewsConfig:
     #: Districts are natural shard keys: each gateway's uploads touch one
     #: partition, so other districts' caches and closures stay warm.
     shards: int = 1
+    #: Shard execution model: ``"inline"`` (per-shard graphs in-process)
+    #: or ``"process"`` (one worker process per shard).  ``None`` defers
+    #: to the ``REPRO_SHARD_BACKEND`` environment variable.
+    shard_backend: Optional[str] = None
     #: Directory for the middleware's durable state (per-shard WAL +
     #: snapshots); ``None`` runs fully in-memory.  Pointing a new run at a
     #: previous run's directory recovers its graphs and standing views.
@@ -166,6 +170,7 @@ class DroughtEarlyWarningSystem:
             install_ik_rules=self.config.use_indigenous_knowledge,
             cep_per_record=False,
             shards=self.config.shards,
+            shard_backend=self.config.shard_backend,
             data_dir=self.config.data_dir,
         )
         self.middleware = SemanticMiddleware(
@@ -404,6 +409,25 @@ class DroughtEarlyWarningSystem:
         subscribers can follow the standing result without re-polling.
         """
         return self.middleware.register_standing(text, name=name, push=push)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release the middleware's owned resources (idempotent).
+
+        Graceful shutdown of worker pools / shard worker processes and the
+        persistence layer; see :meth:`SemanticMiddleware.close`.
+        """
+        self.middleware.close()
+
+    def __enter__(self) -> "DroughtEarlyWarningSystem":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------ #
     # the run

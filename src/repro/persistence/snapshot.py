@@ -14,6 +14,16 @@ File layout::
         u8 has-identifier, then the identifier term if 1
         varint term-count, then the terms in id order
         varint triple-count, then 3 varints per triple
+        [optional] varint view-count, then per view:
+            name string, query-text string, varint base-count, per base:
+                one bindings row (the base), varint row-count, the rows
+
+View rows ride along so recovery can re-register standing views without
+re-materializing them from the recovered graph.  Bindings rows are
+encoded self-describingly (variable-name strings + full terms, *not*
+dictionary ids): view rows hold decoded terms and must survive a rebuild
+of the term dictionary.  The section is optional — snapshots written
+before it existed simply end after the triples and decode with no views.
 
 Writes are crash-atomic: the image is assembled in memory, written to a
 ``*.tmp`` sibling, fsynced, and :func:`os.replace`-d into place — a crash
@@ -49,9 +59,15 @@ _HEADER = struct.Struct("<IQ")  # crc32(body), body length
 
 
 class SnapshotData:
-    """The decoded contents of one snapshot file."""
+    """The decoded contents of one snapshot file.
 
-    __slots__ = ("namespaces", "identifier", "terms", "triples")
+    ``views`` holds the optional view-rows section: ``(name, text,
+    bases)`` tuples where ``bases`` maps each base solution to its full
+    rows, ready to seed a
+    :class:`~repro.semantics.sparql.views.StandingView`.
+    """
+
+    __slots__ = ("namespaces", "identifier", "terms", "triples", "views")
 
     def __init__(
         self,
@@ -59,17 +75,43 @@ class SnapshotData:
         identifier: Optional[Term],
         terms: List[Term],
         triples: List[TripleIds],
+        views: Optional[list] = None,
     ):
         self.namespaces = namespaces
         self.identifier = identifier
         self.terms = terms
         self.triples = triples
+        self.views = views if views is not None else []
 
     def __repr__(self) -> str:
-        return f"<SnapshotData {len(self.terms)} terms, {len(self.triples)} triples>"
+        return (
+            f"<SnapshotData {len(self.terms)} terms, {len(self.triples)} triples, "
+            f"{len(self.views)} views>"
+        )
 
 
-def _encode_body(graph: Graph) -> bytearray:
+def _encode_bindings_into(body: bytearray, row) -> None:
+    body_pairs = list(row.items())
+    write_uvarint(body, len(body_pairs))
+    for var, term in body_pairs:
+        encode_string(body, var.name)
+        encode_term_into(body, term)
+
+
+def _decode_bindings(body: bytes, offset: int):
+    from repro.semantics.rdf.term import Variable
+    from repro.semantics.sparql.bindings import bindings_from_mapping
+
+    pair_count, offset = read_uvarint(body, offset)
+    mapping = {}
+    for _ in range(pair_count):
+        name, offset = decode_string(body, offset)
+        term, offset = decode_term(body, offset)
+        mapping[Variable(name)] = term
+    return bindings_from_mapping(mapping), offset
+
+
+def _encode_body(graph: Graph, views: Optional[list] = None) -> bytearray:
     body = bytearray()
     bindings = list(graph.namespaces.bindings())
     write_uvarint(body, len(bindings))
@@ -94,18 +136,32 @@ def _encode_body(graph: Graph) -> bytearray:
         count += 1
     if count != len(graph):
         raise RuntimeError("graph mutated while snapshotting")
+    if views:
+        write_uvarint(body, len(views))
+        for name, text, bases in views:
+            encode_string(body, name)
+            encode_string(body, text)
+            items = list(bases.items()) if hasattr(bases, "items") else list(bases)
+            write_uvarint(body, len(items))
+            for base, rows in items:
+                _encode_bindings_into(body, base)
+                write_uvarint(body, len(rows))
+                for row in rows:
+                    _encode_bindings_into(body, row)
     return body
 
 
-def write_snapshot(graph: Graph, path: Union[str, Path]) -> int:
+def write_snapshot(graph: Graph, path: Union[str, Path], views: Optional[list] = None) -> int:
     """Atomically write a snapshot of ``graph`` to ``path``.
 
-    Returns the number of bytes written.  The caller must ensure the graph
-    is not mutated concurrently (the persistence manager snapshots between
-    ingest batches, on the ingesting thread's schedule).
+    ``views`` optionally carries the standing-view rows to persist, as
+    ``(name, text, bases)`` tuples.  Returns the number of bytes written.
+    The caller must ensure the graph is not mutated concurrently (the
+    persistence manager snapshots between ingest batches, on the ingesting
+    thread's schedule).
     """
     path = Path(path)
-    body = _encode_body(graph)
+    body = _encode_body(graph, views=views)
     image = bytearray(_MAGIC)
     image += _HEADER.pack(zlib.crc32(body), len(body))
     image += body
@@ -160,7 +216,39 @@ def _decode_body(body: bytes) -> SnapshotData:
         p, offset = read_uvarint(body, offset)
         o, offset = read_uvarint(body, offset)
         triples.append((s, p, o))
-    return SnapshotData(namespaces, identifier, terms, triples)
+    views: list = []
+    if offset < len(body):
+        view_count, offset = read_uvarint(body, offset)
+        for _ in range(view_count):
+            name, offset = decode_string(body, offset)
+            text, offset = decode_string(body, offset)
+            base_count, offset = read_uvarint(body, offset)
+            bases = {}
+            for _ in range(base_count):
+                base, offset = _decode_bindings(body, offset)
+                row_count, offset = read_uvarint(body, offset)
+                rows = []
+                for _ in range(row_count):
+                    row, offset = _decode_bindings(body, offset)
+                    rows.append(row)
+                bases[base] = rows
+            views.append((name, text, bases))
+    return SnapshotData(namespaces, identifier, terms, triples, views)
+
+
+def encode_graph_body(graph: Graph) -> bytes:
+    """The raw (un-headered) snapshot body of ``graph``.
+
+    Exposed for the process-shard DUMP RPC: the worker ships its graph as
+    a snapshot body and the parent rebuilds it with
+    :func:`decode_graph_body` + :func:`restore_graph`.
+    """
+    return bytes(_encode_body(graph))
+
+
+def decode_graph_body(body: bytes) -> SnapshotData:
+    """Decode a raw snapshot body produced by :func:`encode_graph_body`."""
+    return _decode_body(body)
 
 
 def restore_graph(data: SnapshotData) -> Graph:

@@ -71,6 +71,13 @@ class ShardPersistence:
         self.graph_wal: Optional[GraphWal] = None
         #: Ops replayed from the WAL tail during the last :meth:`recover`.
         self.replayed_ops = 0
+        #: Optional callable returning the standing-view rows to persist in
+        #: the next checkpoint's snapshot, as ``(name, text, bases)``
+        #: tuples; the caller must refresh the views first so the rows
+        #: match the snapshotted graph state.
+        self.view_source = None
+        #: View-rows section of the snapshot the last :meth:`recover` chose.
+        self._recovered_views: list = []
 
     # -- directory scanning -------------------------------------------- #
 
@@ -120,6 +127,7 @@ class ShardPersistence:
             if data is not None:
                 graph = restore_graph(data)
                 chosen = gen
+                self._recovered_views = data.views
                 break
         self.replayed_ops = 0
         if graph is None:
@@ -167,7 +175,8 @@ class ShardPersistence:
             raise RuntimeError("checkpoint before attach/recover")
         old_gen = self.generation
         new_gen = old_gen + 1
-        write_snapshot(self.graph, self.shard_dir / _snap_name(new_gen))
+        views = self.view_source() if self.view_source is not None else None
+        write_snapshot(self.graph, self.shard_dir / _snap_name(new_gen), views=views)
         old_wal = self.wal
         self.wal = WriteAheadLog(
             self.shard_dir / _wal_name(new_gen), fsync=self.fsync
@@ -196,6 +205,26 @@ class ShardPersistence:
             self.wal.kill()
             self.wal = None
 
+    # -- recovered standing-view rows ----------------------------------- #
+
+    def view_seed(self, name: str, text: str):
+        """The recovered row seed for one standing view, if still valid.
+
+        Returns the ``base -> rows`` mapping persisted in the recovered
+        snapshot, or ``None`` when the view must re-materialize: the
+        stored query text no longer matches the registration, or the
+        recovery replayed WAL ops on top of the snapshot (the stored rows
+        describe snapshot-time state, not the replayed graph).
+        """
+        if self.replayed_ops != 0:
+            return None
+        for stored_name, stored_text, bases in self._recovered_views:
+            if stored_name == name:
+                if stored_text != text:
+                    return None
+                return bases
+        return None
+
     def __repr__(self) -> str:
         return f"<ShardPersistence {self.shard_dir} gen={self.generation}>"
 
@@ -214,6 +243,10 @@ class StorePersistence:
         self.fsync = fsync
         self.snapshot_interval = snapshot_interval
         self.shards: List[ShardPersistence] = []
+        #: Optional callable invoked by :meth:`kill` before the local
+        #: shards are killed — the process backend hooks this to SIGKILL
+        #: semantics for its workers (tests only).
+        self.kill_hook = None
 
     # -- metadata ------------------------------------------------------- #
 
@@ -239,7 +272,7 @@ class StorePersistence:
 
     # -- lifecycle ------------------------------------------------------ #
 
-    def attach_all(self, graphs: List[Graph]) -> None:
+    def attach_all(self, graphs: List[Graph], backend: str = "inline") -> None:
         """Start persisting ``graphs`` (one per shard) into an empty dir.
 
         ``meta.json`` is written only after every shard's generation-0
@@ -255,14 +288,43 @@ class StorePersistence:
             shard = ShardPersistence(self._shard_dir(index), fsync=self.fsync)
             shard.attach(graph)
             self.shards.append(shard)
-        _atomic_write_json(self.meta_path, {"version": 1, "shards": len(graphs)})
+        _atomic_write_json(
+            self.meta_path,
+            {"version": 1, "shards": len(graphs), "backend": backend},
+        )
 
-    def recover_all(self, expected_shards: Optional[int] = None) -> List[Graph]:
-        """Recover every shard of a previously-persisted store.
+    def register_remote(self, num_shards: int, backend: str) -> None:
+        """Record metadata for shards persisted by worker processes.
+
+        The process backend's workers each own their shard's
+        :class:`ShardPersistence`; the parent only writes ``meta.json``
+        (after every worker has reported its generation-0 snapshot
+        durable), keeping the same never-half-initialised ordering as
+        :meth:`attach_all`.  The parent's own :attr:`shards` list stays
+        empty — commit / checkpoint / close of the worker segments happen
+        over RPC, not here.
+        """
+        if self.recoverable:
+            raise ValueError(
+                f"{self.data_dir} already holds a persisted store; "
+                "recover it instead of attaching fresh graphs"
+            )
+        _atomic_write_json(
+            self.meta_path,
+            {"version": 1, "shards": num_shards, "backend": backend},
+        )
+
+    def validate_meta(
+        self, expected_shards: Optional[int] = None, backend: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Check ``meta.json`` against the configuration; return the meta.
 
         ``expected_shards`` guards against configuration drift: ids are
         routed by ``hash(area) % shards``, so reopening a 4-shard directory
-        as 8 shards would silently misroute — it is refused instead.
+        as 8 shards would silently misroute — it is refused instead.  A
+        backend mismatch is refused for the same reason: the worker-owned
+        and parent-owned segment layouts are the same on disk, but the WAL
+        replay boundary (who owns the in-flight batch) differs.
         """
         meta = self._read_meta()
         num_shards = int(meta["shards"])
@@ -272,6 +334,21 @@ class StorePersistence:
                 f"shard(s) but the configuration asks for {expected_shards}; "
                 "re-sharding an existing data dir is not supported"
             )
+        stored_backend = str(meta.get("backend", "inline"))
+        if backend is not None and backend != stored_backend:
+            raise ValueError(
+                f"data dir {self.data_dir} was persisted with the "
+                f"{stored_backend!r} shard backend but the configuration asks "
+                f"for {backend!r}; reopen it with the backend that wrote it"
+            )
+        return meta
+
+    def recover_all(
+        self, expected_shards: Optional[int] = None, backend: str = "inline"
+    ) -> List[Graph]:
+        """Recover every shard of a previously-persisted store."""
+        meta = self.validate_meta(expected_shards, backend)
+        num_shards = int(meta["shards"])
         graphs: List[Graph] = []
         for index in range(num_shards):
             shard = ShardPersistence(self._shard_dir(index), fsync=self.fsync)
@@ -310,6 +387,8 @@ class StorePersistence:
 
     def kill(self) -> None:
         """Simulate a process kill across every shard (tests only)."""
+        if self.kill_hook is not None:
+            self.kill_hook()
         for shard in self.shards:
             shard.kill()
 

@@ -49,6 +49,52 @@ def _default_router(num_shards: int):
     return ShardRouter(num_shards)
 
 
+def register_shard_view(
+    graph: Graph,
+    text: str,
+    name: Optional[str] = None,
+    federated: bool = True,
+    seed=None,
+):
+    """Register one partition's standing view for ``text`` on ``graph``.
+
+    ``federated`` selects the cache key the federator will hit: SELECT
+    views register the modifier-stripped rewrite under the federated
+    marker key, ASK views (and non-federated single-shard views) register
+    under the plain text.  ``seed`` is a recovered ``base -> rows``
+    mapping that skips the initial materialization.  This is the
+    single-graph half of :meth:`ShardedGraphStore.register_standing`,
+    split out so a process backend can run it inside a shard worker.
+    """
+    from dataclasses import replace
+
+    from repro.semantics.sparql.planner import _FEDERATED_KEY_PREFIX, planner_for
+
+    planner = planner_for(graph)
+    if not federated:
+        return planner.register_standing(graph, text, name=name, seed=seed)
+    parsed = planner._parse(text)
+    if parsed.form == "ASK":
+        return planner.register_standing(graph, text, parsed=parsed, name=name, seed=seed)
+    full = replace(
+        parsed,
+        variables=[],
+        distinct=False,
+        order_by=None,
+        descending=False,
+        limit=None,
+        offset=0,
+    )
+    return planner.register_standing(
+        graph,
+        text,
+        parsed=full,
+        cache_text=_FEDERATED_KEY_PREFIX + text,
+        name=name,
+        seed=seed,
+    )
+
+
 class ShardedGraphStore:
     """N per-area partition graphs behind a stable area -> shard router.
 
@@ -168,7 +214,9 @@ class ShardedGraphStore:
 
         return federated_query(self.graphs, text)
 
-    def register_standing(self, text: str, name: Optional[str] = None) -> list:
+    def register_standing(
+        self, text: str, name: Optional[str] = None, seeds: Optional[list] = None
+    ) -> list:
         """Register ``text`` as a per-partition standing view on every shard.
 
         The federated serving path then maintains one materialized view per
@@ -178,42 +226,17 @@ class ShardedGraphStore:
         the federator's modifier-stripped rewrite (and its marker cache
         key), so :meth:`query` picks them up without any change; ASK views
         are registered under the plain text the per-shard short-circuit
-        uses.  Returns the per-shard views.
+        uses.  ``seeds`` optionally carries one recovered row mapping per
+        shard (``None`` entries re-materialize).  Returns the per-shard
+        views.
         """
-        from dataclasses import replace
-
-        from repro.semantics.sparql.planner import (
-            _FEDERATED_KEY_PREFIX,
-            planner_for,
-        )
-
-        if len(self.graphs) == 1:
-            shard = self.graphs[0]
-            return [planner_for(shard).register_standing(shard, text, name=name)]
-        parsed = planner_for(self.graphs[0])._parse(text)
+        federated = len(self.graphs) > 1
         views = []
-        if parsed.form == "ASK":
-            for shard in self.graphs:
-                views.append(
-                    planner_for(shard).register_standing(
-                        shard, text, parsed=parsed, name=name
-                    )
-                )
-            return views
-        full = replace(
-            parsed,
-            variables=[],
-            distinct=False,
-            order_by=None,
-            descending=False,
-            limit=None,
-            offset=0,
-        )
-        cache_text = _FEDERATED_KEY_PREFIX + text
-        for shard in self.graphs:
+        for index, shard in enumerate(self.graphs):
+            seed = seeds[index] if seeds is not None else None
             views.append(
-                planner_for(shard).register_standing(
-                    shard, text, parsed=full, cache_text=cache_text, name=name
+                register_shard_view(
+                    shard, text, name=name, federated=federated, seed=seed
                 )
             )
         return views

@@ -507,6 +507,7 @@ class QueryPlanner:
         parsed: Optional[ParsedQuery] = None,
         cache_text: Optional[str] = None,
         name: Optional[str] = None,
+        seed=None,
     ):
         """Register ``text`` as a delta-maintained standing view on ``graph``.
 
@@ -514,7 +515,8 @@ class QueryPlanner:
         ``cache_text`` key) serves the query from the materialized view,
         which folds graph deltas in incrementally instead of re-evaluating
         on every :attr:`Graph.version` bump.  Idempotent: re-registering
-        returns the existing view.
+        returns the existing view.  ``seed`` (a recovered ``base -> rows``
+        mapping) skips the initial materialization.
         """
         from repro.semantics.sparql.views import StandingView
 
@@ -526,7 +528,7 @@ class QueryPlanner:
                 return view
         if parsed is None:
             parsed = self._parse(text)
-        view = StandingView(graph, text, parsed=parsed, name=name)
+        view = StandingView(graph, text, parsed=parsed, name=name, seed=seed)
         self._views[key] = (weakref.ref(graph), view)
         return view
 
@@ -703,6 +705,66 @@ def _merge_solution_sets(
     return merged
 
 
+def federated_partition_solutions(
+    graph: Graph, text: str
+) -> Tuple[List[Variable], List[Bindings]]:
+    """One partition's contribution to a federated SELECT.
+
+    Evaluates the ``SELECT *`` modifier-free variant of ``text`` on
+    ``graph`` (cached per shard under the federated marker key) and
+    returns the full-solution variables and mappings.  This is the
+    per-shard half of :func:`federated_query`, split out so a process
+    backend can run it *inside* a shard worker and ship only the rows.
+    """
+    planner = planner_for(graph)
+    parsed = planner._parse(text)
+    full = replace(
+        parsed,
+        variables=[],
+        distinct=False,
+        order_by=None,
+        descending=False,
+        limit=None,
+        offset=0,
+    )
+    result = planner.query_parsed(graph, _FEDERATED_KEY_PREFIX + text, full)
+    return list(result.variables), result.solutions
+
+
+def merge_federated_solutions(
+    parsed,
+    per_graph: Sequence[Sequence[Bindings]],
+    full_variables: List[Variable],
+    anchor_graph: Graph,
+) -> QueryResult:
+    """Gather per-partition full solutions into one modifier-applied result.
+
+    The parent half of :func:`federated_query`: set-union of the full
+    mappings, OPTIONAL subsumption compensation, then one global
+    :class:`Projection` (projection, DISTINCT, ORDER BY, LIMIT, OFFSET)
+    evaluated against ``anchor_graph`` — which supplies only term
+    comparison context, never solutions.
+    """
+    merged = _merge_solution_sets(per_graph)
+    if parsed.optional_patterns:
+        merged = _drop_subsumed_solutions(merged)
+    # apply the solution modifiers through the single-graph Projection
+    # operator itself, so federated modifier semantics can never drift
+    # from the oracle's
+    projection = Projection(
+        _Gathered(merged, full_variables),
+        variables=[Variable(name) for name in parsed.variables] or None,
+        distinct=parsed.distinct,
+        order_by=Variable(parsed.order_by) if parsed.order_by else None,
+        descending=parsed.descending,
+        limit=parsed.limit,
+        offset=parsed.offset,
+    )
+    return QueryResult(
+        "SELECT", list(projection.solutions(anchor_graph)), projection.variables()
+    )
+
+
 def federated_query(graphs: Sequence[Graph], text: str) -> QueryResult:
     """Scatter ``text`` across partition graphs and gather one result.
 
@@ -751,37 +813,10 @@ def federated_query(graphs: Sequence[Graph], text: str) -> QueryResult:
     # untouched-partition cache hits that make federated serving cheap.
     # Projection (with oracle row multiplicities), DISTINCT, ordering and
     # cutoffs are then applied once, globally.
-    full = replace(
-        parsed,
-        variables=[],
-        distinct=False,
-        order_by=None,
-        descending=False,
-        limit=None,
-        offset=0,
-    )
-    cache_text = _FEDERATED_KEY_PREFIX + text
     per_graph: List[List[Bindings]] = []
     full_variables: List[Variable] = []
     for graph in graphs:
-        result = planner_for(graph).query_parsed(graph, cache_text, full)
-        per_graph.append(result.solutions)
-        full_variables = list(result.variables)
-    merged = _merge_solution_sets(per_graph)
-    if parsed.optional_patterns:
-        merged = _drop_subsumed_solutions(merged)
-    # apply the solution modifiers through the single-graph Projection
-    # operator itself, so federated modifier semantics can never drift
-    # from the oracle's
-    projection = Projection(
-        _Gathered(merged, full_variables),
-        variables=[Variable(name) for name in parsed.variables] or None,
-        distinct=parsed.distinct,
-        order_by=Variable(parsed.order_by) if parsed.order_by else None,
-        descending=parsed.descending,
-        limit=parsed.limit,
-        offset=parsed.offset,
-    )
-    return QueryResult(
-        "SELECT", list(projection.solutions(graphs[0])), projection.variables()
-    )
+        variables, solutions = federated_partition_solutions(graph, text)
+        per_graph.append(solutions)
+        full_variables = variables
+    return merge_federated_solutions(parsed, per_graph, full_variables, graphs[0])

@@ -111,6 +111,11 @@ class StandingView:
         keeping the original ``text`` as the label.
     name:
         Optional human-readable name (broker topics, dashboards).
+    seed:
+        Optional pre-materialized ``base -> full rows`` mapping (recovered
+        from a snapshot's view-rows section).  When given, the initial
+        materialization is skipped entirely — the caller asserts the seed
+        matches the graph's current state.
     """
 
     def __init__(
@@ -119,6 +124,7 @@ class StandingView:
         text: str,
         parsed: Optional[ParsedQuery] = None,
         name: Optional[str] = None,
+        seed: Optional[Dict[Bindings, List[Bindings]]] = None,
     ):
         self.graph = graph
         self.text = text
@@ -138,8 +144,14 @@ class StandingView:
         self._cached: Optional[Tuple[List[Bindings], List[Variable]]] = None
         self._block_plans = None
         self._generation = -1
+        #: True when the initial rows came from a snapshot seed rather
+        #: than a from-scratch materialization.
+        self.seeded = seed is not None
         self._rebind()
-        self._materialize()
+        if seed is not None:
+            self._bases = dict(seed)
+        else:
+            self._materialize()
 
     # ------------------------------------------------------------------ #
     # resolution against the graph's namespaces
@@ -417,6 +429,16 @@ class StandingView:
             self.refresh()
             return [row for rows in self._bases.values() for row in rows]
 
+    def export_rows(self) -> Dict[Bindings, List[Bindings]]:
+        """The refreshed ``base -> full rows`` mapping (snapshot payload).
+
+        Persistence stores this alongside the graph image so a restart can
+        seed a re-registered view without re-materializing it.
+        """
+        with self._lock:
+            self.refresh()
+            return {base: list(rows) for base, rows in self._bases.items()}
+
     def result(self) -> QueryResult:
         """The current query result, refreshed and with modifiers applied.
 
@@ -472,6 +494,7 @@ class StandingView:
                 "rows": sum(len(rows) for rows in self._bases.values()),
                 "delta_updates": self.delta_updates,
                 "full_refreshes": self.full_refreshes,
+                "seeded": self.seeded,
             }
 
     def __repr__(self) -> str:
