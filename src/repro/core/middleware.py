@@ -87,6 +87,31 @@ class MiddlewareConfig:
     #: WAL records per shard segment before the post-batch checkpoint
     #: rolls a fresh snapshot and truncates the log.
     snapshot_interval: int = 50_000
+    #: Deadline (seconds) for every RPC to a shard worker process; a
+    #: worker that misses it is declared hung, killed and restarted from
+    #: its snapshot + WAL.  ``None`` defers to ``REPRO_SHARD_RPC_TIMEOUT``,
+    #: defaulting to 30 s.  Process backend only.
+    shard_rpc_timeout: Optional[float] = None
+    #: Consecutive failed restarts of one shard before its circuit
+    #: breaker trips and the shard is declared unavailable.
+    shard_restart_budget: int = 3
+    #: Base of the exponential backoff between restart attempts (seconds).
+    shard_restart_backoff: float = 0.1
+    #: Replays of an in-flight batch after a worker crash before the batch
+    #: is declared poisonous and quarantined to the dead-letter journal.
+    replay_budget: int = 2
+    #: Serve *partial* federated query results (marked ``degraded`` with
+    #: the missing shards listed) when a shard's breaker is open, instead
+    #: of raising :class:`repro.core.faults.ShardUnavailableError`.
+    degraded_reads: bool = False
+    #: Ingest batches parked per tripped shard awaiting recovery before
+    #: further ingest for that shard raises.
+    pending_queue_limit: int = 32
+    #: Deterministic fault-injection plan (a
+    #: :class:`repro.core.faults.FaultPlan` or its compact string form).
+    #: ``None`` defers to ``REPRO_FAULT_PLAN`` / ``REPRO_FAULT_SEED``;
+    #: normal operation leaves all three unset.
+    fault_plan: Optional[object] = None
 
 
 class SemanticMiddleware:
@@ -136,6 +161,13 @@ class SemanticMiddleware:
             data_dir=self.config.data_dir,
             wal_fsync=self.config.wal_fsync,
             snapshot_interval=self.config.snapshot_interval,
+            shard_rpc_timeout=self.config.shard_rpc_timeout,
+            shard_restart_budget=self.config.shard_restart_budget,
+            shard_restart_backoff=self.config.shard_restart_backoff,
+            replay_budget=self.config.replay_budget,
+            degraded_reads=self.config.degraded_reads,
+            pending_queue_limit=self.config.pending_queue_limit,
+            fault_plan=self.config.fault_plan,
         )
         self.application_layer = ApplicationAbstractionLayer(
             self.ontology_layer, self.broker
@@ -382,6 +414,16 @@ class SemanticMiddleware:
         if self.interface_layer is not None:
             stats["interface_layer"] = self.interface_layer.statistics
         return stats
+
+    def health(self) -> dict:
+        """Liveness and fault-tolerance state of the shard serving path.
+
+        Per shard: process state (``up`` / ``down`` / ``tripped``), circuit
+        breaker, restart and trip counts, parked ingest depth.  Top level:
+        backend kind, degraded-read mode, RPC deadline, quarantined batch
+        count, dead-letter journal depth, and an overall ``healthy`` flag.
+        """
+        return self.ontology_layer.health()
 
     def __repr__(self) -> str:
         return (

@@ -33,6 +33,12 @@ from repro.cep.engine import CepEngine
 from repro.cep.event import DerivedEvent, Event
 from repro.cep.rules import CepRule
 from repro.core.annotation import SemanticAnnotator, next_annotation_index
+from repro.core.faults import (
+    FaultPlan,
+    FaultTolerancePolicy,
+    resolve_fault_plan,
+    resolve_rpc_timeout,
+)
 from repro.core.mediator import CanonicalObservation, MediationOutcome, Mediator
 from repro.core.pipeline import (
     AnnotateStage,
@@ -51,6 +57,7 @@ from repro.ik.knowledge_base import IndigenousKnowledgeBase
 from repro.ontologies.environment import CANONICAL_PROPERTIES
 from repro.ontologies.library import OntologyLibrary, build_unified_ontology
 from repro.ontologies.vocabulary import DROUGHT
+from repro.persistence.dead_letter import DeadLetterJournal
 from repro.persistence.store import DEFAULT_SNAPSHOT_INTERVAL, StorePersistence
 from repro.semantics.rdf.graph import Graph
 from repro.semantics.reasoner import Reasoner
@@ -72,6 +79,9 @@ class OntologyLayerStatistics:
     sightings_out: int = 0
     derived_events: int = 0
     annotation_triples: int = 0
+    #: Records the validate stage rejected (each also journaled to the
+    #: dead-letter file with its reason).
+    validation_rejects: int = 0
 
 
 class OntologySegmentLayer:
@@ -133,6 +143,28 @@ class OntologySegmentLayer:
     snapshot_interval:
         WAL records per shard segment before the post-batch checkpoint
         rolls a fresh snapshot and truncates the log.
+    shard_rpc_timeout:
+        Deadline (seconds) for every worker RPC of the process backend; a
+        worker that misses it is declared hung, SIGKILLed and restarted
+        from its durable state.  ``None`` defers to the
+        ``REPRO_SHARD_RPC_TIMEOUT`` environment variable (default 30s).
+    shard_restart_budget / shard_restart_backoff:
+        How many restart attempts a dead shard gets (with exponential
+        backoff between them) before its circuit breaker trips.
+    replay_budget:
+        How often a recovered worker replays the same in-flight batch
+        before it is quarantined to the dead-letter journal as poison.
+    degraded_reads:
+        With a tripped shard, serve federated queries from the surviving
+        partitions (results carry ``degraded`` + ``missing_shards``
+        markers) instead of raising ``ShardUnavailableError``.
+    pending_queue_limit:
+        Ingest batches parked per tripped shard until recovery; overflow
+        raises.
+    fault_plan:
+        A :class:`~repro.core.faults.FaultPlan` of injected faults for
+        the process backend (tests/CI); ``None`` defers to the
+        ``REPRO_FAULT_PLAN`` / ``REPRO_FAULT_SEED`` environment.
     """
 
     def __init__(
@@ -150,6 +182,13 @@ class OntologySegmentLayer:
         data_dir: Optional[str] = None,
         wal_fsync: str = "batch",
         snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
+        shard_rpc_timeout: Optional[float] = None,
+        shard_restart_budget: int = 3,
+        shard_restart_backoff: float = 0.1,
+        replay_budget: int = 2,
+        degraded_reads: bool = False,
+        pending_queue_limit: int = 32,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.library = library or build_unified_ontology(materialize=True)
         self.graph = self.library.graph
@@ -166,6 +205,19 @@ class OntologySegmentLayer:
             resolve_shard_backend(shard_backend) if self.shards > 1 else "inline"
         )
         self._closed = False
+        #: Supervision knobs for the process backend (harmless elsewhere).
+        self.fault_policy = FaultTolerancePolicy(
+            rpc_timeout=resolve_rpc_timeout(shard_rpc_timeout),
+            restart_budget=shard_restart_budget,
+            restart_backoff=shard_restart_backoff,
+            replay_budget=replay_budget,
+            degraded_reads=degraded_reads,
+            pending_limit=pending_queue_limit,
+        )
+        self.fault_plan = resolve_fault_plan(fault_plan)
+        #: Records the pipeline gave up on: validation rejects and poison
+        #: batches, on disk when a ``data_dir`` exists, in memory otherwise.
+        self.dead_letter = DeadLetterJournal(data_dir)
 
         self.persistence: Optional[StorePersistence] = None
         #: Whether this layer's graphs were rebuilt from durable state.
@@ -233,6 +285,9 @@ class OntologySegmentLayer:
                 persistence=self.persistence,
                 recovered=self.recovered,
                 recovered_graphs=recovered_graphs,
+                policy=self.fault_policy,
+                fault_plan=self.fault_plan,
+                dead_letter=self.dead_letter,
             )
             self.store = self._backend.store
             self.router = self._backend.router
@@ -247,7 +302,9 @@ class OntologySegmentLayer:
         self.pipeline = Pipeline(
             [
                 MediateStage(self.mediator),
-                ValidateStage(),
+                ValidateStage(
+                    dead_letter=self.dead_letter, layer_statistics=self.statistics
+                ),
                 self._annotate_stage,
                 self._reason_stage,
                 self._publish_stage,
@@ -581,8 +638,50 @@ class OntologySegmentLayer:
                 "last_batch_latency": 0.0,
                 "pid": os.getpid(),
                 "restarts": 0,
+                "state": "up",
+                "breaker": "closed",
+                "trips": 0,
+                "pending_batches": 0,
             }
         ]
+
+    def health(self) -> Dict[str, object]:
+        """Supervision snapshot: per-shard state, breaker, dead-letter depth.
+
+        Shard states are ``up`` / ``down`` / ``restarting`` / ``tripped``
+        (the latter two only for the process backend, the one place a
+        partition can fail independently of this interpreter).
+        """
+        if self._backend is not None:
+            report = dict(self._backend.health())
+        else:
+            report = {
+                "backend": "single",
+                "shards": [
+                    {
+                        "shard": 0,
+                        "state": "up",
+                        "breaker": "closed",
+                        "restarts": 0,
+                        "trips": 0,
+                        "pending_batches": 0,
+                        "pid": os.getpid(),
+                        "last_error": None,
+                    }
+                ],
+                "degraded_reads": False,
+                "rpc_timeout": None,
+                "quarantined_batches": 0,
+            }
+        report["validation_rejects"] = self.statistics.validation_rejects
+        report["dead_letter_depth"] = len(self.dead_letter)
+        report["dead_letter_path"] = (
+            str(self.dead_letter.path) if self.dead_letter.path is not None else None
+        )
+        report["healthy"] = all(
+            entry["state"] == "up" for entry in report["shards"]
+        )
+        return report
 
     def checkpoint(self) -> None:
         """Force a durable snapshot of every shard (no-op without persistence)."""

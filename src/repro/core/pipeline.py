@@ -8,7 +8,8 @@ Every raw record crossing the middleware passes the same six stages:
 ``validate``
     Sanity checks on the mediated observation (non-finite values or
     timestamps are dropped before they can poison the graph or the CEP
-    windows).
+    windows — each reject is written to the dead-letter journal with a
+    reason and counted in layer statistics).
 ``annotate``
     SSN/DOLCE RDF annotation into the shared graph (optional).
 ``reason``
@@ -36,7 +37,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.cep.engine import CepEngine
@@ -185,15 +186,46 @@ class MediateStage(Stage):
 
 
 class ValidateStage(Stage):
-    """Drop observations whose value or timestamp is not a finite number."""
+    """Reject observations whose value or timestamp is not a finite number.
+
+    Rejects do not vanish silently: each one lands in the dead-letter
+    journal with a reason string (when the layer has one) and bumps the
+    layer's ``validation_rejects`` counter, so bad feeds are visible in
+    statistics and recoverable from disk instead of inferred from a
+    throughput dip.
+    """
 
     name = "validate"
+
+    def __init__(self, dead_letter=None, layer_statistics=None):
+        self.dead_letter = dead_letter
+        self.layer_statistics = layer_statistics
+
+    def _reject(self, context: IngestionContext, reason: str) -> bool:
+        if self.layer_statistics is not None:
+            self.layer_statistics.validation_rejects += 1
+        if self.dead_letter is not None:
+            record = context.record
+            self.dead_letter.record(
+                "validation_reject",
+                reason,
+                records=[asdict(record)] if record is not None else [],
+            )
+        return False
 
     def process(self, context: IngestionContext) -> bool:
         observation = context.observation
         if observation is None:
-            return False
-        return math.isfinite(observation.value) and math.isfinite(observation.timestamp)
+            return self._reject(context, "mediation produced no observation")
+        if not math.isfinite(observation.value):
+            return self._reject(
+                context, f"non-finite value {observation.value!r}"
+            )
+        if not math.isfinite(observation.timestamp):
+            return self._reject(
+                context, f"non-finite timestamp {observation.timestamp!r}"
+            )
+        return True
 
 
 class AnnotateStage(Stage):

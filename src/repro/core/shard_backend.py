@@ -36,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional
 
 from repro.core.annotation import SemanticAnnotator, next_annotation_index
+from repro.core.faults import ShardUnavailableError  # noqa: F401 - re-export
 from repro.core.pipeline import ShardedAnnotateStage, ShardedReasonStage
 from repro.core.services import ServiceRegistry
 from repro.semantics.rdf.graph import Graph
@@ -202,9 +203,37 @@ class InlineShardBackend:
                 ),
                 "pid": pid,
                 "restarts": 0,
+                "state": "up",
+                "breaker": "closed",
+                "trips": 0,
+                "pending_batches": 0,
             }
             for index, shard_graph in enumerate(self.store.graphs)
         ]
+
+    def health(self) -> dict:
+        """Same shape as the process backend's; inline shards cannot fail
+        independently of this interpreter, so everything reports up."""
+        pid = os.getpid()
+        return {
+            "backend": "inline",
+            "shards": [
+                {
+                    "shard": index,
+                    "state": "up",
+                    "breaker": "closed",
+                    "restarts": 0,
+                    "trips": 0,
+                    "pending_batches": 0,
+                    "pid": pid,
+                    "last_error": None,
+                }
+                for index in range(self.num_shards)
+            ],
+            "degraded_reads": False,
+            "rpc_timeout": None,
+            "quarantined_batches": 0,
+        }
 
     # -------------------------------------------------------------- #
     # lifecycle
@@ -236,6 +265,9 @@ def make_shard_backend(
     persistence=None,
     recovered: bool = False,
     recovered_graphs: Optional[List[Graph]] = None,
+    policy=None,
+    fault_plan=None,
+    dead_letter=None,
 ):
     """Build the configured backend (lazily importing the process one)."""
     if kind == "process":
@@ -250,6 +282,9 @@ def make_shard_backend(
             reason_per_batch=reason_per_batch,
             persistence=persistence,
             recovered=recovered,
+            policy=policy,
+            fault_plan=fault_plan,
+            dead_letter=dead_letter,
         )
     return InlineShardBackend(
         library,

@@ -50,8 +50,10 @@ OP_RETRACT_SUBJECT = 0x0B
 OP_DUMP = 0x0C
 OP_CLOSE = 0x0D
 OP_KILL = 0x0E
+OP_PING = 0x0F
 OP_CHECKPOINT = 0x10
 OP_VIEW_ROWS = 0x11
+OP_FAULT = 0x12
 OP_ERROR = 0x7F
 
 

@@ -14,12 +14,29 @@ before fan-out, so minted IRIs — and therefore graph content — stay
 bag-identical to the inline backend regardless of process scheduling.
 
 Crash handling: a worker that dies mid-request is detected by the broken
-pipe, respawned in recovery mode (newest valid snapshot + WAL tail, as
-after any crash), its standing views re-registered, and the in-flight
-request replayed.  Replay is safe because every mutating op is
+pipe — and a worker that *hangs* mid-request is detected by the RPC
+deadline (``FaultTolerancePolicy.rpc_timeout``) and SIGKILLed, which
+turns a hang into the crash the rest of the machinery already handles.
+Either way the worker is respawned in recovery mode (newest valid
+snapshot + WAL tail), its standing views re-registered, and the
+in-flight request replayed.  Replay is safe because every mutating op is
 idempotent: annotations use deterministic counter-minted IRIs and
 ``Graph.add`` deduplicates, so re-ingesting a half-applied batch
 converges on exactly the inline oracle's content.
+
+Supervision is budgeted: respawn attempts back off exponentially and a
+shard that cannot be brought back within ``restart_budget`` attempts
+trips its :class:`~repro.core.faults.ShardBreaker` — queries then raise
+:class:`~repro.core.faults.ShardUnavailableError` (or serve partial,
+explicitly-marked results under ``degraded_reads``), ingest for the
+tripped shard parks in a bounded pending queue, and the next request
+after the breaker's retry delay runs a half-open probe that restarts
+the shard and flushes the parked batches.  A batch whose *replay* keeps
+crashing the worker is a poison batch: after ``replay_budget`` replays
+it is written to the dead-letter journal and the shard resumes clean.
+Fault injection (hangs, crashes, WAL errors — :mod:`repro.core.faults`)
+is armed parent-side and shipped as one-shot ``OP_FAULT`` directives so
+it stays deterministic across respawns.
 
 Workers exit with ``os._exit`` in every path.  A forked child inherits
 the parent's open WAL buffers for *other* layers; running interpreter
@@ -36,10 +53,19 @@ import time
 import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from dataclasses import asdict
+
 from repro.core.annotation import (
     SemanticAnnotator,
     annotation_iri_for,
     next_annotation_index,
+)
+from repro.core.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultTolerancePolicy,
+    ShardBreaker,
+    ShardUnavailableError,
 )
 from repro.core.pipeline import Stage
 from repro.core.services import ServiceRegistry
@@ -49,10 +75,12 @@ from repro.core.shard_wire import (
     OP_CLOSE,
     OP_DUMP,
     OP_ERROR,
+    OP_FAULT,
     OP_HELLO,
     OP_INGEST,
     OP_KILL,
     OP_MATERIALIZE,
+    OP_PING,
     OP_QUERY_ASK,
     OP_QUERY_FULL,
     OP_REASON,
@@ -314,6 +342,10 @@ class _ShardWorker:
             self.persistence.checkpoint()
         return b""
 
+    def _op_ping(self, body: bytes) -> bytes:
+        """Heartbeat: proves the worker loop is live, not just the process."""
+        return encode_json({"pid": os.getpid(), "triples": len(self.graph)})
+
     _HANDLERS = {
         OP_INGEST: _op_ingest,
         OP_REASON: _op_reason,
@@ -328,6 +360,7 @@ class _ShardWorker:
         OP_RETRACT_SUBJECT: _op_retract_subject,
         OP_DUMP: _op_dump,
         OP_CHECKPOINT: _op_checkpoint,
+        OP_PING: _op_ping,
     }
 
 
@@ -340,14 +373,23 @@ def _worker_main(
     graph: Optional[Graph],
     knowledge_base,
     recover: bool,
+    boot_crash: bool = False,
 ) -> None:
     """Entry point of one forked shard worker."""
     if parent_side is not None:
         parent_side.close()
+    if boot_crash:
+        # injected startup failure (decided parent-side from the fault
+        # plan and this spawn's incarnation number): die before HELLO so
+        # the supervisor sees a spawn failure, not a serving worker
+        os._exit(2)
+    injector = FaultInjector()
     persistence: Optional[ShardPersistence] = None
     try:
         if shard_dir is not None:
-            persistence = ShardPersistence(shard_dir, fsync=fsync)
+            persistence = ShardPersistence(
+                shard_dir, fsync=fsync, fault_hook=injector.wal_hook
+            )
         if recover:
             graph = persistence.recover()
             # idempotent: the IK indicators use deterministic IRIs, so
@@ -403,8 +445,21 @@ def _worker_main(
             except OSError:
                 pass
             os._exit(0)
+        if opcode == OP_FAULT:
+            # one-shot injection directives armed by the parent for the
+            # next op; fire-and-forget, no reply
+            injector.arm(decode_json(body))
+            continue
         try:
+            deferred = injector.before_op(opcode)
             reply = frame(opcode, worker.dispatch(opcode, body))
+            injector.after_op(deferred)
+        except OSError:
+            # fail-stop: a disk error mid-op (real or injected) can leave
+            # the in-memory graph ahead of the durable log.  Dying here
+            # makes the supervisor replay the op against the last
+            # consistent on-disk state instead of serving divergent data.
+            os._exit(3)
         except Exception as exc:  # noqa: BLE001 - forwarded to the parent
             reply = frame(OP_ERROR, encode_json({"error": f"{type(exc).__name__}: {exc}"}))
         try:
@@ -429,6 +484,14 @@ def _reap_workers(entries: List[List[object]]) -> None:
         if process.is_alive():
             process.terminate()
             process.join(timeout=5)
+
+
+class _WorkerHungError(RuntimeError):
+    """A worker missed its RPC deadline; the supervisor will SIGKILL it."""
+
+    def __init__(self, message: str, shard: int):
+        super().__init__(message)
+        self.shard = shard
 
 
 class _WorkerHandle:
@@ -742,6 +805,9 @@ class ProcessShardBackend:
         reason_per_batch: bool = False,
         persistence=None,
         recovered: bool = False,
+        policy: Optional[FaultTolerancePolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        dead_letter=None,
     ):
         self.library = library
         self.knowledge_base = knowledge_base
@@ -761,6 +827,19 @@ class ProcessShardBackend:
         self.restart_counts = [0] * shards
         self._closed = False
         self._killed = False
+        self.policy = policy if policy is not None else FaultTolerancePolicy()
+        self.dead_letter = dead_letter
+        self.layer_statistics = statistics
+        #: poison batches written to the dead-letter journal this session
+        self.quarantined = 0
+        self.breakers = [ShardBreaker() for _ in range(shards)]
+        # without persistence a crashed worker cannot be rebuilt, so only
+        # non-destructive ("slow") injected faults survive the filter —
+        # this lets a CI-wide REPRO_FAULT_PLAN run suites that also build
+        # ephemeral backends without destroying them
+        plan = fault_plan if fault_plan is not None else FaultPlan()
+        self._faults = plan.session(recoverable=persistence is not None)
+        self._incarnations = [0] * shards
 
         replicated = 0
         graphs: List[Optional[Graph]] = [None] * shards
@@ -807,6 +886,8 @@ class ProcessShardBackend:
         shard_dir = (
             str(persistence._shard_dir(shard)) if persistence is not None else None
         )
+        self._incarnations[shard] += 1
+        boot_crash = self._faults.boot_crash_fires(shard, self._incarnations[shard])
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
@@ -821,6 +902,7 @@ class ProcessShardBackend:
                 graph,
                 self.knowledge_base,
                 recover,
+                boot_crash,
             ),
             daemon=True,
             name=f"shard-worker-{shard}",
@@ -838,46 +920,147 @@ class ProcessShardBackend:
             )
         return _WorkerHandle(shard, process, parent_conn, decode_json(body))
 
-    def _recover_worker(self, shard: int) -> bytes:
-        """Respawn a dead worker from its WAL and replay its in-flight op."""
-        if self.persistence is None:
-            raise RuntimeError(
-                f"shard worker {shard} died and no data_dir is configured "
-                "for recovery"
-            )
-        dead = self.workers[shard]
-        inflight = dead.inflight
-        try:
-            dead.conn.close()
-        except OSError:
-            pass
-        dead.process.join(timeout=5)
+    def _restart_worker(self, shard: int) -> _WorkerHandle:
+        """One respawn attempt: recover from disk, re-register views.
+
+        Raises :class:`RuntimeError`/:class:`OSError` when the spawn or
+        the view re-registration fails (the half-started worker is killed
+        first, so a failed attempt leaks nothing).
+        """
         worker = self._spawn(shard, None, recover=True)
         self.workers[shard] = worker
         self.restart_counts[shard] += 1
         self._reap_entries[shard][0] = worker.process
         self._reap_entries[shard][1] = worker.conn
-        # the worker rebuilt its graph but not its standing views
-        for text, name in self._view_specs:
-            worker.conn.send_bytes(
-                frame(
+        try:
+            # the worker rebuilt its graph but not its standing views
+            for text, name in self._view_specs:
+                self._send(
+                    worker,
                     OP_REGISTER_VIEW,
                     encode_json(
                         {"text": text, "name": name, "federated": self.num_shards > 1}
                     ),
                 )
-            )
-            self._receive(worker)
+                self._receive(worker)
+        except (RuntimeError, EOFError, OSError) as exc:
+            worker.process.kill()
+            worker.process.join(timeout=5)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            raise RuntimeError(
+                f"shard worker {shard} failed during view re-registration: {exc}"
+            ) from exc
         self._dirty.add(shard)
-        if inflight is None:
-            return b""
-        opcode, body = inflight
+        return worker
+
+    def _recover_worker(self, shard: int) -> bytes:
+        """Bring a dead shard back and replay its in-flight op, budgeted.
+
+        Respawn attempts (from the shard's snapshot + WAL) back off
+        exponentially and are capped by ``restart_budget``; exhaustion
+        trips the shard's breaker and the in-flight op is answered by
+        :meth:`_unavailable_reply`.  A replay that crashes the fresh
+        worker again does *not* burn restart budget — it burns
+        ``replay_budget``, and past that the batch is a poison batch:
+        quarantined to the dead-letter journal while the shard resumes
+        clean.  A replay that hangs is SIGKILLed like any hung RPC.
+        """
+        dead = self.workers[shard]
+        inflight = dead.inflight
+        dead.inflight = None
+        try:
+            dead.conn.close()
+        except OSError:
+            pass
+        dead.process.join(timeout=5)
+        if self.persistence is None:
+            self._trip(shard, "worker died and no data_dir is configured")
+            raise ShardUnavailableError(
+                f"shard worker {shard} died and no data_dir is configured "
+                "for recovery",
+                shard=shard,
+            )
+        failures = 0
+        replays = 0
+        attempt = 0
+        last_error = f"shard worker {shard} died"
+        while True:
+            if failures >= self.policy.restart_budget:
+                self._trip(shard, last_error)
+                if inflight is None:
+                    return b""
+                return self._unavailable_reply(shard, inflight[0], inflight[1])
+            delay = self.policy.backoff(attempt)
+            attempt += 1
+            if delay:
+                time.sleep(delay)
+            try:
+                worker = self._restart_worker(shard)
+            except (RuntimeError, OSError) as exc:
+                failures += 1
+                last_error = str(exc) or f"{type(exc).__name__}"
+                continue
+            if inflight is None:
+                self.breakers[shard].close()
+                return b""
+            if replays >= self.policy.replay_budget:
+                self._quarantine(shard, inflight, last_error)
+                self.breakers[shard].close()
+                return self._synthetic_reply(shard, inflight[0])
+            opcode, body = inflight
+            replays += 1
+            worker.inflight = inflight
+            try:
+                self._send(worker, opcode, body)
+                reply = self._receive(worker)
+            except _WorkerHungError:
+                worker.process.kill()
+                worker.process.join(timeout=5)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                last_error = f"shard worker {shard} hung replaying the batch"
+                continue
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                worker.process.join(timeout=5)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                last_error = (
+                    f"shard worker {shard} died replaying the batch "
+                    f"({type(exc).__name__}: {exc})"
+                )
+                continue
+            self.breakers[shard].close()
+            return reply
+
+    def _send(self, worker: _WorkerHandle, opcode: int, body: bytes) -> None:
+        """Send one request, shipping any armed fault directives first.
+
+        Directives ride ahead of the op they apply to as a fire-and-forget
+        ``OP_FAULT`` message, so the worker's injector state is always a
+        pure function of what the parent decided — respawns inherit
+        nothing, and a replayed batch counts as a fresh matching send.
+        """
+        if self._faults.active:
+            directives = self._faults.op_directive(worker.shard, opcode)
+            if directives:
+                worker.conn.send_bytes(frame(OP_FAULT, encode_json(directives)))
         worker.conn.send_bytes(frame(opcode, body))
-        worker.inflight = inflight
-        return self._receive(worker)
 
     def _receive(self, worker: _WorkerHandle) -> bytes:
         started = time.perf_counter()
+        if not worker.conn.poll(self.policy.rpc_timeout):
+            raise _WorkerHungError(
+                f"shard worker {worker.shard} did not reply within "
+                f"{self.policy.rpc_timeout}s",
+                shard=worker.shard,
+            )
         message = worker.conn.recv_bytes()
         worker.last_batch_latency = time.perf_counter() - started
         worker.inflight = None
@@ -891,27 +1074,40 @@ class ProcessShardBackend:
     def scatter(self, requests: Sequence[Tuple[int, int, bytes]]) -> Dict[int, bytes]:
         """Send every request, then collect every reply (in shard order).
 
-        A broken pipe at either end marks the worker dead and routes
-        through crash recovery: respawn from the shard's durable state,
-        re-register its views, replay the in-flight request.  The ops are
-        idempotent (deterministic IRIs, deduplicating adds), so a request
-        that was half-applied before the crash converges on replay.
+        A broken pipe at either end marks the worker dead, and a reply
+        missing its deadline marks it hung (the process is SIGKILLed —
+        from here on a hang *is* a crash); both route through
+        :meth:`_recover_worker`.  The ops are idempotent (deterministic
+        IRIs, deduplicating adds), so a request that was half-applied
+        before the crash converges on replay.  Requests for a shard whose
+        breaker is open are answered locally by :meth:`_unavailable_reply`
+        — unless the breaker's retry delay has elapsed, in which case a
+        half-open probe tries to bring the shard back first.
         """
+        replies: Dict[int, bytes] = {}
         dead: List[int] = []
+        sent: List[Tuple[int, int, bytes]] = []
         for shard, opcode, body in requests:
+            if self.breakers[shard].open and not self._probe_recover(shard):
+                replies[shard] = self._unavailable_reply(shard, opcode, body)
+                continue
             worker = self.workers[shard]
             worker.inflight = (opcode, body)
+            sent.append((shard, opcode, body))
             try:
-                worker.conn.send_bytes(frame(opcode, body))
+                self._send(worker, opcode, body)
             except (BrokenPipeError, OSError):
                 dead.append(shard)
-        replies: Dict[int, bytes] = {}
-        for shard, opcode, body in requests:
+        for shard, opcode, body in sent:
             if shard in dead:
                 continue
             worker = self.workers[shard]
             try:
                 replies[shard] = self._receive(worker)
+            except _WorkerHungError:
+                worker.process.kill()
+                worker.process.join(timeout=5)
+                dead.append(shard)
             except (EOFError, BrokenPipeError, OSError):
                 dead.append(shard)
         for shard in dead:
@@ -928,6 +1124,157 @@ class ProcessShardBackend:
 
     def mark_dirty(self, shards: Iterable[int]) -> None:
         self._dirty.update(shards)
+
+    # -------------------------------------------------------------- #
+    # degraded operation: breaker, pending queue, quarantine
+    # -------------------------------------------------------------- #
+
+    def _trip(self, shard: int, error: str) -> None:
+        """Open the shard's breaker; the retry delay keeps growing per trip."""
+        breaker = self.breakers[shard]
+        delay = min(
+            self.policy.restart_backoff
+            * (2 ** (self.policy.restart_budget + breaker.trips - 1)),
+            self.policy.backoff_cap,
+        )
+        breaker.trip(error, delay)
+
+    def _probe_recover(self, shard: int) -> bool:
+        """Half-open probe: one restart attempt once the retry delay passed.
+
+        On success the breaker closes and every parked ingest batch is
+        flushed into the recovered shard; on failure the breaker re-trips
+        with a doubled delay.  Returns whether the shard is serving again.
+        """
+        breaker = self.breakers[shard]
+        if self.persistence is None:
+            return False
+        if time.monotonic() < breaker.retry_at:
+            return False
+        breaker.state = "half_open"
+        try:
+            self._restart_worker(shard)
+        except (RuntimeError, OSError) as exc:
+            self._trip(shard, str(exc) or type(exc).__name__)
+            return False
+        breaker.close()
+        self._flush_pending(shard)
+        return True
+
+    def _flush_pending(self, shard: int) -> None:
+        """Replay parked ingest batches into a freshly recovered shard."""
+        breaker = self.breakers[shard]
+        parked, breaker.pending = list(breaker.pending), []
+        for body in parked:
+            reply = self.scatter([(shard, OP_INGEST, body)])[shard]
+            self.layer_statistics.annotation_triples += read_uvarint(reply, 0)[0]
+            self._dirty.add(shard)
+
+    def _unavailable_reply(self, shard: int, opcode: int, body: bytes) -> bytes:
+        """Answer a request for a tripped shard without a worker.
+
+        Ingest parks in the bounded pending queue (recovery will flush
+        it); housekeeping ops (stats, view drains, checkpoints, pings)
+        get synthetic empty replies so the rest of the system keeps
+        running; reads get synthetic partial replies only under
+        ``degraded_reads``.  Everything else refuses loudly.
+        """
+        breaker = self.breakers[shard]
+        error = breaker.last_error or "restart budget exhausted"
+        if opcode == OP_INGEST and self.persistence is not None:
+            if len(breaker.pending) >= self.policy.pending_limit:
+                raise ShardUnavailableError(
+                    f"shard {shard} is unavailable and its pending ingest "
+                    f"queue is full ({self.policy.pending_limit} batches): "
+                    f"{error}",
+                    shard=shard,
+                )
+            breaker.pending.append(body)
+            return self._synthetic_reply(shard, opcode)
+        if opcode in (OP_REFRESH_VIEWS, OP_STATS, OP_CHECKPOINT, OP_PING):
+            return self._synthetic_reply(shard, opcode)
+        if (
+            opcode in (OP_QUERY_ASK, OP_QUERY_FULL, OP_REASON)
+            and self.policy.degraded_reads
+        ):
+            return self._synthetic_reply(shard, opcode)
+        raise ShardUnavailableError(
+            f"shard {shard} is unavailable (circuit open after "
+            f"{breaker.trips} trip(s)): {error}",
+            shard=shard,
+        )
+
+    def _synthetic_reply(self, shard: int, opcode: int) -> bytes:
+        """The empty-but-well-formed reply a missing shard contributes."""
+        if opcode in (OP_INGEST, OP_REPLICATE, OP_RETRACT_SUBJECT):
+            reply = bytearray()
+            write_uvarint(reply, 0)
+            return bytes(reply)
+        if opcode == OP_REFRESH_VIEWS:
+            return encode_view_deltas([])
+        if opcode == OP_QUERY_ASK:
+            return bytes([0])
+        if opcode == OP_QUERY_FULL:
+            return encode_query_result([], [])
+        if opcode == OP_STATS:
+            return encode_json(
+                {
+                    "pid": None,
+                    "triples": 0,
+                    "version": 0,
+                    "recovered": False,
+                    "wal_records": 0,
+                    "generation": 0,
+                    "tripped": True,
+                    "planner": {
+                        "queries": 0,
+                        "parses": 0,
+                        "plans_built": 0,
+                        "plan_hits": 0,
+                        "plan_invalidations": 0,
+                        "result_hits": 0,
+                        "result_misses": 0,
+                        "result_invalidations": 0,
+                        "view_hits": 0,
+                    },
+                    "views": [],
+                }
+            )
+        if opcode == OP_PING:
+            return encode_json({"pid": None, "triples": 0, "tripped": True})
+        return b""
+
+    def _quarantine(self, shard: int, inflight: Tuple[int, bytes], error: str) -> None:
+        """Write a poison batch to the dead-letter journal and move on.
+
+        What quarantine deliberately loses: the batch's annotations never
+        reach the shard's graph, so queries and views will not reflect
+        the quarantined records — the journal entry (decoded records +
+        error + shard) is the recovery path, not silent retry forever.
+        """
+        opcode, body = inflight
+        records: List[dict] = []
+        if opcode == OP_INGEST:
+            try:
+                pairs, _reason = decode_ingest(body)
+                records = [asdict(obs) for obs, _index in pairs]
+            except (ValueError, IndexError):
+                records = []
+        self.quarantined += 1
+        if self.dead_letter is not None:
+            self.dead_letter.record(
+                "poison_batch",
+                f"shard worker {shard} kept crashing while replaying "
+                f"op 0x{opcode:02x} ({self.policy.replay_budget} replays): "
+                f"{error}",
+                shard=shard,
+                records=records,
+            )
+
+    def _degraded_shards(self) -> Tuple[int, ...]:
+        return tuple(
+            shard for shard in range(self.num_shards) if self.breakers[shard].open
+        )
 
     # -------------------------------------------------------------- #
     # querying and reasoning
@@ -948,8 +1295,10 @@ class ProcessShardBackend:
             for shard in range(self.num_shards):
                 reply = self._rpc(shard, OP_QUERY_ASK, body)
                 if reply and reply[0]:
-                    return QueryResult("ASK", [EMPTY_BINDINGS], [])
-            return QueryResult("ASK", [], [])
+                    return self._mark_degraded(
+                        QueryResult("ASK", [EMPTY_BINDINGS], [])
+                    )
+            return self._mark_degraded(QueryResult("ASK", [], []))
         replies = self._broadcast(OP_QUERY_FULL, body)
         per_graph: List[List] = []
         full_variables: List = []
@@ -957,7 +1306,17 @@ class ProcessShardBackend:
             variables, solutions = decode_query_result(replies[shard])
             per_graph.append(solutions)
             full_variables = variables
-        return merge_federated_solutions(parsed, per_graph, full_variables, anchor)
+        return self._mark_degraded(
+            merge_federated_solutions(parsed, per_graph, full_variables, anchor)
+        )
+
+    def _mark_degraded(self, result: QueryResult) -> QueryResult:
+        """Stamp a partial result when any shard sat out behind its breaker."""
+        missing = self._degraded_shards()
+        if missing:
+            result.degraded = True
+            result.missing_shards = missing
+        return result
 
     def materialize_inferences(self, full: bool = False) -> List[InferenceTrace]:
         replies = self._broadcast(OP_MATERIALIZE, bytes([1 if full else 0]))
@@ -1048,6 +1407,45 @@ class ProcessShardBackend:
     # observability
     # -------------------------------------------------------------- #
 
+    def ping(self, shard: Optional[int] = None) -> Dict[int, dict]:
+        """Heartbeat the workers; a hung worker fails the RPC deadline."""
+        shards = range(self.num_shards) if shard is None else (shard,)
+        replies = self.scatter([(index, OP_PING, b"") for index in shards])
+        return {index: decode_json(replies[index]) for index in shards}
+
+    def health(self) -> dict:
+        """Per-shard supervision state, without touching the workers."""
+        shards = []
+        for shard, worker in enumerate(self.workers):
+            breaker = self.breakers[shard]
+            if breaker.state == "open":
+                state = "tripped"
+            elif breaker.state == "half_open":
+                state = "restarting"
+            elif not worker.process.is_alive():
+                state = "down"
+            else:
+                state = "up"
+            shards.append(
+                {
+                    "shard": shard,
+                    "state": state,
+                    "breaker": breaker.state,
+                    "restarts": self.restart_counts[shard],
+                    "trips": breaker.trips,
+                    "pending_batches": len(breaker.pending),
+                    "pid": worker.pid,
+                    "last_error": breaker.last_error,
+                }
+            )
+        return {
+            "backend": "process",
+            "shards": shards,
+            "degraded_reads": self.policy.degraded_reads,
+            "rpc_timeout": self.policy.rpc_timeout,
+            "quarantined_batches": self.quarantined,
+        }
+
     def worker_stats(self, shard: int) -> dict:
         return decode_json(self._rpc(shard, OP_STATS))
 
@@ -1072,6 +1470,7 @@ class ProcessShardBackend:
 
     def shard_statistics(self) -> List[dict]:
         stats = self.all_worker_stats()
+        health = {entry["shard"]: entry for entry in self.health()["shards"]}
         return [
             {
                 "shard": shard,
@@ -1082,6 +1481,10 @@ class ProcessShardBackend:
                 "restarts": self.restart_counts[shard],
                 "wal_records": stats[shard]["wal_records"],
                 "generation": stats[shard]["generation"],
+                "state": health[shard]["state"],
+                "breaker": health[shard]["breaker"],
+                "trips": health[shard]["trips"],
+                "pending_batches": health[shard]["pending_batches"],
             }
             for shard, worker in enumerate(self.workers)
         ]

@@ -87,6 +87,16 @@ class DewsConfig:
     #: snapshots); ``None`` runs fully in-memory.  Pointing a new run at a
     #: previous run's directory recovers its graphs and standing views.
     data_dir: Optional[str] = None
+    #: Serve partial (marked) federated query results when a shard worker
+    #: is unavailable instead of failing the warning pipeline outright.
+    #: An early-warning system prefers a degraded forecast over none.
+    degraded_reads: bool = False
+    #: RPC deadline for shard worker calls (process backend); ``None``
+    #: defers to ``REPRO_SHARD_RPC_TIMEOUT``.
+    shard_rpc_timeout: Optional[float] = None
+    #: Deterministic fault-injection plan for resilience drills; ``None``
+    #: defers to ``REPRO_FAULT_PLAN`` / ``REPRO_FAULT_SEED``.
+    fault_plan: Optional[object] = None
 
 
 @dataclass
@@ -172,6 +182,9 @@ class DroughtEarlyWarningSystem:
             shards=self.config.shards,
             shard_backend=self.config.shard_backend,
             data_dir=self.config.data_dir,
+            degraded_reads=self.config.degraded_reads,
+            shard_rpc_timeout=self.config.shard_rpc_timeout,
+            fault_plan=self.config.fault_plan,
         )
         self.middleware = SemanticMiddleware(
             scheduler=self.scheduler,
@@ -409,6 +422,16 @@ class DroughtEarlyWarningSystem:
         subscribers can follow the standing result without re-polling.
         """
         return self.middleware.register_standing(text, name=name, push=push)
+
+    def health(self) -> dict:
+        """Fault-tolerance state of the middleware's shard serving path.
+
+        What an operations dashboard polls between forecast cycles: which
+        district partitions are up, tripped or restarting, how much ingest
+        is parked awaiting recovery, and how deep the dead-letter journal
+        of quarantined batches and rejected records runs.
+        """
+        return self.middleware.health()
 
     # ------------------------------------------------------------------ #
     # lifecycle

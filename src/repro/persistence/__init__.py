@@ -25,13 +25,20 @@ See :mod:`repro.persistence.wal` for the record format,
 :mod:`repro.persistence.store` for segment rotation and recovery.
 """
 
+from repro.persistence.dead_letter import DeadLetterJournal
 from repro.persistence.snapshot import load_snapshot, restore_graph, write_snapshot
-from repro.persistence.store import ShardPersistence, StorePersistence
+from repro.persistence.store import (
+    ShardPersistence,
+    StoreMetadataError,
+    StorePersistence,
+)
 from repro.persistence.wal import GraphWal, WriteAheadLog, replay_wal
 
 __all__ = [
+    "DeadLetterJournal",
     "GraphWal",
     "ShardPersistence",
+    "StoreMetadataError",
     "StorePersistence",
     "WriteAheadLog",
     "load_snapshot",

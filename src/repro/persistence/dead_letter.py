@@ -1,0 +1,82 @@
+"""On-disk dead-letter journal for records the pipeline gives up on.
+
+Two producers write here: :class:`~repro.core.pipeline.ValidateStage`
+(records rejected with a reason, instead of vanishing) and the process
+backend's poison-batch quarantine (a batch whose replay keeps crashing
+its worker after ``replay_budget`` attempts, written out with the error
+and shard so an operator can replay or discard it).
+
+The journal is append-only JSONL under ``data_dir/dead-letter.jsonl``
+(one fsynced line per entry — losing the record *and* the evidence it
+existed would defeat the point).  Without a ``data_dir`` it degrades to
+an in-memory list so quarantine and validation accounting still work in
+ephemeral deployments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+JOURNAL_NAME = "dead-letter.jsonl"
+
+
+class DeadLetterJournal:
+    """Append-only journal of quarantined batches and rejected records."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.path: Optional[Path] = None
+        self._memory: List[dict] = []
+        self._persisted = 0
+        if directory is not None:
+            root = Path(directory)
+            root.mkdir(parents=True, exist_ok=True)
+            self.path = root / JOURNAL_NAME
+            if self.path.exists():
+                self._persisted = sum(
+                    1 for line in self.path.read_text().splitlines() if line.strip()
+                )
+
+    def record(
+        self,
+        kind: str,
+        reason: str,
+        shard: Optional[int] = None,
+        records: Iterable[dict] = (),
+    ) -> dict:
+        """Append one entry; returns the entry dict."""
+        entry = {
+            "kind": kind,
+            "reason": reason,
+            "shard": shard,
+            "records": list(records),
+            "wall_time": time.time(),
+        }
+        if self.path is not None:
+            line = json.dumps(entry, sort_keys=True, default=str)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._persisted += 1
+        else:
+            self._memory.append(entry)
+        return entry
+
+    def entries(self) -> List[dict]:
+        """All entries (including ones persisted by earlier processes)."""
+        if self.path is None:
+            return list(self._memory)
+        if not self.path.exists():
+            return []
+        return [
+            json.loads(line)
+            for line in self.path.read_text().splitlines()
+            if line.strip()
+        ]
+
+    def __len__(self) -> int:
+        return self._persisted if self.path is not None else len(self._memory)

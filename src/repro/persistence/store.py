@@ -49,6 +49,16 @@ def _wal_name(gen: int) -> str:
     return f"wal-{gen:08d}.log"
 
 
+class StoreMetadataError(RuntimeError):
+    """``meta.json`` is missing, corrupt, or not a store description.
+
+    Raised instead of a raw ``JSONDecodeError``/``KeyError`` so callers can
+    distinguish "this directory is damaged" from a programming error.  The
+    meta file is written atomically (tmp + fsync + rename), so corruption
+    here means external interference, not a crash mid-write.
+    """
+
+
 def _atomic_write_json(path: Path, payload: object) -> None:
     tmp = path.with_suffix(path.suffix + ".tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
@@ -61,10 +71,15 @@ def _atomic_write_json(path: Path, payload: object) -> None:
 class ShardPersistence:
     """Durability for one shard: a snapshot generation plus its WAL."""
 
-    def __init__(self, shard_dir: Union[str, Path], fsync: str = "batch"):
+    def __init__(
+        self, shard_dir: Union[str, Path], fsync: str = "batch", fault_hook=None
+    ):
         self.shard_dir = Path(shard_dir)
         self.shard_dir.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
+        #: Passed through to every WAL segment (fault injection; see
+        #: :class:`repro.core.faults.FaultInjector`).
+        self.fault_hook = fault_hook
         self.generation = 0
         self.graph: Optional[Graph] = None
         self.wal: Optional[WriteAheadLog] = None
@@ -102,7 +117,9 @@ class ShardPersistence:
         self.graph = graph
         write_snapshot(graph, self.shard_dir / _snap_name(self.generation))
         self.wal = WriteAheadLog(
-            self.shard_dir / _wal_name(self.generation), fsync=self.fsync
+            self.shard_dir / _wal_name(self.generation),
+            fsync=self.fsync,
+            fault_hook=self.fault_hook,
         )
         self.graph_wal = GraphWal(graph, self.wal)
 
@@ -137,7 +154,9 @@ class ShardPersistence:
             self.graph = graph
             write_snapshot(graph, self.shard_dir / _snap_name(self.generation))
             self.wal = WriteAheadLog(
-                self.shard_dir / _wal_name(self.generation), fsync=self.fsync
+                self.shard_dir / _wal_name(self.generation),
+                fsync=self.fsync,
+                fault_hook=self.fault_hook,
             )
             self.graph_wal = GraphWal(graph, self.wal)
             return graph
@@ -149,7 +168,9 @@ class ShardPersistence:
         if wal_path.exists() and wal_path.stat().st_size > valid_bytes:
             os.truncate(wal_path, valid_bytes)
         self.graph = graph
-        self.wal = WriteAheadLog(wal_path, fsync=self.fsync)
+        self.wal = WriteAheadLog(
+            wal_path, fsync=self.fsync, fault_hook=self.fault_hook
+        )
         self.wal.records = len(ops)
         self.graph_wal = GraphWal(graph, self.wal)
         # newer-but-corrupt generations (a snapshot that failed validation)
@@ -179,7 +200,9 @@ class ShardPersistence:
         write_snapshot(self.graph, self.shard_dir / _snap_name(new_gen), views=views)
         old_wal = self.wal
         self.wal = WriteAheadLog(
-            self.shard_dir / _wal_name(new_gen), fsync=self.fsync
+            self.shard_dir / _wal_name(new_gen),
+            fsync=self.fsync,
+            fault_hook=self.fault_hook,
         )
         self.graph_wal.rotate(self.wal)
         self.generation = new_gen
@@ -264,8 +287,25 @@ class StorePersistence:
         return self.meta_path.exists()
 
     def _read_meta(self) -> Dict[str, object]:
-        with open(self.meta_path, "r", encoding="utf-8") as handle:
-            return json.load(handle)
+        try:
+            with open(self.meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreMetadataError(
+                f"{self.meta_path} is corrupt ({exc}); the store cannot be "
+                "recovered until the metadata is restored or the directory "
+                "is re-initialised"
+            ) from exc
+        except OSError as exc:
+            raise StoreMetadataError(
+                f"{self.meta_path} is unreadable ({exc})"
+            ) from exc
+        if not isinstance(meta, dict) or not isinstance(meta.get("shards"), int):
+            raise StoreMetadataError(
+                f"{self.meta_path} does not describe a persisted store "
+                f"(missing integer 'shards' field): {meta!r}"
+            )
+        return meta
 
     def _shard_dir(self, index: int) -> Path:
         return self.data_dir / f"shard-{index:04d}"

@@ -92,12 +92,17 @@ FSYNC_POLICIES = ("always", "batch", "never")
 class WriteAheadLog:
     """An append-only framed record log with a configurable fsync policy."""
 
-    def __init__(self, path: Union[str, Path], fsync: str = "batch"):
+    def __init__(self, path: Union[str, Path], fsync: str = "batch", fault_hook=None):
         if fsync not in FSYNC_POLICIES:
             raise ValueError(f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
         self.path = Path(path)
         self.fsync = fsync
         self._fsync_always = fsync == "always"
+        #: Optional fault-injection hook called before writes and fsyncs
+        #: (``hook(event, buffer=..., fh=...)``); raising ``OSError`` from it
+        #: models a full disk, and it may write a partial frame first to
+        #: model a torn tail.  See :mod:`repro.core.faults`.
+        self.fault_hook = fault_hook
         self._file = open(self.path, "ab", buffering=0)
         # the buffer always carries an OPEN frame: an 8-byte header hole
         # at _frame_start with ops accumulating after it.  Keeping the
@@ -137,6 +142,8 @@ class WriteAheadLog:
         """Seal + write + fsync one op's frame (the ``"always"`` policy)."""
         self._seal_frame()
         self._write_out()
+        if self.fault_hook is not None:
+            self.fault_hook("fsync", fh=self._file)
         os.fsync(self._file.fileno())
         self._open_frame()
 
@@ -156,6 +163,11 @@ class WriteAheadLog:
     def _write_out(self) -> None:
         if not self._buffer:
             return
+        if self.fault_hook is not None:
+            self.fault_hook("write", buffer=self._buffer, fh=self._file)
+            if not self._buffer:
+                # the hook consumed the frame (torn-write injection)
+                return
         view = memoryview(self._buffer)
         while view:
             written = self._file.write(view)
@@ -224,6 +236,8 @@ class WriteAheadLog:
         self._seal_frame()
         self._write_out()
         if self.fsync != "never":
+            if self.fault_hook is not None:
+                self.fault_hook("fsync", fh=self._file)
             os.fsync(self._file.fileno())
         self._open_frame()
 

@@ -40,7 +40,16 @@ class QueryResult:
     Iterating yields :class:`Bindings`; :attr:`rows` gives them as plain
     dictionaries keyed by variable name, which is what application code and
     tests normally want.
+
+    :attr:`degraded` / :attr:`missing_shards` mark a *partial* federated
+    result: the process backend sets them when a tripped shard was skipped
+    under ``degraded_reads``, so callers can distinguish "empty" from
+    "missing a partition".  They stay at their class defaults everywhere
+    else.
     """
+
+    degraded: bool = False
+    missing_shards: tuple = ()
 
     def __init__(self, form: str, solutions: List[Bindings], variables: List[Variable]):
         self.form = form
