@@ -1,0 +1,108 @@
+"""Serve a semantic middleware instance over HTTP and WebSocket.
+
+Boots the asyncio gateway on a loopback port, then plays both sides of
+the wire: a WebSocket subscriber listening for canonical observations
+and derived CEP events, and an HTTP client ingesting mote records,
+querying over SPARQL (with and without RDFS entailment), registering a
+standing view and reading the gateway's own metrics.
+
+Run with::
+
+    python examples/serve_dews.py
+"""
+
+import json
+
+from repro.core.middleware import MiddlewareConfig, SemanticMiddleware
+from repro.serving import GatewayServer, ServingConfig
+from repro.serving.client import HttpClient, WebSocketClient
+
+OBSERVATIONS = (
+    "SELECT ?obs WHERE { ?obs a <http://purl.oclc.org/NET/ssnx/ssn#Observation> }"
+)
+
+
+def main() -> None:
+    middleware = SemanticMiddleware(
+        config=MiddlewareConfig(annotate_observations=True, broker_latency=0.0)
+    )
+    config = ServingConfig(rate_limit_rate=50.0, rate_limit_burst=100)
+    with GatewayServer(middleware, config) as server:
+        print(f"gateway listening on 127.0.0.1:{server.port}")
+
+        with WebSocketClient(
+            "127.0.0.1", server.port, topics=["canonical/#", "derived/#"],
+            client_id="example-subscriber",
+        ) as subscriber, HttpClient(
+            "127.0.0.1", server.port, client_id="example"
+        ) as client:
+            ready = subscriber.recv_json(timeout=5)
+            print(f"subscribed to {ready['topics']}")
+
+            # --- ingest: one resolvable mote record, one vendor term the
+            # mediator cannot resolve (counted as rejected, dead-lettered)
+            records = [
+                {
+                    "source_id": "Mangaung-mote-01", "source_kind": "wsn_mote",
+                    "property_name": "Bodenfeuchte", "value": 12.5,
+                    "unit": "percent", "timestamp": 3600.0,
+                    "location": [-29.12, 26.21],
+                },
+                {
+                    "source_id": "Mangaung-mote-02", "source_kind": "wsn_mote",
+                    "property_name": "quantum_flux", "value": 7.0,
+                    "unit": "?", "timestamp": 3660.0,
+                },
+            ]
+            status, receipt, _ = client.post("/v1/ingest", {"records": records})
+            print(f"\ningest -> {status}: {receipt}")
+
+            message = subscriber.recv_json(timeout=5)
+            if message:
+                print(f"pushed over WebSocket: {message['topic']} "
+                      f"value={message['payload']['value']}")
+
+            # --- query, then again to show the version-keyed cache
+            status, result, headers = client.post(
+                "/v1/query", {"query": OBSERVATIONS}
+            )
+            print(f"\nquery -> {status} ({headers.get('X-Cache')}): "
+                  f"{len(result['rows'])} observations")
+            _, _, headers = client.post("/v1/query", {"query": OBSERVATIONS})
+            print(f"query again -> X-Cache: {headers.get('X-Cache')}")
+
+            # --- entailed query: sensing devices surface as ssn:Sensor
+            # through rdfs9 subclass propagation
+            status, result, _ = client.post("/v1/query", {
+                "query": "SELECT DISTINCT ?sensor WHERE "
+                         "{ ?sensor a <http://purl.oclc.org/NET/ssnx/ssn#Sensor> }",
+                "entail": True,
+            })
+            print(f"entailed query -> {len(result['rows'])} sensors")
+
+            # --- a standing view, registered then read back
+            status, view, _ = client.post(
+                "/v1/views", {"query": OBSERVATIONS, "name": "observations"}
+            )
+            print(f"\nview registration -> {status}: {view['name']} "
+                  f"({view['partitions']} partitions)")
+            status, body, _ = client.get("/v1/views/observations")
+            print(f"view read -> {len(body['rows'])} rows")
+
+            # --- health and gateway metrics
+            _, health, _ = client.get("/v1/health")
+            print(f"\nhealthy={health['healthy']} "
+                  f"shards={[s['state'] for s in health['shards']]}")
+            _, metrics, _ = client.get("/v1/metrics")
+            print("metrics: " + json.dumps({
+                "routes": list(metrics["middleware"]["routes"]),
+                "cache": metrics["cache"],
+                "max_loop_lag_ms": metrics["event_loop"]["max_lag_ms"],
+            }, indent=2))
+
+    middleware.close()
+    print("\ngateway stopped")
+
+
+if __name__ == "__main__":
+    main()

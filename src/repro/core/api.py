@@ -1,0 +1,168 @@
+"""Typed result objects of the unified public embedding API.
+
+The three embedding surfaces — :class:`~repro.core.middleware.SemanticMiddleware`,
+:class:`~repro.core.ontology_layer.OntologySegmentLayer` and
+:class:`~repro.dews.system.DroughtEarlyWarningSystem` — expose the same
+six calls (``ingest_batch`` / ``query`` / ``register_standing`` /
+``subscribe`` / ``health`` / ``statistics``) and return the types in this
+module, so the serving gateway (and any other host) can sit on whichever
+surface fits without per-class adapters.
+
+Compatibility shape: :class:`IngestReceipt` and :class:`StandingViewHandle`
+subclass ``list`` and :class:`HealthReport` subclasses ``dict``, because
+years of call sites (and the equivalence-test suites) iterate the event
+list, index the views, and subscript the health report.  The typed fields
+are additive — old code keeps working unchanged, new code reads
+``receipt.rejected`` instead of diffing statistics snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cep.event import Event
+
+
+class IngestReceipt(List["Event"]):
+    """What one ``ingest_batch`` call did: the accepted events plus counts.
+
+    Iterating / indexing yields the canonical events of the accepted
+    records in arrival order (the old ``List[Event]`` contract).
+
+    ``accepted``
+        Records that survived every pipeline stage (== ``len(receipt)``).
+    ``rejected``
+        Records dropped by the mediate / validate stages this batch; each
+        is journaled to the dead-letter file with a reason.
+    ``quarantined``
+        Poison *batches* the process backend gave up replaying during this
+        call (0 everywhere else); their records are in the dead-letter
+        journal, not in the graph.
+    """
+
+    __slots__ = ("accepted", "rejected", "quarantined")
+
+    def __init__(
+        self,
+        events: Iterable["Event"] = (),
+        rejected: int = 0,
+        quarantined: int = 0,
+    ):
+        super().__init__(events)
+        self.accepted = len(self)
+        self.rejected = rejected
+        self.quarantined = quarantined
+
+    @property
+    def events(self) -> List["Event"]:
+        """The accepted canonical events (the receipt itself, as a list)."""
+        return list(self)
+
+    def to_payload(self) -> dict:
+        """JSON-safe summary served by the gateway's ingest route."""
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "quarantined": self.quarantined,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<IngestReceipt accepted={self.accepted} "
+            f"rejected={self.rejected} quarantined={self.quarantined}>"
+        )
+
+
+class HealthReport(dict):
+    """A typed view over the layered health snapshot.
+
+    Still a ``dict`` (every existing caller subscripts it; it JSON-encodes
+    as-is on the wire), with properties for the fields operators actually
+    branch on.
+    """
+
+    @property
+    def healthy(self) -> bool:
+        return bool(self.get("healthy", False))
+
+    @property
+    def backend(self) -> str:
+        return str(self.get("backend", "unknown"))
+
+    @property
+    def shards(self) -> List[dict]:
+        return list(self.get("shards", ()))
+
+    @property
+    def degraded_reads(self) -> bool:
+        return bool(self.get("degraded_reads", False))
+
+    @property
+    def quarantined_batches(self) -> int:
+        return int(self.get("quarantined_batches", 0))
+
+    @property
+    def validation_rejects(self) -> int:
+        return int(self.get("validation_rejects", 0))
+
+    @property
+    def dead_letter_depth(self) -> int:
+        return int(self.get("dead_letter_depth", 0))
+
+    @property
+    def persistence(self) -> Optional[dict]:
+        """Durable-store state (path, per-shard generation / WAL depth),
+        or ``None`` for an in-memory deployment."""
+        return self.get("persistence")
+
+    def __repr__(self) -> str:
+        states = [entry.get("state") for entry in self.shards]
+        return f"<HealthReport healthy={self.healthy} shards={states}>"
+
+
+class StandingViewHandle(List[object]):
+    """Handle to one registered standing view across the layer's graphs.
+
+    Indexing / iterating yields the per-graph (or per-shard)
+    :class:`~repro.semantics.sparql.views.StandingView` objects — the old
+    ``List[StandingView]`` contract.  The handle adds the registration's
+    identity, which is what wire clients address the view by.
+    """
+
+    __slots__ = ("name", "text", "push")
+
+    def __init__(
+        self,
+        views: Iterable[object] = (),
+        name: Optional[str] = None,
+        text: str = "",
+        push: bool = False,
+    ):
+        super().__init__(views)
+        self.name = name
+        self.text = text
+        self.push = push
+
+    @property
+    def views(self) -> List[object]:
+        """The underlying per-graph views (the handle itself, as a list)."""
+        return list(self)
+
+    @property
+    def topic(self) -> Optional[str]:
+        """The broker topic this view's deltas publish on (push mode)."""
+        return f"views/{self.name}" if self.push and self.name else None
+
+    def to_payload(self) -> dict:
+        """JSON-safe summary served by the gateway's view routes."""
+        return {
+            "name": self.name,
+            "query": self.text,
+            "push": self.push,
+            "topic": self.topic,
+            "partitions": len(self),
+        }
+
+    def __repr__(self) -> str:
+        return f"<StandingViewHandle {self.name!r} partitions={len(self)} push={self.push}>"

@@ -35,6 +35,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ReproError
+
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 FAULT_SEED_ENV = "REPRO_FAULT_SEED"
 RPC_TIMEOUT_ENV = "REPRO_SHARD_RPC_TIMEOUT"
@@ -78,17 +80,21 @@ OP_NAMES = {
 }
 
 
-class ShardUnavailableError(RuntimeError):
+class ShardUnavailableError(ReproError, RuntimeError):
     """A shard's worker is gone and its circuit breaker is open.
 
     Raised by the process backend when an operation needs a shard whose
     restart budget is exhausted (and, for queries, ``degraded_reads`` is
-    off).  Subclasses :class:`RuntimeError` so pre-existing callers that
-    caught worker-death errors keep working.
+    off).  Keeps :class:`RuntimeError` in its bases so pre-existing
+    callers that caught worker-death errors keep working; carries the
+    stable code ``shard_unavailable`` for the typed hierarchy (the
+    serving gateway maps it to 503).
     """
 
+    code = "shard_unavailable"
+
     def __init__(self, message: str, shard: Optional[int] = None):
-        super().__init__(message)
+        super().__init__(message, detail={"shard": shard} if shard is not None else {})
         self.shard = shard
 
 

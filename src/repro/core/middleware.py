@@ -15,11 +15,12 @@ DEWS application and the examples need:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.cep.engine import CepEngine
 from repro.cep.event import DerivedEvent, Event
 from repro.cep.rules import CepRule
+from repro.core.api import HealthReport, IngestReceipt, StandingViewHandle
 from repro.core.application_layer import ApplicationAbstractionLayer
 from repro.core.interface_layer import InterfaceProtocolLayer
 from repro.core.mediator import Mediator
@@ -27,7 +28,7 @@ from repro.core.ontology_layer import OntologySegmentLayer
 from repro.ik.knowledge_base import IndigenousKnowledgeBase
 from repro.ik.rules import derive_cep_rules, sensor_process_rules
 from repro.ontologies.library import OntologyLibrary
-from repro.streams.broker import Broker
+from repro.streams.broker import Broker, Message, Subscription
 from repro.streams.messages import ObservationRecord
 from repro.streams.scheduler import SimulationScheduler
 
@@ -262,18 +263,20 @@ class SemanticMiddleware:
                 events.append(event)
         return events
 
-    def ingest_batch(self, records: Iterable[ObservationRecord]) -> List[Event]:
+    def ingest_batch(self, records: Iterable[ObservationRecord]) -> IngestReceipt:
         """Push a batch of raw records through the pipeline stage-major.
 
         Produces the same events as :meth:`ingest_records` while amortising
         per-record overhead: one batched mediation call, one
         ``graph.add_all`` annotation commit and a deferred CEP flush after
-        every record of the batch has been published.
+        every record of the batch has been published.  Returns an
+        :class:`~repro.core.api.IngestReceipt` — still the list of accepted
+        canonical events, plus accepted / rejected / quarantined counts.
         """
-        events = self.ontology_layer.process_batch(records)
+        receipt = self.ontology_layer.ingest_batch(records)
         if self._push_views:
             self._refresh_push_views()
-        return events
+        return receipt
 
     def inject_event(self, event: Event) -> List[DerivedEvent]:
         """Feed an already-canonical event directly to the CEP engine.
@@ -298,7 +301,10 @@ class SemanticMiddleware:
         and their itemised :class:`~repro.semantics.sparql.views.ViewDelta`
         payloads published on the ``views/<name>`` broker topic, so CEP
         windows and dashboards can follow the standing result without
-        re-polling it.  Returns the underlying per-graph views.
+        re-polling it.  Returns a
+        :class:`~repro.core.api.StandingViewHandle` — still the list of
+        underlying per-graph views, plus the registration's name / query /
+        topic for wire clients.
         """
         view_name = name or f"standing-{len(self._push_views) + 1}"
         views = self.ontology_layer.register_standing(text, name=view_name)
@@ -316,7 +322,7 @@ class SemanticMiddleware:
             # upgrade the layer's record with the push flag so a restart
             # re-wires the broker subscription too
             persistence.record_standing(view_name, text, push=push)
-        return views
+        return StandingViewHandle(views, name=view_name, text=text, push=push)
 
     def _refresh_push_views(self) -> None:
         for view in self._push_views:
@@ -329,6 +335,24 @@ class SemanticMiddleware:
     # ------------------------------------------------------------------ #
     # the API applications use (delegates to the application layer)
     # ------------------------------------------------------------------ #
+
+    def subscribe(
+        self,
+        pattern: str,
+        handler: Callable[[Message], None],
+        subscriber_name: str = "application",
+    ) -> Subscription:
+        """Subscribe to any broker topic pattern — the unified surface.
+
+        ``handler`` receives the full :class:`~repro.streams.broker.Message`
+        (topic, payload, timestamp, headers), because a pattern with
+        wildcards can match many topics and subscribers need to know which
+        one fired.  Topics of interest: ``canonical/<property>/<area>``,
+        ``derived/<type>/<area>``, ``views/<name>`` (push-mode view
+        deltas).  The typed helpers below unwrap the payload for the
+        common cases.
+        """
+        return self.broker.subscribe(pattern, handler, subscriber_name=subscriber_name)
 
     def subscribe_property(self, property_key: str, handler, area: str = "+"):
         """Subscribe to canonical events of one property."""
@@ -415,13 +439,14 @@ class SemanticMiddleware:
             stats["interface_layer"] = self.interface_layer.statistics
         return stats
 
-    def health(self) -> dict:
+    def health(self) -> HealthReport:
         """Liveness and fault-tolerance state of the shard serving path.
 
         Per shard: process state (``up`` / ``down`` / ``tripped``), circuit
         breaker, restart and trip counts, parked ingest depth.  Top level:
         backend kind, degraded-read mode, RPC deadline, quarantined batch
-        count, dead-letter journal depth, and an overall ``healthy`` flag.
+        count, dead-letter journal depth, durable-store state (when
+        persistence is on), and an overall ``healthy`` flag.
         """
         return self.ontology_layer.health()
 

@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import itertools
 import os
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.cep.engine import CepEngine
 from repro.cep.event import DerivedEvent, Event
 from repro.cep.rules import CepRule
 from repro.core.annotation import SemanticAnnotator, next_annotation_index
+from repro.core.api import HealthReport, IngestReceipt, StandingViewHandle
 from repro.core.faults import (
     FaultPlan,
     FaultTolerancePolicy,
@@ -67,6 +68,7 @@ from repro.semantics.sparql.planner import (
     QueryPlanner,
     planner_for,
 )
+from repro.streams.broker import topic_matches
 from repro.streams.messages import ObservationRecord
 
 
@@ -82,6 +84,16 @@ class OntologyLayerStatistics:
     #: Records the validate stage rejected (each also journaled to the
     #: dead-letter file with its reason).
     validation_rejects: int = 0
+
+    def __call__(self) -> Dict[str, int]:
+        """Snapshot as a plain dict.
+
+        The layer exposes this dataclass as an *attribute* (the original
+        contract: ``layer.statistics.records_in``); calling it yields the
+        JSON-safe form, which makes ``layer.statistics()`` line up with
+        the ``statistics()`` methods of the other embedding surfaces.
+        """
+        return asdict(self)
 
 
 class OntologySegmentLayer:
@@ -444,6 +456,50 @@ class OntologySegmentLayer:
             self.persistence.maybe_checkpoint()
         return [context.event for context in survivors]
 
+    def ingest_batch(self, records: Iterable[ObservationRecord]) -> IngestReceipt:
+        """:meth:`process_batch` with a typed receipt — the unified surface.
+
+        The receipt iterates as the accepted events (the old ``List[Event]``
+        contract); ``rejected`` counts the records a pipeline stage dropped
+        during *this* call (delta of the stage drop counters, each record
+        journaled to the dead-letter file), and ``quarantined`` counts
+        poison batches the process backend gave up replaying.
+        """
+        dropped_before = self._dropped_total()
+        quarantined_before = self._quarantined_total()
+        events = self.process_batch(records)
+        return IngestReceipt(
+            events,
+            rejected=self._dropped_total() - dropped_before,
+            quarantined=self._quarantined_total() - quarantined_before,
+        )
+
+    def _dropped_total(self) -> int:
+        return sum(
+            stage.dropped for stage in self.pipeline.statistics.stages.values()
+        )
+
+    def _quarantined_total(self) -> int:
+        return int(getattr(self._backend, "quarantined", 0) or 0)
+
+    def subscribe(
+        self, pattern: str, handler: Callable[[DerivedEvent], None]
+    ) -> None:
+        """Subscribe ``handler`` to derived events matching a topic pattern.
+
+        The stand-alone layer has no broker, so the unified ``subscribe``
+        surface is served straight from the CEP engine, with the wire's
+        MQTT-style pattern language: each derived event is matched as
+        ``derived/<type>/<area>`` (``+`` one level, ``#`` the rest).
+        """
+
+        def listener(event: DerivedEvent) -> None:
+            topic = f"derived/{event.event_type}/{event.area or 'unknown'}"
+            if topic_matches(pattern, topic):
+                handler(event)
+
+        self.cep.on_derived_event(listener)
+
     # ------------------------------------------------------------------ #
     # reasoning and querying
     # ------------------------------------------------------------------ #
@@ -524,15 +580,18 @@ class OntologySegmentLayer:
                 )
         return seeds
 
-    def register_standing(self, text: str, name: Optional[str] = None) -> List:
+    def register_standing(
+        self, text: str, name: Optional[str] = None
+    ) -> StandingViewHandle:
         """Register ``text`` as a delta-maintained standing view.
 
         Single-graph layers register one view on the shared graph; sharded
         layers register one per partition (a write to one district then
         folds only that partition's delta in).  :meth:`query` serves the
         registered query from the materialized views from then on.
-        Returns the underlying view objects (parent-side handles for the
-        process backend).
+        Returns a :class:`~repro.core.api.StandingViewHandle` — still a
+        list of the underlying view objects (parent-side handles for the
+        process backend), plus the registration's identity.
         """
         if self._backend is not None:
             if self.shard_backend == "process":
@@ -551,7 +610,7 @@ class OntologySegmentLayer:
             ]
         if self.persistence is not None:
             self.persistence.record_standing(name, text)
-        return views
+        return StandingViewHandle(views, name=name, text=text)
 
     def standing_views(self) -> List:
         """Every live standing view across the layer's graphs."""
@@ -645,12 +704,16 @@ class OntologySegmentLayer:
             }
         ]
 
-    def health(self) -> Dict[str, object]:
+    def health(self) -> HealthReport:
         """Supervision snapshot: per-shard state, breaker, dead-letter depth.
 
         Shard states are ``up`` / ``down`` / ``restarting`` / ``tripped``
         (the latter two only for the process backend, the one place a
-        partition can fail independently of this interpreter).
+        partition can fail independently of this interpreter).  With
+        persistence enabled the report also carries the durable store's
+        per-shard generation / WAL depth under ``"persistence"``.  The
+        return is a :class:`~repro.core.api.HealthReport` — still a dict,
+        JSON-safe as-is.
         """
         if self._backend is not None:
             report = dict(self._backend.health())
@@ -681,7 +744,9 @@ class OntologySegmentLayer:
         report["healthy"] = all(
             entry["state"] == "up" for entry in report["shards"]
         )
-        return report
+        if self.persistence is not None:
+            report["persistence"] = self.persistence.health()
+        return HealthReport(report)
 
     def checkpoint(self) -> None:
         """Force a durable snapshot of every shard (no-op without persistence)."""

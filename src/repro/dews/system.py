@@ -25,11 +25,12 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
 from repro.cep.event import DerivedEvent, Event
+from repro.core.api import HealthReport, IngestReceipt, StandingViewHandle
 from repro.core.mediator import Mediator
 from repro.core.middleware import MiddlewareConfig, SemanticMiddleware
 from repro.dews.alerts import DroughtAlert, build_alerts
@@ -399,8 +400,35 @@ class DroughtEarlyWarningSystem:
         return alerts
 
     # ------------------------------------------------------------------ #
-    # semantic queries
+    # the unified embedding API (shared with SemanticMiddleware)
     # ------------------------------------------------------------------ #
+
+    @property
+    def broker(self):
+        """The middleware's broker — the bus serving gateways attach to."""
+        return self.middleware.broker
+
+    def ingest_batch(self, records: Iterable) -> IngestReceipt:
+        """Ingest raw observation records directly, bypassing the cloud hop.
+
+        The serving gateway (and any operational feed) pushes records here
+        rather than through the simulated SMS-gateway → cloud-store path;
+        the staged middleware pipeline treats them identically.
+        """
+        return self.middleware.ingest_batch(records)
+
+    def subscribe(
+        self, pattern: str, handler: Callable, subscriber_name: str = "application"
+    ):
+        """Subscribe to a broker topic pattern (full messages, see
+        :meth:`SemanticMiddleware.subscribe`)."""
+        return self.middleware.subscribe(
+            pattern, handler, subscriber_name=subscriber_name
+        )
+
+    def statistics(self) -> dict:
+        """The middleware's merged statistics snapshot across its layers."""
+        return self.middleware.statistics()
 
     def query(self, text: str, entail: bool = False):
         """Run a SPARQL-like query over the middleware's semantic graph.
@@ -412,7 +440,9 @@ class DroughtEarlyWarningSystem:
         """
         return self.middleware.query(text, entail=entail)
 
-    def register_standing(self, text: str, name: Optional[str] = None, push: bool = False):
+    def register_standing(
+        self, text: str, name: Optional[str] = None, push: bool = False
+    ) -> StandingViewHandle:
         """Register a dashboard query as a delta-maintained standing view.
 
         The query is then served from a materialized view that each
@@ -423,7 +453,7 @@ class DroughtEarlyWarningSystem:
         """
         return self.middleware.register_standing(text, name=name, push=push)
 
-    def health(self) -> dict:
+    def health(self) -> HealthReport:
         """Fault-tolerance state of the middleware's shard serving path.
 
         What an operations dashboard polls between forecast cycles: which

@@ -29,6 +29,7 @@ import re
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.errors import ReproError
 from repro.persistence.snapshot import load_snapshot, restore_graph, write_snapshot
 from repro.persistence.wal import GraphWal, WriteAheadLog, apply_ops, replay_wal
 from repro.semantics.rdf.graph import Graph
@@ -49,14 +50,18 @@ def _wal_name(gen: int) -> str:
     return f"wal-{gen:08d}.log"
 
 
-class StoreMetadataError(RuntimeError):
+class StoreMetadataError(ReproError, RuntimeError):
     """``meta.json`` is missing, corrupt, or not a store description.
 
     Raised instead of a raw ``JSONDecodeError``/``KeyError`` so callers can
     distinguish "this directory is damaged" from a programming error.  The
     meta file is written atomically (tmp + fsync + rename), so corruption
-    here means external interference, not a crash mid-write.
+    here means external interference, not a crash mid-write.  Keeps
+    :class:`RuntimeError` in its bases for pre-hierarchy callers; the
+    stable code ``store_metadata`` feeds the gateway's status table.
     """
+
+    code = "store_metadata"
 
 
 def _atomic_write_json(path: Path, payload: object) -> None:
@@ -431,6 +436,28 @@ class StorePersistence:
             self.kill_hook()
         for shard in self.shards:
             shard.kill()
+
+    def health(self) -> Dict[str, object]:
+        """Durable-store state for the layered health report.
+
+        Per locally-attached shard: the current snapshot generation and
+        the WAL depth behind it (records an unclean stop would replay).
+        A store whose shards live in worker processes (the process
+        backend) reports only the layout — the workers own their WALs.
+        """
+        return {
+            "path": str(self.data_dir),
+            "fsync": self.fsync,
+            "snapshot_interval": self.snapshot_interval,
+            "shards": [
+                {
+                    "shard": index,
+                    "generation": shard.generation,
+                    "wal_records": shard.wal.records if shard.wal is not None else 0,
+                }
+                for index, shard in enumerate(self.shards)
+            ],
+        }
 
     # -- standing-view registrations ------------------------------------ #
 

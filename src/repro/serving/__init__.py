@@ -1,0 +1,26 @@
+"""The asyncio serving front door.
+
+A stdlib-only HTTP/1.1 + WebSocket gateway in front of the unified
+embedding API (``ingest_batch`` / ``query`` / ``register_standing`` /
+``subscribe`` / ``health`` / ``statistics``): wire clients POST record
+batches and SPARQL queries, register standing views, and hold long-lived
+WebSocket subscriptions fed straight from the broker — without the engine's
+single-writer pipeline ever blocking the event loop.
+
+See ``ARCHITECTURE.md`` ("Serving") for the route table, the middleware
+stack order and the backpressure contract.
+"""
+
+from repro.serving.gateway import (
+    STATUS_BY_CODE,
+    Gateway,
+    GatewayServer,
+    ServingConfig,
+)
+
+__all__ = [
+    "Gateway",
+    "GatewayServer",
+    "ServingConfig",
+    "STATUS_BY_CODE",
+]

@@ -1,0 +1,114 @@
+"""The broker → event-loop bridge behind WebSocket subscriptions.
+
+Broker deliveries happen on whatever thread published (worker threads, the
+executor, or the loop thread itself during retained replay); WebSocket
+sends must happen on the event loop.  One :class:`SubscriptionBridge` per
+connection crosses that boundary with a bounded, lossy queue:
+
+* the broker-side handler appends under a plain lock and wakes the loop
+  with ``call_soon_threadsafe`` — it never blocks, no matter how slow the
+  consumer;
+* when the deque is full the *oldest* message is dropped and counted, and
+  the next batch the consumer drains is preceded by a lag marker
+  ``{"type": "lag", "dropped": n}`` so the client knows its view of the
+  stream has a hole (fresh data beats complete-but-stale data for an
+  alerting front door).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class SubscriptionBridge:
+    """Thread-safe bounded funnel from broker callbacks into one coroutine."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, limit: int = 256):
+        self.loop = loop
+        self.limit = max(1, int(limit))
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._wakeup = asyncio.Event()
+        self._closed = False
+        #: Messages dropped since the consumer last drained.
+        self._dropped_pending = 0
+        #: Lifetime counters for the metrics route.
+        self.delivered = 0
+        self.dropped = 0
+
+    # ---------------------------------------------------------------- #
+    # producer side: called from any thread
+    # ---------------------------------------------------------------- #
+
+    def push(self, item: Any) -> None:
+        """Enqueue one delivery; never blocks, drops oldest when full."""
+        with self._lock:
+            if self._closed:
+                return
+            if len(self._items) >= self.limit:
+                self._items.popleft()
+                self._dropped_pending += 1
+                self.dropped += 1
+            self._items.append(item)
+        self._wake()
+
+    def _wake(self) -> None:
+        try:
+            self.loop.call_soon_threadsafe(self._wakeup.set)
+        except RuntimeError:
+            # the loop is closing; the connection is going away anyway
+            pass
+
+    # ---------------------------------------------------------------- #
+    # consumer side: the connection's sender coroutine
+    # ---------------------------------------------------------------- #
+
+    async def drain(self, timeout: Optional[float] = None) -> Tuple[int, List[Any]]:
+        """Wait for deliveries; return ``(dropped_since_last, items)``.
+
+        ``dropped_since_last`` > 0 means the consumer lagged and the queue
+        shed that many messages since the previous drain — the sender
+        emits a lag marker before the items.  A timeout returns
+        ``(0, [])`` so the caller can interleave keepalive work.
+        """
+        if not self._items and not self._closed:
+            try:
+                await asyncio.wait_for(self._wakeup.wait(), timeout)
+            except asyncio.TimeoutError:
+                return 0, []
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            dropped = self._dropped_pending
+            self._dropped_pending = 0
+            self.delivered += len(items)
+            self._wakeup.clear()
+        return dropped, items
+
+    def close(self) -> None:
+        """Stop accepting deliveries and wake any waiting consumer."""
+        with self._lock:
+            self._closed = True
+            self._items.clear()
+        self._wake()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "delivered": self.delivered,
+                "dropped": self.dropped,
+                "queued": len(self._items),
+                "limit": self.limit,
+            }
+
+
+def lag_marker(dropped: int) -> Dict[str, int]:
+    """The wire form of a backpressure gap announcement."""
+    return {"type": "lag", "dropped": dropped}

@@ -1,0 +1,197 @@
+"""A small synchronous client for the gateway.
+
+Used by the test suite, the benchmark's warm-up path and the example.
+HTTP rides on :mod:`http.client`; WebSocket rides on a raw socket and the
+*same* sans-IO frame codec the server uses
+(:mod:`repro.serving.websocket`), which is the point — one framing
+implementation, exercised from both ends.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import quote
+
+from repro.serving import websocket as ws
+
+
+class HttpClient:
+    """Blocking JSON-over-HTTP client with keep-alive."""
+
+    def __init__(self, host: str, port: int, client_id: Optional[str] = None,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """``(status, parsed JSON body, response headers)``."""
+        body = None
+        merged = dict(headers or {})
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            merged.setdefault("Content-Type", "application/json")
+        if self.client_id is not None:
+            merged.setdefault("X-Client-Id", self.client_id)
+        self._conn.request(method, path, body=body, headers=merged)
+        response = self._conn.getresponse()
+        raw = response.read()
+        parsed: Any = None
+        if raw:
+            try:
+                parsed = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                parsed = raw
+        return response.status, parsed, dict(response.getheaders())
+
+    def get(self, path: str, **kwargs) -> Tuple[int, Any, Dict[str, str]]:
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path: str, payload: dict, **kwargs) -> Tuple[int, Any, Dict[str, str]]:
+        return self.request("POST", path, payload=payload, **kwargs)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class WebSocketClient:
+    """Blocking WebSocket client speaking the server's own frame codec."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        path: str = "/v1/subscribe",
+        topics: Optional[List[str]] = None,
+        client_id: Optional[str] = None,
+        timeout: float = 30.0,
+    ):
+        if topics:
+            # '#' (the MQTT multi-level wildcard) would otherwise be read
+            # as a URL fragment and silently dropped
+            path = f"{path}?topics={quote(','.join(topics), safe='')}"
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._parser = ws.FrameParser(require_mask=False)
+        self._pending: List[ws.Frame] = []
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        extra = f"X-Client-Id: {client_id}\r\n" if client_id else ""
+        self._sock.sendall(
+            (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n"
+                f"{extra}"
+                "\r\n"
+            ).encode("latin-1")
+        )
+        head, rest = self._read_head()
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        parts = status_line.split(" ")
+        self.status = int(parts[1]) if len(parts) > 1 and parts[1].isdigit() else 0
+        if self.status != 101:
+            # a rejected upgrade (e.g. 429) carries a JSON error body
+            self.error: Optional[dict] = None
+            try:
+                if rest:
+                    self.error = json.loads(rest.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                pass
+            self._sock.close()
+            return
+        self.error = None
+        if rest:
+            self._pending.extend(self._parser.feed(rest))
+
+    def _read_head(self) -> Tuple[bytes, bytes]:
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        return head, rest
+
+    def send_text(self, text: str) -> None:
+        self._sock.sendall(ws.encode_text(text, mask=True))
+
+    def ping(self, payload: bytes = b"") -> None:
+        self._sock.sendall(ws.encode_frame(ws.OP_PING, payload, mask=True))
+
+    def recv_frame(self, timeout: Optional[float] = None) -> Optional[ws.Frame]:
+        """The next frame (any opcode), or ``None`` on timeout / EOF."""
+        if self._pending:
+            return self._pending.pop(0)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        while True:
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout:
+                return None
+            if not data:
+                return None
+            frames = self._parser.feed(data)
+            if frames:
+                self._pending.extend(frames[1:])
+                return frames[0]
+
+    def recv_json(self, timeout: Optional[float] = None) -> Optional[dict]:
+        """The next *data* message parsed as JSON (pings answered inline)."""
+        deadline_frames = 1000
+        for _ in range(deadline_frames):
+            frame = self.recv_frame(timeout)
+            if frame is None:
+                return None
+            if frame.opcode == ws.OP_PING:
+                self._sock.sendall(
+                    ws.encode_frame(ws.OP_PONG, frame.payload, mask=True)
+                )
+                continue
+            if frame.opcode == ws.OP_CLOSE:
+                return None
+            if frame.opcode == ws.OP_TEXT:
+                return json.loads(frame.text)
+        return None
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(ws.encode_close(mask=True))
+            self._sock.settimeout(1.0)
+            try:
+                self._sock.recv(4096)
+            except (socket.timeout, OSError):
+                pass
+        except OSError:
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "WebSocketClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

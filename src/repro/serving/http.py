@@ -1,0 +1,197 @@
+"""Minimal HTTP/1.1 plumbing for the asyncio gateway.
+
+Covers exactly what the gateway needs — request-line + header parsing,
+``Content-Length`` bodies, keep-alive, bounded sizes — on top of asyncio
+streams.  No chunked encoding, no multipart: the wire API is JSON in,
+JSON out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.errors import BadRequestError, PayloadTooLargeError
+
+#: Upper bound on the request head (request line + headers) in bytes.
+MAX_HEAD_BYTES = 16 * 1024
+#: Upper bound on the number of header lines.
+MAX_HEADERS = 64
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    426: "Upgrade Required",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request plus the per-request middleware context."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+    client: str = "unknown"
+    #: Scratch space the middleware stack threads through the request
+    #: (request id, cache verdicts, matched route, path parameters).
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+    def json(self) -> Any:
+        """The body parsed as JSON, or a ``bad_request`` error."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequestError(f"request body is not valid JSON: {exc}")
+
+    @property
+    def wants_upgrade(self) -> bool:
+        connection = self.header("connection", "") or ""
+        upgrade = self.header("upgrade", "") or ""
+        return (
+            "upgrade" in connection.lower() and upgrade.lower() == "websocket"
+        )
+
+
+@dataclass
+class Response:
+    """One HTTP response ready for :func:`write_response`."""
+
+    status: int = 200
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200, **headers: str) -> "Response":
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        merged = {"Content-Type": "application/json"}
+        merged.update(headers)
+        return cls(status=status, headers=merged, body=body)
+
+
+async def read_request(reader, max_body: int) -> Optional[Request]:
+    """Read one request off the stream; ``None`` on a clean EOF.
+
+    Raises :class:`BadRequestError` for malformed heads and
+    :class:`PayloadTooLargeError` when the declared body exceeds
+    ``max_body`` (the connection is closed either way).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise BadRequestError("truncated request head")
+    except asyncio.LimitOverrunError:
+        raise BadRequestError("request head too large")
+    if len(head) > MAX_HEAD_BYTES:
+        raise BadRequestError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    request_line = lines[0]
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequestError(f"malformed request line: {request_line!r}")
+    method, target, _version = parts
+    if len(lines) > MAX_HEADERS + 3:
+        raise BadRequestError("too many headers")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequestError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+
+    length_header = headers.get("content-length", "0")
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise BadRequestError(f"bad Content-Length: {length_header!r}")
+    if length < 0:
+        raise BadRequestError("negative Content-Length")
+    if length > max_body:
+        # drain what the client already committed to sending (bounded) so
+        # it reads the 413 instead of dying on a reset mid-send
+        remaining = min(length, 16 * 1024 * 1024)
+        while remaining:
+            chunk = await reader.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+        raise PayloadTooLargeError(
+            f"request body of {length} bytes exceeds the {max_body} byte limit",
+            detail={"limit": max_body, "length": length},
+        )
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise BadRequestError("chunked request bodies are not supported")
+    body = await reader.readexactly(length) if length else b""
+
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    response: Response, *, keep_alive: bool = True, extra: Optional[Dict[str, str]] = None
+) -> bytes:
+    """Serialize a :class:`Response` to bytes (status line, headers, body)."""
+    status = response.status
+    reason = REASONS.get(status, "Unknown")
+    headers = dict(response.headers)
+    if extra:
+        headers.update(extra)
+    headers.setdefault("Content-Length", str(len(response.body)))
+    headers.setdefault("Connection", "keep-alive" if keep_alive else "close")
+    head = [f"HTTP/1.1 {status} {reason}"]
+    head.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + response.body
+
+
+async def write_response(
+    writer, response: Response, *, keep_alive: bool = True,
+    extra: Optional[Dict[str, str]] = None,
+) -> None:
+    writer.write(render_response(response, keep_alive=keep_alive, extra=extra))
+    await writer.drain()
+
+
+def peer_name(writer) -> Tuple[str, str]:
+    """``(host, "host:port")`` of the connection's peer."""
+    peer = writer.get_extra_info("peername")
+    if not peer:
+        return "unknown", "unknown"
+    host = str(peer[0])
+    if len(peer) > 1:
+        return host, f"{host}:{peer[1]}"
+    return host, host

@@ -1,0 +1,250 @@
+"""The gateway's composable request middleware stack.
+
+Every HTTP route runs through the same ordered stack
+(request-context → metrics → rate-limit → cache → endpoint), mirroring the
+registry-composed middleware chains of production serving stacks.  Each
+middleware is an object with
+
+    async def __call__(self, request, call_next) -> Response
+
+where ``call_next`` invokes the rest of the stack.  :func:`build_stack`
+folds a list of them over an endpoint into a single handler coroutine.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict, defaultdict
+from typing import Awaitable, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.errors import RateLimitedError, ReproError
+from repro.serving.http import Request, Response
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+def build_stack(middlewares: Iterable["object"], endpoint: Handler) -> Handler:
+    """Fold the middleware list over ``endpoint``, outermost first."""
+    handler = endpoint
+    for middleware in reversed(list(middlewares)):
+        handler = _wrap(middleware, handler)
+    return handler
+
+
+def _wrap(middleware, call_next: Handler) -> Handler:
+    async def run(request: Request) -> Response:
+        return await middleware(request, call_next)
+
+    return run
+
+
+class RequestContextMiddleware:
+    """Outermost: request ids, timing, and the one exception-to-response map.
+
+    Every response carries ``X-Request-Id``; every intentional
+    :class:`~repro.errors.ReproError` becomes its table-mapped status with
+    the error's ``to_payload()`` body; anything else becomes an opaque 500
+    (the traceback stays server-side).
+    """
+
+    def __init__(self, status_by_code: Dict[str, int]):
+        self.status_by_code = status_by_code
+        self._ids = itertools.count(1)
+        self.unhandled_errors = 0
+
+    async def __call__(self, request: Request, call_next: Handler) -> Response:
+        request_id = f"req-{next(self._ids)}"
+        request.context["request_id"] = request_id
+        request.context["started"] = time.monotonic()
+        try:
+            response = await call_next(request)
+        except ReproError as exc:
+            status = self.status_by_code.get(exc.code, 500)
+            response = Response.json(exc.to_payload(), status=status)
+            if isinstance(exc, RateLimitedError):
+                response.headers["Retry-After"] = str(
+                    max(1, int(exc.retry_after + 0.999))
+                )
+        except Exception:
+            self.unhandled_errors += 1
+            response = Response.json(
+                {"error": "internal", "message": "internal server error"},
+                status=500,
+            )
+        response.headers["X-Request-Id"] = request_id
+        return response
+
+
+class MetricsMiddleware:
+    """Per-route request counts, status classes and latency accumulation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests: Dict[str, int] = defaultdict(int)
+        self.statuses: Dict[int, int] = defaultdict(int)
+        self.latency_sum: Dict[str, float] = defaultdict(float)
+        self.latency_max: Dict[str, float] = defaultdict(float)
+
+    async def __call__(self, request: Request, call_next: Handler) -> Response:
+        started = time.monotonic()
+        response = await call_next(request)
+        elapsed = time.monotonic() - started
+        route = request.context.get("route", f"{request.method} {request.path}")
+        with self._lock:
+            self.requests[route] += 1
+            self.statuses[response.status] += 1
+            self.latency_sum[route] += elapsed
+            self.latency_max[route] = max(self.latency_max[route], elapsed)
+        return response
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            routes = {}
+            for route, count in sorted(self.requests.items()):
+                routes[route] = {
+                    "requests": count,
+                    "mean_latency_ms": round(1000 * self.latency_sum[route] / count, 3),
+                    "max_latency_ms": round(1000 * self.latency_max[route], 3),
+                }
+            return {
+                "routes": routes,
+                "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            }
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = time.monotonic()
+
+    def take(self, now: Optional[float] = None) -> Tuple[bool, float]:
+        """Try to take one token; ``(ok, seconds until one is available)``."""
+        now = time.monotonic() if now is None else now
+        self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class RateLimitMiddleware:
+    """Per-client token-bucket rate limiting.
+
+    The client key is the ``X-Client-Id`` header when present (one logical
+    client may open many connections), else the peer address.  An
+    exhausted bucket raises :class:`~repro.errors.RateLimitedError`, which
+    the context middleware renders as 429 + ``Retry-After``.
+    """
+
+    def __init__(self, rate: float, burst: int, *, exempt: Iterable[str] = ()):
+        self.rate = float(rate)
+        self.burst = int(burst)
+        #: Paths never limited (health checks, metrics scrapes).
+        self.exempt = set(exempt)
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.limited = 0
+
+    def client_key(self, request: Request) -> str:
+        return request.header("x-client-id") or request.client
+
+    def check(self, request: Request) -> None:
+        """Take one token for this request or raise ``rate_limited``.
+
+        Exposed separately so the WebSocket upgrade path (which bypasses
+        the HTTP middleware stack) applies the same per-client budget.
+        """
+        if self.rate <= 0 or request.path in self.exempt:
+            return
+        key = self.client_key(request)
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = TokenBucket(self.rate, self.burst)
+            ok, retry_after = bucket.take()
+            if not ok:
+                self.limited += 1
+        if not ok:
+            raise RateLimitedError(
+                f"client {key!r} exceeded {self.rate:g} requests/s",
+                retry_after=retry_after,
+            )
+
+    async def __call__(self, request: Request, call_next: Handler) -> Response:
+        self.check(request)
+        return await call_next(request)
+
+
+class CacheMiddleware:
+    """Version-keyed response cache for the read-mostly routes.
+
+    Only routes listed in ``cacheable`` participate.  The key is
+    ``(method, path, body, engine version)`` where the engine version comes
+    from a gateway-supplied callable — the gateway's mutation counter plus
+    the graphs' version numbers — so any ingest or view registration
+    invalidates every cached response at once, and out-of-band library
+    writes are caught by the graph versions.  LRU-bounded; responses carry
+    ``X-Cache: hit`` / ``miss``.
+    """
+
+    def __init__(
+        self,
+        version_token: Callable[[], object],
+        *,
+        cacheable: Iterable[Tuple[str, str]] = (),
+        capacity: int = 256,
+    ):
+        self.version_token = version_token
+        self.cacheable = set(cacheable)
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, Response]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    async def __call__(self, request: Request, call_next: Handler) -> Response:
+        if (request.method, request.path) not in self.cacheable:
+            return await call_next(request)
+        key = (request.method, request.path, request.body, self.version_token())
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if cached is not None:
+            response = Response(
+                status=cached.status, headers=dict(cached.headers), body=cached.body
+            )
+            response.headers["X-Cache"] = "hit"
+            return response
+        response = await call_next(request)
+        if response.status == 200:
+            stored = Response(
+                status=response.status,
+                headers=dict(response.headers),
+                body=response.body,
+            )
+            with self._lock:
+                self.misses += 1
+                self._entries[key] = stored
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+        response.headers["X-Cache"] = "miss"
+        return response
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+            }

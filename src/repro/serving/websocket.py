@@ -1,0 +1,198 @@
+"""RFC 6455 WebSocket framing, sans-IO.
+
+The frame codec is written against byte buffers rather than sockets or
+asyncio streams, so the async gateway and the synchronous test client use
+the *same* code: feed received bytes to a :class:`FrameParser`, get frames
+out; build outgoing frames with :func:`encode_frame`.
+
+Only what the gateway needs: text frames, ping/pong, close, server→client
+unmasked / client→server masked, fragmented data frames reassembled.  No
+extensions, no subprotocols.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: The protocol-mandated handshake GUID (RFC 6455 §1.3).
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_CONTROL_OPS = (OP_CLOSE, OP_PING, OP_PONG)
+
+#: Ceiling on a single (reassembled) message; a peer announcing more is
+#: failed rather than buffered.
+MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """The peer violated the framing rules; the connection must close."""
+
+
+def accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's nonce."""
+    digest = hashlib.sha1((client_key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def handshake_response(client_key: str) -> bytes:
+    """The complete 101 Switching Protocols response head."""
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept_key(client_key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def encode_frame(opcode: int, payload: bytes, *, mask: bool = False, fin: bool = True) -> bytes:
+    """One frame; clients set ``mask=True`` as the RFC requires."""
+    head = bytearray()
+    head.append((0x80 if fin else 0) | opcode)
+    mask_bit = 0x80 if mask else 0
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+def encode_text(text: str, *, mask: bool = False) -> bytes:
+    return encode_frame(OP_TEXT, text.encode("utf-8"), mask=mask)
+
+
+def encode_close(code: int = 1000, reason: str = "", *, mask: bool = False) -> bytes:
+    payload = struct.pack("!H", code) + reason.encode("utf-8")
+    return encode_frame(OP_CLOSE, payload, mask=mask)
+
+
+@dataclass
+class Frame:
+    """One complete (reassembled, unmasked) incoming frame."""
+
+    opcode: int
+    payload: bytes
+
+    @property
+    def text(self) -> str:
+        return self.payload.decode("utf-8")
+
+    @property
+    def close_code(self) -> Optional[int]:
+        if self.opcode != OP_CLOSE or len(self.payload) < 2:
+            return None
+        return struct.unpack("!H", self.payload[:2])[0]
+
+
+class FrameParser:
+    """Incremental frame decoder: ``feed`` bytes in, complete frames out.
+
+    Fragmented data frames are reassembled into one :class:`Frame` with
+    the initial opcode; control frames interleaved mid-fragmentation are
+    surfaced in arrival order, as the RFC permits.
+    """
+
+    def __init__(self, *, require_mask: bool = False):
+        #: Servers set ``require_mask`` — an unmasked client frame is a
+        #: protocol error; clients leave it off (server frames are bare).
+        self.require_mask = require_mask
+        self._buffer = bytearray()
+        self._fragments: List[bytes] = []
+        self._fragment_opcode: Optional[int] = None
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Consume received bytes, returning every frame they complete."""
+        self._buffer += data
+        frames: List[Frame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Optional[Frame]:
+        buf = self._buffer
+        if len(buf) < 2:
+            return None
+        first, second = buf[0], buf[1]
+        fin = bool(first & 0x80)
+        if first & 0x70:
+            raise ProtocolError("reserved bits set without a negotiated extension")
+        opcode = first & 0x0F
+        masked = bool(second & 0x80)
+        length = second & 0x7F
+        offset = 2
+        if length == 126:
+            if len(buf) < offset + 2:
+                return None
+            (length,) = struct.unpack_from("!H", buf, offset)
+            offset += 2
+        elif length == 127:
+            if len(buf) < offset + 8:
+                return None
+            (length,) = struct.unpack_from("!Q", buf, offset)
+            offset += 8
+        if length > MAX_MESSAGE_BYTES:
+            raise ProtocolError(f"frame of {length} bytes exceeds the message limit")
+        if masked:
+            if len(buf) < offset + 4:
+                return None
+            key = bytes(buf[offset : offset + 4])
+            offset += 4
+        elif self.require_mask:
+            raise ProtocolError("client frames must be masked")
+        else:
+            key = None
+        if len(buf) < offset + length:
+            return None
+        payload = bytes(buf[offset : offset + length])
+        del self._buffer[: offset + length]
+        if key is not None:
+            payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+
+        if opcode in _CONTROL_OPS:
+            if not fin or length > 125:
+                raise ProtocolError("control frames must be short and unfragmented")
+            return Frame(opcode, payload)
+        if opcode == OP_CONT:
+            if self._fragment_opcode is None:
+                raise ProtocolError("continuation frame without a started message")
+            self._fragments.append(payload)
+            if not fin:
+                return self._next_frame()
+            whole = b"".join(self._fragments)
+            if len(whole) > MAX_MESSAGE_BYTES:
+                raise ProtocolError("fragmented message exceeds the message limit")
+            frame = Frame(self._fragment_opcode, whole)
+            self._fragments = []
+            self._fragment_opcode = None
+            return frame
+        # a data frame
+        if self._fragment_opcode is not None:
+            raise ProtocolError("new data frame while a fragmented message is open")
+        if fin:
+            return Frame(opcode, payload)
+        self._fragment_opcode = opcode
+        self._fragments = [payload]
+        return self._next_frame()

@@ -84,6 +84,13 @@ class Subscription:
     _detach: Optional[Callable[["Subscription"], None]] = field(
         default=None, repr=False, compare=False
     )
+    #: True while the broker replays retained messages to this fresh
+    #: subscription *outside* the lock; concurrent publishes park their
+    #: messages in ``_backlog`` (under the lock) so per-subscription order
+    #: stays retained-snapshot-then-publish-order without any user handler
+    #: ever running while the broker lock is held.
+    _replaying: bool = field(default=False, repr=False, compare=False)
+    _backlog: List[Message] = field(default_factory=list, repr=False, compare=False)
 
     def cancel(self) -> None:
         """Stop receiving messages on this subscription."""
@@ -378,19 +385,49 @@ class Broker:
             subscriber_name=subscriber_name,
         )
         subscription._detach = self._detach
+        retained: List[Message] = []
         with self._lock:
             self._trie.insert(subscription, parts)
             self._subscriptions.append(subscription)
             if receive_retained:
-                # replay while still holding the (reentrant) lock: once the
-                # subscription is in the trie, a concurrent publisher could
-                # otherwise deliver a *newer* retained message before the
-                # snapshot replay, leaving the subscriber stuck on the stale
-                # value.  Same-thread reentrancy (a handler subscribing or
-                # publishing) stays safe because the lock is an RLock.
-                for message in self._trie.retained_matching(pattern):
-                    self._deliver(subscription, message)
+                # snapshot the retained messages under the lock and mark
+                # the subscription as replaying: once it is in the trie, a
+                # concurrent publisher could otherwise deliver a *newer*
+                # message before the snapshot replay, leaving the
+                # subscriber stuck on the stale value.  Publishers that
+                # race the replay park their messages in the
+                # subscription's backlog (see ``publish``), which is
+                # drained in publish order below — so ordering is
+                # preserved WITHOUT running the handler under the lock.
+                # Holding the lock across handler calls deadlocks when a
+                # subscriber thread's handler blocks on work owned by a
+                # publisher thread that is itself waiting for the broker
+                # lock (the asyncio serving gateway subscribes from the
+                # event-loop thread while shard workers publish).
+                retained = self._trie.retained_matching(pattern)
+                subscription._replaying = bool(retained)
+        for message in retained:
+            self._deliver(subscription, message)
+        if retained:
+            self._drain_backlog(subscription)
         return subscription
+
+    def _drain_backlog(self, subscription: Subscription) -> None:
+        """Deliver publishes parked during retained replay, in order.
+
+        Loops because a handler running during the drain can overlap yet
+        another concurrent publish; the replay flag is only cleared (under
+        the lock) once the backlog is observed empty, after which
+        publishers deliver directly again.
+        """
+        while True:
+            with self._lock:
+                backlog, subscription._backlog = subscription._backlog, []
+                if not backlog:
+                    subscription._replaying = False
+                    return
+            for message in backlog:
+                self._deliver(subscription, message)
 
     def unsubscribe(self, subscription: Subscription) -> None:
         """Cancel a subscription (idempotent)."""
@@ -434,10 +471,20 @@ class Broker:
                 self._trie.set_retained(topic, message)
             self.statistics.published += 1
             self.statistics.per_topic_published[topic] += 1
-            recipients = self._trie.match(topic)
-            if not recipients:
+            matched = self._trie.match(topic)
+            if not matched:
                 self.statistics.dropped_no_subscriber += 1
                 return message
+            recipients = []
+            for subscription in matched:
+                if subscription._replaying:
+                    # a fresh subscriber is still replaying its retained
+                    # snapshot: park this message so it is delivered after
+                    # the snapshot, in publish order (the subscribing
+                    # thread drains the backlog)
+                    subscription._backlog.append(message)
+                else:
+                    recipients.append(subscription)
         # fan out outside the lock so handlers may publish / subscribe
         # reentrantly (and so one slow handler never blocks other threads)
         for subscription in recipients:

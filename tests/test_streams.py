@@ -636,3 +636,99 @@ class TestBrokerThreadSafety:
         late = []
         broker.subscribe("shard/+/reading/#", late.append)
         assert late  # at least one retained message per worker topic replayed
+
+
+class TestBrokerRetainedReplayOrdering:
+    """Retained replay racing concurrent publishers.
+
+    The serving gateway subscribes from an asyncio event-loop thread while
+    per-shard ingest threads keep publishing.  The broker's contract: the
+    retained snapshot is delivered first and *complete*, publications that
+    land mid-replay are parked and drained afterwards in publish order, no
+    handler ever runs under the broker lock, and nothing deadlocks.
+    """
+
+    SEEDS = 40
+
+    def test_loop_thread_subscribe_during_publish_storm(self):
+        import asyncio
+        import threading
+
+        broker = Broker()
+        for index in range(self.SEEDS):
+            broker.publish(
+                f"canonical/seed/{index}", index, timestamp=float(index), retain=True
+            )
+
+        stop = threading.Event()
+        errors = []
+
+        def publisher(worker):
+            try:
+                seq = 0
+                while not stop.is_set():
+                    broker.publish(
+                        f"canonical/live/{worker}",
+                        ("live", worker, seq),
+                        timestamp=float(seq),
+                    )
+                    seq += 1
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        publishers = [
+            threading.Thread(target=publisher, args=(worker,)) for worker in range(3)
+        ]
+        for thread in publishers:
+            thread.start()
+
+        async def loop_side():
+            # subscribe from the loop thread, exactly as the gateway does,
+            # twenty times in a row against the running publish storm
+            for _ in range(20):
+                seen = []
+                lock = threading.Lock()
+
+                def handler(message, seen=seen, lock=lock):
+                    with lock:
+                        seen.append(message.payload)
+
+                subscription = broker.subscribe("canonical/#", handler)
+                await asyncio.sleep(0.005)
+                broker.unsubscribe(subscription)
+                with lock:
+                    snapshot = list(seen)
+
+                retained = [p for p in snapshot if isinstance(p, int)]
+                live_positions = [
+                    position
+                    for position, payload in enumerate(snapshot)
+                    if isinstance(payload, tuple)
+                ]
+                # the retained snapshot replays completely, before any live
+                # publication (mid-replay publishes were parked)
+                assert sorted(retained) == list(range(self.SEEDS))
+                if live_positions:
+                    assert live_positions[0] >= self.SEEDS
+                # per publisher, the observed live sequence is gap-free:
+                # once subscribed, no publication is lost until unsubscribe
+                for worker in range(3):
+                    seqs = [
+                        payload[2]
+                        for payload in snapshot
+                        if isinstance(payload, tuple) and payload[1] == worker
+                    ]
+                    assert seqs == list(
+                        range(seqs[0], seqs[0] + len(seqs))
+                    ) if seqs else True
+
+        runner = threading.Thread(target=lambda: asyncio.run(loop_side()))
+        runner.start()
+        runner.join(timeout=60)
+        deadlocked = runner.is_alive()
+        stop.set()
+        for thread in publishers:
+            thread.join(timeout=10)
+        assert not deadlocked, "subscribe/replay deadlocked against publishers"
+        assert not any(thread.is_alive() for thread in publishers)
+        assert not errors
